@@ -1,0 +1,49 @@
+# Standard developer entry points. Everything is stdlib Go; no external
+# tools required.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One iteration of every benchmark (each regenerates a paper table/figure
+# at reduced size and self-validates against the sequential oracles).
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# The full-size experiment sweep (writes the tables EXPERIMENTS.md records).
+experiments:
+	$(GO) run ./cmd/apspbench
+
+experiments-md:
+	$(GO) run ./cmd/apspbench -md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/zeroweights
+	$(GO) run ./examples/roadgrid
+	$(GO) run ./examples/blockertour
+	$(GO) run ./examples/approxtrade
+	$(GO) run ./examples/scalingdemo
+
+# Short fuzzing bursts for the parser and the exact key arithmetic.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 10s ./internal/graph/
+	$(GO) test -run xxx -fuzz FuzzCmpCeil -fuzztime 10s ./internal/key/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,201 @@
+package apsp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/key"
+)
+
+// Every table and figure of the paper has a benchmark that regenerates it
+// (at reduced size; run cmd/apspbench for the full sweep). The benchmarks
+// double as regression detectors: each experiment validates its algorithms
+// against the sequential oracle internally and fails on any wrong distance.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, experiments.Config{Small: true, Seed: 1}); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkTable1ExactAPSP regenerates Table I's exact-APSP comparison
+// (experiment T1-exact).
+func BenchmarkTable1ExactAPSP(b *testing.B) { benchExperiment(b, "T1-exact") }
+
+// BenchmarkTable1ApproxAPSP regenerates Table I's (1+ε)-APSP comparison
+// (experiment T1-approx).
+func BenchmarkTable1ApproxAPSP(b *testing.B) { benchExperiment(b, "T1-approx") }
+
+// BenchmarkFig1CSSSP regenerates Figure 1's phenomenon and the CSSSP
+// repair (experiment F1).
+func BenchmarkFig1CSSSP(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkThmI1Rounds sweeps (h,k,Δ) against Theorem I.1's bound
+// (experiment E-T11).
+func BenchmarkThmI1Rounds(b *testing.B) { benchExperiment(b, "E-T11") }
+
+// BenchmarkInvariantAudit audits Invariants 1–2 / Lemma II.11
+// (experiment E-INV).
+func BenchmarkInvariantAudit(b *testing.B) { benchExperiment(b, "E-INV") }
+
+// BenchmarkShortRange measures Algorithm 2's dilation and congestion
+// claims (experiment E-SR, Lemma II.15).
+func BenchmarkShortRange(b *testing.B) { benchExperiment(b, "E-SR") }
+
+// BenchmarkCSSSP verifies Definition III.3 and Lemma III.5's cost
+// (experiment E-CSSSP).
+func BenchmarkCSSSP(b *testing.B) { benchExperiment(b, "E-CSSSP") }
+
+// BenchmarkBlockerSet measures blocker sizes and Algorithm 4's cost
+// (experiment E-BLK).
+func BenchmarkBlockerSet(b *testing.B) { benchExperiment(b, "E-BLK") }
+
+// BenchmarkThmI2I3Crossover sweeps W for the Corollary I.4 crossover
+// (experiment E-T1213).
+func BenchmarkThmI2I3Crossover(b *testing.B) { benchExperiment(b, "E-T1213") }
+
+// BenchmarkApproxAPSP sweeps ε for Theorem I.5 (experiment E-APX).
+func BenchmarkApproxAPSP(b *testing.B) { benchExperiment(b, "E-APX") }
+
+// BenchmarkZeroWeightAblation measures the classical schedule's failure on
+// zero weights (experiment A-ZERO).
+func BenchmarkZeroWeightAblation(b *testing.B) { benchExperiment(b, "A-ZERO") }
+
+// BenchmarkMultiEntryAblation compares multi-entry lists against the
+// single-estimate pipeline (experiment A-LIST).
+func BenchmarkMultiEntryAblation(b *testing.B) { benchExperiment(b, "A-LIST") }
+
+// BenchmarkPaperLiteralAblation measures the paper-literal list rules
+// against the Pareto discipline (experiment A-LIT).
+func BenchmarkPaperLiteralAblation(b *testing.B) { benchExperiment(b, "A-LIT") }
+
+// BenchmarkScalingExtension measures the implemented future work —
+// pipelining + Gabow scaling (experiment E-SCALE).
+func BenchmarkScalingExtension(b *testing.B) { benchExperiment(b, "E-SCALE") }
+
+// BenchmarkKSSPSweep measures the k-SSP bounds (Theorem I.1(iii) and
+// friends) across source counts (experiment E-KSSP).
+func BenchmarkKSSPSweep(b *testing.B) { benchExperiment(b, "E-KSSP") }
+
+// BenchmarkSchedulerComparison compares the deterministic γ-schedule with
+// Ghaffari-style random-delay scheduling (experiment E-SCHED).
+func BenchmarkSchedulerComparison(b *testing.B) { benchExperiment(b, "E-SCHED") }
+
+// BenchmarkConvergence measures Algorithm 1's anytime behaviour
+// (experiment E-CONV).
+func BenchmarkConvergence(b *testing.B) { benchExperiment(b, "E-CONV") }
+
+// BenchmarkStep1Ablation compares CSSSP construction via Algorithm 1
+// against the Θ(n·h) Bellman–Ford method of [3] (experiment E-STEP1).
+func BenchmarkStep1Ablation(b *testing.B) { benchExperiment(b, "E-STEP1") }
+
+// BenchmarkScorecard runs the per-claim verdict table (experiment
+// SCORECARD).
+func BenchmarkScorecard(b *testing.B) { benchExperiment(b, "SCORECARD") }
+
+// BenchmarkScalingStudy measures rounds vs n at reduced size (experiment
+// E-BIG; cmd/apspbench runs it up to n=256).
+func BenchmarkScalingStudy(b *testing.B) { benchExperiment(b, "E-BIG") }
+
+// BenchmarkDeltaSensitivity probes the Δ promise Theorem I.1 assumes
+// (experiment E-DELTA).
+func BenchmarkDeltaSensitivity(b *testing.B) { benchExperiment(b, "E-DELTA") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the substrate's raw cost, with rounds reported as a
+// custom metric so scaling is visible in benchmark output.
+
+func benchPipelinedAPSP(b *testing.B, n int) {
+	g := graph.Random(n, 3*n, graph.GenOpts{Seed: 1, MaxW: 8, ZeroFrac: 0.25, Directed: true})
+	delta := graph.Delta(g)
+	b.ResetTimer()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := core.APSP(g, delta, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+func BenchmarkPipelinedAPSP_n16(b *testing.B) { benchPipelinedAPSP(b, 16) }
+func BenchmarkPipelinedAPSP_n32(b *testing.B) { benchPipelinedAPSP(b, 32) }
+func BenchmarkPipelinedAPSP_n64(b *testing.B) { benchPipelinedAPSP(b, 64) }
+
+func BenchmarkHKSSPZeroHeavy(b *testing.B) {
+	g := graph.ZeroHeavy(48, 192, 0.5, graph.GenOpts{Seed: 2, MaxW: 8, Directed: true})
+	sources := []int{0, 12, 24, 36}
+	delta := graph.HHopDelta(g, sources, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(g, core.Opts{Sources: sources, H: 8, Delta: delta}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeyCmp(b *testing.B) {
+	gamma := key.New(64, 63, 497)
+	b.ResetTimer()
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		acc += gamma.Cmp(int64(i%497), int64(i%63), int64((i+13)%497), int64((i+7)%63))
+	}
+	_ = acc
+}
+
+func BenchmarkKeyCeilKappa(b *testing.B) {
+	gamma := key.New(64, 63, 497)
+	b.ResetTimer()
+	var acc int64
+	for i := 0; i < b.N; i++ {
+		acc += gamma.CeilKappa(int64(i%497), int64(i%63))
+	}
+	_ = acc
+}
+
+func BenchmarkEngineFloodRound(b *testing.B) {
+	// One full unweighted APSP on a mid-size graph: engine throughput.
+	g := graph.Random(96, 384, graph.GenOpts{Seed: 3, MaxW: 1, MinW: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnweightedAPSP(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		graph.Random(128, 512, graph.GenOpts{Seed: int64(i), MaxW: 16, ZeroFrac: 0.2, Directed: true})
+	}
+}
+
+func benchEngineWorkers(b *testing.B, workers int) {
+	g := graph.Random(96, 384, graph.GenOpts{Seed: 5, MaxW: 8, ZeroFrac: 0.25, Directed: true})
+	delta := graph.Delta(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sources := make([]int, g.N())
+		for v := range sources {
+			sources[v] = v
+		}
+		if _, err := core.Run(g, core.Opts{Sources: sources, H: g.N() - 1, Delta: delta, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWorkers* measure the engine's intra-round parallel
+// speedup (results are bit-identical across worker counts; see
+// core.TestDeterministicAcrossWorkers).
+func BenchmarkEngineWorkers1(b *testing.B) { benchEngineWorkers(b, 1) }
+func BenchmarkEngineWorkers4(b *testing.B) { benchEngineWorkers(b, 4) }
+func BenchmarkEngineWorkers8(b *testing.B) { benchEngineWorkers(b, 8) }

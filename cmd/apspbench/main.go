@@ -1,0 +1,55 @@
+// Command apspbench regenerates the paper's tables, figures and theorem
+// bounds as measured experiments (see DESIGN.md for the index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	apspbench              # run every experiment at full size
+//	apspbench -small       # reduced sizes (what the benchmarks use)
+//	apspbench -exp E-BLK   # a single experiment
+//	apspbench -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		small = flag.Bool("small", false, "run reduced-size experiments")
+		exp   = flag.String("exp", "", "run a single experiment by ID")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+		md    = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{Small: *small, Seed: *seed}
+	if *exp != "" {
+		t, err := experiments.Run(*exp, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apspbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *md {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Format(os.Stdout)
+		}
+		return
+	}
+	if err := experiments.RunAll(cfg, os.Stdout, *md); err != nil {
+		fmt.Fprintf(os.Stderr, "apspbench: %v\n", err)
+		os.Exit(1)
+	}
+}

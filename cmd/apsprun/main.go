@@ -1,0 +1,222 @@
+// Command apsprun runs one of the repository's distributed shortest-path
+// algorithms on a graph (from a file, or generated on the fly) and prints
+// the distances, the CONGEST cost, and — when -check is set — a validation
+// against the sequential Dijkstra oracle.
+//
+// Usage:
+//
+//	apsprun -alg pipeline -graph g.txt -sources 0,5,9
+//	apsprun -alg blocker -n 48 -m 160 -zero 0.3 -check
+//	apsprun -alg approx -eps 0.25 -n 32 -m 96
+//	apsprun -alg shortrange -graph g.txt -sources 0 -h 8
+//	apsprun -alg bellman -n 32 -m 96 -h 6 -sources 0,1,2 -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/approx"
+	"repro/internal/bellman"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hssp"
+	"repro/internal/scaling"
+	"repro/internal/shortrange"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "pipeline", "pipeline | blocker | scaling | approx | shortrange | bellman")
+		file     = flag.String("graph", "", "graph file (empty = generate)")
+		n        = flag.Int("n", 32, "nodes (generated graphs)")
+		m        = flag.Int("m", 96, "edges (generated graphs)")
+		maxW     = flag.Int64("maxw", 8, "max weight (generated graphs)")
+		zero     = flag.Float64("zero", 0.25, "zero-weight fraction (generated graphs)")
+		seed     = flag.Int64("seed", 1, "seed (generated graphs)")
+		srcsArg  = flag.String("sources", "", "comma-separated sources (empty = all)")
+		h        = flag.Int("h", 0, "hop parameter (0 = automatic where applicable)")
+		eps      = flag.Float64("eps", 0.5, "target stretch − 1 (approx)")
+		check    = flag.Bool("check", false, "validate against Dijkstra")
+		quiet    = flag.Bool("quiet", false, "suppress the distance matrix")
+		timeline = flag.Bool("timeline", false, "print a per-round message sparkline (pipeline only)")
+		trace    = flag.Bool("trace", false, "dump per-node list events to stderr (pipeline only; single-worker)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*file, *n, *m, *maxW, *zero, *seed)
+	if err != nil {
+		fail(err)
+	}
+	sources, err := parseSources(*srcsArg, g.N())
+	if err != nil {
+		fail(err)
+	}
+
+	var (
+		dist    [][]int64
+		stats   congest.Stats
+		extra   string
+		hopUsed int // 0 = unrestricted semantics (validate vs Dijkstra)
+	)
+	switch *alg {
+	case "pipeline":
+		hopBound := *h
+		if hopBound == 0 {
+			hopBound = g.N() - 1
+		} else {
+			hopUsed = hopBound
+		}
+		var tl congest.Timeline
+		copts := core.Opts{Sources: sources, H: hopBound}
+		if *timeline {
+			copts.OnRound = tl.Observe
+		}
+		if *trace {
+			copts.Trace = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		res, err := core.Run(g, copts)
+		if err != nil {
+			fail(err)
+		}
+		dist, stats = res.Dist, res.Stats
+		extra = fmt.Sprintf("bound=%d late=%d maxList=%d", res.Bound, res.LateSends, res.MaxListLen)
+		if *timeline {
+			fmt.Printf("activity (peak %d msgs/round): %s\n", tl.Peak(), tl.Sparkline(72))
+		}
+	case "blocker":
+		res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h})
+		if err != nil {
+			fail(err)
+		}
+		dist, stats = res.Dist, res.Stats
+		extra = fmt.Sprintf("h=%d |Q|=%d phases=%v", res.H, len(res.Q), res.PhaseRounds)
+	case "approx":
+		res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps})
+		if err != nil {
+			fail(err)
+		}
+		stats = res.Stats
+		if *check {
+			stretch, mism := approx.CheckStretch(g, res)
+			fmt.Printf("check: max stretch %.4f (claim ≤ %.2f), mismatches %d\n", stretch, 1+*eps, mism)
+		}
+		fmt.Printf("rounds=%d messages=%d scales=%d\n", stats.Rounds, stats.Messages, res.Scales)
+		if !*quiet {
+			for i := range sources {
+				for v := 0; v < g.N(); v++ {
+					fmt.Printf("approx(%d,%d) = %.3f\n", sources[i], v, res.Value(i, v))
+				}
+			}
+		}
+		return
+	case "scaling":
+		res, err := scaling.Run(g, scaling.Opts{Sources: sources})
+		if err != nil {
+			fail(err)
+		}
+		dist, stats = res.Dist, res.Stats
+		extra = fmt.Sprintf("phases=%d", res.Bits+1)
+	case "shortrange":
+		hopBound := *h
+		if hopBound == 0 {
+			hopBound = 8
+		}
+		res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound})
+		if err != nil {
+			fail(err)
+		}
+		dist, stats = res.Dist, res.Stats
+		extra = fmt.Sprintf("snapRound=%d congestion=%d", res.SnapRound, stats.MaxLinkCongestion)
+	case "bellman":
+		hopBound := *h
+		if hopBound == 0 {
+			hopBound = g.N() - 1
+		} else {
+			hopUsed = hopBound
+		}
+		res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound})
+		if err != nil {
+			fail(err)
+		}
+		dist, stats = res.Dist, res.Stats
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	fmt.Printf("rounds=%d messages=%d maxCongestion=%d %s\n",
+		stats.Rounds, stats.Messages, stats.MaxLinkCongestion, extra)
+	if *check {
+		wrong := 0
+		oracle := "Dijkstra"
+		for i, s := range sources {
+			var want []int64
+			if hopUsed > 0 {
+				want = graph.HHopDistances(g, s, hopUsed)
+				oracle = fmt.Sprintf("%d-hop DP", hopUsed)
+			} else {
+				want = graph.Dijkstra(g, s)
+			}
+			for v := 0; v < g.N(); v++ {
+				if dist[i][v] != want[v] {
+					wrong++
+				}
+			}
+		}
+		fmt.Printf("check vs %s: %d wrong of %d\n", oracle, wrong, len(sources)*g.N())
+	}
+	if !*quiet {
+		for i, s := range sources {
+			for v := 0; v < g.N(); v++ {
+				d := "inf"
+				if dist[i][v] < graph.Inf {
+					d = strconv.FormatInt(dist[i][v], 10)
+				}
+				fmt.Printf("d(%d,%d) = %s\n", s, v, d)
+			}
+		}
+	}
+}
+
+func loadGraph(file string, n, m int, maxW int64, zero float64, seed int64) (*graph.Graph, error) {
+	if file == "" {
+		return graph.Random(n, m, graph.GenOpts{MaxW: maxW, ZeroFrac: zero, Seed: seed, Directed: true}), nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Decode(f)
+}
+
+func parseSources(arg string, n int) ([]int, error) {
+	if arg == "" {
+		all := make([]int, n)
+		for v := range all {
+			all[v] = v
+		}
+		return all, nil
+	}
+	parts := strings.Split(arg, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad source %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "apsprun: %v\n", err)
+	os.Exit(1)
+}

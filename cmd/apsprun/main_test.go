@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSources(t *testing.T) {
+	got, err := parseSources("0, 3,7", 10)
+	if err != nil {
+		t.Fatalf("parseSources: %v", err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 7 {
+		t.Fatalf("got %v", got)
+	}
+	all, err := parseSources("", 4)
+	if err != nil || len(all) != 4 || all[3] != 3 {
+		t.Fatalf("empty arg: %v %v", all, err)
+	}
+	if _, err := parseSources("x", 4); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestLoadGraphGenerated(t *testing.T) {
+	g, err := loadGraph("", 12, 36, 5, 0.2, 3)
+	if err != nil {
+		t.Fatalf("loadGraph: %v", err)
+	}
+	if g.N() != 12 || g.M() != 36 {
+		t.Fatalf("generated n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("n 2 directed\ne 0 1 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("loadGraph: %v", err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("loaded n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), 0, 0, 0, 0, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package apsp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Degenerate-input hardening: single nodes, two nodes, and disconnected
+// communication graphs must behave predictably — either correct results
+// (algorithms that need no global structure) or a clear error (those that
+// build a global BFS tree).
+
+func TestSingleNodeAllAlgorithms(t *testing.T) {
+	g := NewGraph(1, true)
+	if res, err := PipelinedAPSP(g, 0); err != nil || res.Dist[0][0] != 0 {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if res, err := ScalingAPSP(g, nil); err != nil || res.Dist[0][0] != 0 {
+		t.Fatalf("scaling: %v", err)
+	}
+	if res, err := ApproxAPSP(g, ApproxOpts{Eps: 0.5}); err != nil || res.Scaled[0][0] != 0 {
+		t.Fatalf("approx: %v", err)
+	}
+	if res, err := BlockerAPSP(g, HSSPOpts{}); err != nil || res.Dist[0][0] != 0 {
+		t.Fatalf("blocker: %v", err)
+	}
+}
+
+func TestTwoNodeGraphs(t *testing.T) {
+	g := NewGraph(2, true)
+	g.MustAddEdge(0, 1, 7)
+	res, err := PipelinedAPSP(g, 0)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if res.Dist[0][1] != 7 || res.Dist[1][0] != Inf {
+		t.Fatalf("two-node dists: %v / %v", res.Dist[0][1], res.Dist[1][0])
+	}
+	sc, err := ScalingAPSP(g, nil)
+	if err != nil || sc.Dist[0][1] != 7 || sc.Dist[1][0] != Inf {
+		t.Fatalf("scaling: %v %v", err, sc.Dist)
+	}
+}
+
+func TestDisconnectedCommunicationGraph(t *testing.T) {
+	g := NewGraph(4, true)
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(2, 3, 5)
+
+	// Purely local algorithms work and report Inf across components.
+	res, err := PipelinedAPSP(g, 0)
+	if err != nil {
+		t.Fatalf("pipeline on disconnected graph: %v", err)
+	}
+	if res.Dist[0][1] != 3 || res.Dist[0][2] != Inf {
+		t.Fatalf("pipeline dists: %d %d", res.Dist[0][1], res.Dist[0][2])
+	}
+	if sc, err := ScalingAPSP(g, nil); err != nil || sc.Dist[0][2] != Inf {
+		t.Fatalf("scaling: %v", err)
+	}
+	if sr, err := ShortRange(g, 0, 2); err != nil || sr.Dist[0][3] != Inf {
+		t.Fatalf("shortrange: %v", err)
+	}
+	if apx, err := ApproxAPSP(g, ApproxOpts{Eps: 0.5}); err != nil {
+		t.Fatalf("approx: %v", err)
+	} else if apx.Scaled[0][2] != Inf {
+		t.Fatalf("approx crossed components: %d", apx.Scaled[0][2])
+	}
+
+	// Algorithm 3 needs a global BFS tree: expect a clear diagnostic.
+	if _, err := BlockerAPSP(g, HSSPOpts{H: 1}); err == nil {
+		t.Fatal("blocker APSP on disconnected graph succeeded")
+	} else if !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("blocker error not diagnostic: %v", err)
+	}
+}
+
+func TestZeroWeightOnlyGraph(t *testing.T) {
+	g := NewGraph(4, true)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(2, 3, 0)
+	res, err := PipelinedAPSP(g, 0)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	for v := 0; v < 4; v++ {
+		if res.Dist[0][v] != 0 {
+			t.Fatalf("dist[0][%d] = %d", v, res.Dist[0][v])
+		}
+	}
+	apx, err := ApproxAPSP(g, ApproxOpts{Eps: 0.5})
+	if err != nil {
+		t.Fatalf("approx: %v", err)
+	}
+	if apx.Scaled[0][3] != 0 {
+		t.Fatalf("approx zero chain: %d", apx.Scaled[0][3])
+	}
+}
+
+func TestEmptyEdgeGraph(t *testing.T) {
+	g := NewGraph(3, true)
+	res, err := PipelinedAPSP(g, 0)
+	if err != nil {
+		t.Fatalf("pipeline on edgeless graph: %v", err)
+	}
+	if res.Dist[0][1] != Inf || res.Dist[1][1] != 0 {
+		t.Fatalf("edgeless dists wrong")
+	}
+	if res.Stats.Messages != 0 {
+		t.Fatalf("edgeless graph sent %d messages", res.Stats.Messages)
+	}
+}

@@ -1,0 +1,138 @@
+package apsp_test
+
+import (
+	"fmt"
+
+	apsp "repro"
+)
+
+// ExamplePipelinedAPSP runs the paper's Algorithm 1 on a small fixed graph
+// with a zero-weight edge and prints a distance with its cost report.
+func ExamplePipelinedAPSP() {
+	g := apsp.NewGraph(4, true)
+	g.MustAddEdge(0, 1, 0) // zero-weight edges are the paper's point
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(2, 3, 0)
+	g.MustAddEdge(0, 3, 9)
+
+	res, err := apsp.PipelinedAPSP(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("d(0,3) =", res.Dist[0][3])
+	fmt.Println("within bound:", int64(res.Stats.Rounds) <= res.Bound)
+	// Output:
+	// d(0,3) = 3
+	// within bound: true
+}
+
+// ExamplePipelinedHKSSP computes hop-bounded distances from two sources.
+func ExamplePipelinedHKSSP() {
+	g := apsp.NewGraph(5, true)
+	for v := 0; v < 4; v++ {
+		g.MustAddEdge(v, v+1, 1)
+	}
+	res, err := apsp.PipelinedHKSSP(g, apsp.PipelineOpts{Sources: []int{0, 2}, H: 2})
+	if err != nil {
+		panic(err)
+	}
+	// Node 4 is 4 hops from source 0 (beyond h=2) but 2 hops from source 2.
+	fmt.Println("from 0:", res.Dist[0][4] >= apsp.Inf)
+	fmt.Println("from 2:", res.Dist[1][4])
+	// Output:
+	// from 0: true
+	// from 2: 2
+}
+
+// ExampleReconstructPath extracts an actual shortest path.
+func ExampleReconstructPath() {
+	g := apsp.NewGraph(4, true)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 5)
+	g.MustAddEdge(2, 3, 1)
+
+	res, err := apsp.PipelinedAPSP(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	path, err := apsp.ReconstructPath(g, res, 0, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(path)
+	// Output:
+	// [0 1 2 3]
+}
+
+// ExampleApproxAPSP shows the (1+ε) approximation on a zero-weight pair.
+func ExampleApproxAPSP() {
+	g := apsp.NewGraph(3, true)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 4)
+
+	res, err := apsp.ApproxAPSP(g, apsp.ApproxOpts{Eps: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("zero pair exact:", res.Scaled[0][1] == 0)
+	fmt.Println("within stretch:", res.Value(0, 2) >= 4 && res.Value(0, 2) <= 6)
+	// Output:
+	// zero pair exact: true
+	// within stretch: true
+}
+
+// ExampleScalingAPSP runs the future-work extension (pipelining + Gabow
+// scaling) on a graph with weights far larger than the graph.
+func ExampleScalingAPSP() {
+	g := apsp.NewGraph(3, true)
+	g.MustAddEdge(0, 1, 1000)
+	g.MustAddEdge(1, 2, 2500)
+	g.MustAddEdge(0, 2, 4000)
+
+	res, err := apsp.ScalingAPSP(g, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("d(0,2) =", res.Dist[0][2], "phases:", res.Bits+1)
+	// Output:
+	// d(0,2) = 3500 phases: 13
+}
+
+// ExampleBuildCSSSP builds consistent h-hop trees and computes a blocker
+// set for them.
+func ExampleBuildCSSSP() {
+	g := apsp.NewGraph(5, true)
+	for v := 0; v < 4; v++ {
+		g.MustAddEdge(v, v+1, 1)
+	}
+	coll, err := apsp.BuildCSSSP(g, []int{0, 1}, 2, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", len(coll.Verify(g)))
+	blk, err := apsp.ComputeBlockerSet(g, coll)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("covered:", len(apsp.VerifyBlockerCoverage(coll, blk.Q)) == 0)
+	// Output:
+	// violations: 0
+	// covered: true
+}
+
+// ExampleShortRange runs Algorithm 2 for one source.
+func ExampleShortRange() {
+	g := apsp.NewGraph(4, false)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(2, 3, 2)
+
+	res, err := apsp.ShortRange(g, 0, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("d(0,3) =", res.Dist[0][3], "congestion ≤ √h+2:", res.Stats.MaxLinkCongestion <= 3)
+	// Output:
+	// d(0,3) = 4 congestion ≤ √h+2: true
+}

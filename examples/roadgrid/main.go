@@ -1,0 +1,67 @@
+// Road grid: the k-SSP use case on a grid "road network". A handful of
+// depots (sources) need h-hop-bounded shortest-path distances to every
+// intersection — deliveries may traverse at most h road segments. This is
+// exactly the (h,k)-SSP problem of Theorem I.1(i), and zero-weight edges
+// model free connectors (ramps, roundabouts).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apsp "repro"
+)
+
+func main() {
+	const rows, cols = 12, 12
+	g := apsp.GridGraph(rows, cols, apsp.GenOpts{Seed: 11, MaxW: 9, ZeroFrac: 0.2})
+	depots := []int{0, rows*cols - 1, (rows/2)*cols + cols/2} // two corners + center
+	const h = 14                                              // delivery hop budget
+
+	res, err := apsp.PipelinedHKSSP(g, apsp.PipelineOpts{Sources: depots, H: h})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid %dx%d, %d depots, hop budget %d\n", rows, cols, len(depots), h)
+	fmt.Printf("rounds %d (paper bound 2√(khΔ)+k+h = %d)\n", res.Stats.Rounds, res.Bound)
+
+	// Which intersections are unreachable within the hop budget from the
+	// corner depot, and what does the budget cost in distance?
+	unreach, tighter := 0, 0
+	full := apsp.ExactSSSP(g, depots[0])
+	for v := 0; v < g.N(); v++ {
+		if res.Dist[0][v] >= apsp.Inf {
+			unreach++
+		} else if res.Dist[0][v] > full[v] {
+			tighter++
+		}
+	}
+	fmt.Printf("depot %d: %d intersections beyond %d hops, %d pay a detour premium vs unbounded routing\n",
+		depots[0], unreach, h, tighter)
+
+	// Validate against the h-hop dynamic-programming oracle.
+	for i, s := range depots {
+		want := apsp.ExactHHop(g, s, h)
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[i][v] != want[v] {
+				log.Fatalf("mismatch at depot %d node %d", s, v)
+			}
+		}
+	}
+	fmt.Println("validated against the h-hop oracle")
+
+	// Print a small distance field for the center depot (top-left corner
+	// of the grid), demonstrating per-node results.
+	fmt.Println("center-depot distances, top-left 4x6 corner:")
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 6; c++ {
+			d := res.Dist[2][r*cols+c]
+			if d >= apsp.Inf {
+				fmt.Printf("   . ")
+			} else {
+				fmt.Printf("%4d ", d)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,51 @@
+// Scaling demo: the extension the paper's conclusion (Sec. V) poses as an
+// open problem — making the pipelined strategy work with Gabow's scaling
+// technique — implemented and measured. Each bit phase is a pipelined
+// (h,k)-SSP run under per-source reduced costs with the tiny promise
+// Δ ≤ n−1; the "each source sees a different edge weight" obstacle is
+// resolved by carrying the sender's previous-phase distance in the
+// message. Rounds become weight-insensitive (∝ log W), and the crossover
+// against the Δ-sensitive Theorem I.1(ii) appears as weights grow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apsp "repro"
+)
+
+func main() {
+	const n = 24
+	fmt.Printf("%8s %10s %16s %14s %10s\n", "W", "Δ", "scaling rounds", "Alg1 rounds", "winner")
+	for _, w := range []int64{8, 128, 2048, 32768} {
+		g := apsp.RandomGraph(n, 3*n, apsp.GenOpts{Seed: 5, MinW: w / 4, MaxW: w, Directed: true})
+		delta := apsp.DeltaOf(g)
+
+		sc, err := apsp.ScalingAPSP(g, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a1, err := apsp.PipelinedAPSP(g, delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Both must be exact.
+		want := apsp.ExactAPSP(g)
+		for s := 0; s < n; s++ {
+			for v := 0; v < n; v++ {
+				if sc.Dist[s][v] != want[s][v] || a1.Dist[s][v] != want[s][v] {
+					log.Fatalf("W=%d: wrong distance at (%d,%d)", w, s, v)
+				}
+			}
+		}
+		winner := "Alg1"
+		if sc.Stats.Rounds < a1.Stats.Rounds {
+			winner = "scaling"
+		}
+		fmt.Printf("%8d %10d %10d (%2d phases) %10d %10s\n",
+			w, delta, sc.Stats.Rounds, sc.Bits+1, a1.Stats.Rounds, winner)
+	}
+	fmt.Println("\nscaling rounds track log W; Algorithm 1 tracks √Δ — Sec. V's hoped-for behaviour")
+}

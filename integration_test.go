@@ -1,0 +1,212 @@
+package apsp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Cross-algorithm integration: every exact algorithm in the repository
+// must agree with the oracle — and hence with each other — on the same
+// graphs, across families, weights and zero fractions.
+
+type family struct {
+	name string
+	make func(seed int64) *Graph
+}
+
+func families() []family {
+	return []family{
+		{"random", func(s int64) *Graph {
+			return RandomGraph(24, 80, GenOpts{Seed: s, MaxW: 9, ZeroFrac: 0.3, Directed: true})
+		}},
+		{"undirected", func(s int64) *Graph {
+			return RandomGraph(24, 80, GenOpts{Seed: s, MaxW: 9, ZeroFrac: 0.3})
+		}},
+		{"zeroheavy", func(s int64) *Graph {
+			return ZeroHeavyGraph(22, 80, 0.6, GenOpts{Seed: s, MaxW: 12, Directed: true})
+		}},
+		{"grid", func(s int64) *Graph {
+			return GridGraph(5, 5, GenOpts{Seed: s, MaxW: 7, ZeroFrac: 0.25})
+		}},
+		{"ladder", func(s int64) *Graph {
+			return LayeredZeroGraph(5, 5, GenOpts{Seed: s, MaxW: 6, Directed: true})
+		}},
+		{"powerlaw", func(s int64) *Graph {
+			return graph.PreferentialAttachment(24, 2, GenOpts{Seed: s, MaxW: 10, ZeroFrac: 0.2})
+		}},
+		{"bigweights", func(s int64) *Graph {
+			return RandomGraph(18, 60, GenOpts{Seed: s, MinW: 100, MaxW: 2000, Directed: true})
+		}},
+		{"smallworld", func(s int64) *Graph {
+			return graph.SmallWorld(24, 2, 0.25, GenOpts{Seed: s, MaxW: 8, ZeroFrac: 0.25})
+		}},
+		{"geometric", func(s int64) *Graph {
+			return graph.Geometric(24, 0.3, GenOpts{Seed: s, MinW: 1, MaxW: 9})
+		}},
+	}
+}
+
+func TestAllExactAlgorithmsAgree(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = []int64{1}
+	}
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				g := fam.make(seed)
+				want := ExactAPSP(g)
+				check := func(name string, dist [][]int64) {
+					t.Helper()
+					for s := 0; s < g.N(); s++ {
+						for v := 0; v < g.N(); v++ {
+							if dist[s][v] != want[s][v] {
+								t.Fatalf("seed %d %s: dist[%d][%d] = %d, want %d",
+									seed, name, s, v, dist[s][v], want[s][v])
+							}
+						}
+					}
+				}
+
+				a1, err := PipelinedAPSP(g, 0)
+				if err != nil {
+					t.Fatalf("pipeline: %v", err)
+				}
+				check("pipeline", a1.Dist)
+
+				a3, err := BlockerAPSP(g, HSSPOpts{H: 3})
+				if err != nil {
+					t.Fatalf("blocker: %v", err)
+				}
+				check("blocker", a3.Dist)
+
+				sc, err := ScalingAPSP(g, nil)
+				if err != nil {
+					t.Fatalf("scaling: %v", err)
+				}
+				check("scaling", sc.Dist)
+
+				sources := make([]int, g.N())
+				for v := range sources {
+					sources[v] = v
+				}
+				bf, err := BellmanFordHKSSP(g, BellmanFordOpts{Sources: sources, H: g.N() - 1})
+				if err != nil {
+					t.Fatalf("bellman: %v", err)
+				}
+				check("bellman", bf.Dist)
+			}
+		})
+	}
+}
+
+func TestApproxWithinEpsAcrossFamilies(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			g := fam.make(3)
+			res, err := ApproxAPSP(g, ApproxOpts{Eps: 0.5})
+			if err != nil {
+				t.Fatalf("approx: %v", err)
+			}
+			stretch, mismatches := CheckApproxStretch(g, res)
+			if mismatches != 0 {
+				t.Fatalf("%d structural mismatches", mismatches)
+			}
+			if stretch > 1.5 {
+				t.Fatalf("stretch %.4f exceeds 1.5", stretch)
+			}
+		})
+	}
+}
+
+func TestHHopAlgorithmsAgree(t *testing.T) {
+	// The two h-hop-capable algorithms (pipelined Algorithm 1 and
+	// Bellman–Ford) must agree with the DP oracle for the same budget.
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			g := fam.make(5)
+			sources := []int{0, g.N() / 2}
+			for _, h := range []int{2, 5} {
+				p, err := PipelinedHKSSP(g, PipelineOpts{Sources: sources, H: h})
+				if err != nil {
+					t.Fatalf("pipeline h=%d: %v", h, err)
+				}
+				bf, err := BellmanFordHKSSP(g, BellmanFordOpts{Sources: sources, H: h})
+				if err != nil {
+					t.Fatalf("bellman h=%d: %v", h, err)
+				}
+				for i, s := range sources {
+					want := ExactHHop(g, s, h)
+					for v := 0; v < g.N(); v++ {
+						if p.Dist[i][v] != want[v] || bf.Dist[i][v] != want[v] {
+							t.Fatalf("h=%d src %d v %d: pipeline %d bellman %d want %d",
+								h, s, v, p.Dist[i][v], bf.Dist[i][v], want[v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCSSSPConsistentAcrossFamilies(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			g := fam.make(7)
+			sources := []int{0, g.N() / 3, 2 * g.N() / 3}
+			coll, err := BuildCSSSP(g, sources, 3, 0)
+			if err != nil {
+				t.Fatalf("cssp: %v", err)
+			}
+			if bad := coll.Verify(g); len(bad) != 0 {
+				t.Fatalf("CSSSP violation: %s", bad[0])
+			}
+			if bad := coll.VerifyLemmas(); len(bad) != 0 {
+				t.Fatalf("lemma violation: %s", bad[0])
+			}
+			blk, err := ComputeBlockerSet(g, coll)
+			if err != nil {
+				t.Fatalf("blocker: %v", err)
+			}
+			if bad := VerifyBlockerCoverage(coll, blk.Q); len(bad) != 0 {
+				t.Fatalf("coverage violation: %s", bad[0])
+			}
+		})
+	}
+}
+
+// TestLargeScaleStress runs a bigger instance end-to-end; skipped with
+// -short to keep the quick cycle fast.
+func TestLargeScaleStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	g := RandomGraph(96, 380, GenOpts{Seed: 42, MaxW: 12, ZeroFrac: 0.3, Directed: true})
+	res, err := PipelinedAPSP(g, 0)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	want := ExactAPSP(g)
+	wrong := 0
+	for s := 0; s < g.N(); s++ {
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[s][v] != want[s][v] {
+				wrong++
+			}
+		}
+	}
+	if wrong != 0 {
+		t.Fatalf("%d wrong of %d", wrong, g.N()*g.N())
+	}
+	if int64(res.Stats.Rounds) > res.Bound {
+		t.Logf("rounds %d vs bound %d (informational)", res.Stats.Rounds, res.Bound)
+	}
+	sum := fmt.Sprintf("n=%d rounds=%d msgs=%d", g.N(), res.Stats.Rounds, res.Stats.Messages)
+	t.Log(sum)
+}

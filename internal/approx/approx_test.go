@@ -1,0 +1,141 @@
+package approx
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/graph"
+)
+
+// TestDifferentialSweep sweeps small instances: stretch must stay within
+// 1+ε and classifications (zero/unreachable) must be exact.
+func TestDifferentialSweep(t *testing.T) {
+	difftest.Search(t, difftest.Space{SeedsPerSize: 8, MaxK: 1, ZeroFrac: 0.4}, func(in difftest.Instance) error {
+		res, err := Run(in.G, Opts{Eps: 0.5})
+		if err != nil {
+			return err
+		}
+		stretch, mismatches := CheckStretch(in.G, res)
+		if mismatches != 0 {
+			return fmt.Errorf("%d structural mismatches", mismatches)
+		}
+		if stretch > 1.5 {
+			return fmt.Errorf("stretch %.4f exceeds 1.5", stretch)
+		}
+		return nil
+	})
+}
+
+func TestStretchWithinEps(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.Random(24, 80, graph.GenOpts{Seed: seed, MaxW: 9, ZeroFrac: 0.3, Directed: seed%2 == 0})
+		eps := 0.5
+		res, err := Run(g, Opts{Eps: eps})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		stretch, mismatches := CheckStretch(g, res)
+		if mismatches != 0 {
+			t.Fatalf("seed %d: %d structural mismatches", seed, mismatches)
+		}
+		if stretch > 1+eps {
+			t.Fatalf("seed %d: stretch %.4f exceeds 1+ε = %.2f", seed, stretch, 1+eps)
+		}
+	}
+}
+
+func TestTighterEps(t *testing.T) {
+	g := graph.Random(20, 60, graph.GenOpts{Seed: 7, MaxW: 6, ZeroFrac: 0.4, Directed: true})
+	for _, eps := range []float64{0.25, 1.0} {
+		res, err := Run(g, Opts{Eps: eps})
+		if err != nil {
+			t.Fatalf("eps %v: %v", eps, err)
+		}
+		stretch, mismatches := CheckStretch(g, res)
+		if mismatches != 0 {
+			t.Fatalf("eps %v: %d mismatches", eps, mismatches)
+		}
+		if stretch > 1+eps {
+			t.Fatalf("eps %v: stretch %.4f too large", eps, stretch)
+		}
+	}
+}
+
+func TestZeroPairsExact(t *testing.T) {
+	// Pairs connected by zero-weight paths must come out exactly 0: the
+	// whole point of the zero-reachability phase.
+	g := graph.New(5, true)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(2, 3, 7)
+	g.MustAddEdge(3, 4, 0)
+	res, err := Run(g, Opts{Eps: 0.5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Scaled[0][2] != 0 {
+		t.Fatalf("zero pair (0,2) = %d", res.Scaled[0][2])
+	}
+	if res.Scaled[0][4] == 0 || res.Scaled[0][4] >= graph.Inf {
+		t.Fatalf("pair (0,4) = %d, want positive finite", res.Scaled[0][4])
+	}
+	if v := res.Value(0, 4); v < 7 || v > 7*1.5 {
+		t.Fatalf("Value(0,4) = %v, want within [7, 10.5]", v)
+	}
+}
+
+func TestUnreachablePairs(t *testing.T) {
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(2, 1, 3)
+	res, err := Run(g, Opts{Eps: 0.5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Scaled[0][2] < graph.Inf {
+		t.Fatalf("unreachable pair got %d", res.Scaled[0][2])
+	}
+}
+
+func TestSubsetSources(t *testing.T) {
+	g := graph.Grid(4, 5, graph.GenOpts{Seed: 3, MaxW: 5, ZeroFrac: 0.25})
+	res, err := Run(g, Opts{Sources: []int{0, 19}, Eps: 0.5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	stretch, mismatches := CheckStretch(g, res)
+	if mismatches != 0 || stretch > 1.5 {
+		t.Fatalf("stretch %.4f mismatches %d", stretch, mismatches)
+	}
+}
+
+func TestRoundsScaleShape(t *testing.T) {
+	// Rounds should grow roughly linearly in n for fixed ε (the paper's
+	// O((n/ε²)·log n) shape): check the ratio between n and 2n stays far
+	// below quadratic growth.
+	eps := 0.5
+	rounds := func(n int) int {
+		g := graph.Random(n, 3*n, graph.GenOpts{Seed: 11, MaxW: 4, ZeroFrac: 0.3, Directed: true})
+		res, err := Run(g, Opts{Eps: eps})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		return res.Stats.Rounds
+	}
+	r1, r2 := rounds(16), rounds(32)
+	if r2 > 8*r1 {
+		t.Fatalf("rounds grew superlinearly: %d -> %d", r1, r2)
+	}
+	t.Logf("rounds: n=16 -> %d, n=32 -> %d", r1, r2)
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.Path(3, graph.GenOpts{Seed: 1, MaxW: 3})
+	if _, err := Run(g, Opts{Eps: 0}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := Run(g, Opts{Eps: 0.5, Sources: []int{}}); err == nil {
+		t.Fatal("empty sources accepted")
+	}
+}

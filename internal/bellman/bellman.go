@@ -1,0 +1,202 @@
+// Package bellman implements distributed Bellman–Ford in the CONGEST model:
+// the classical baseline the paper compares against ("an implementation
+// using Bellman-Ford would give an O(n·h)-round bound", Sec. III), and the
+// per-blocker full-SSSP routine used by Step 3 of Algorithm 3.
+//
+// For k sources and hop bound h the sources are round-robined over slots:
+// in round r = (t−1)·k + j (block t ∈ 1..h, slot j ∈ 1..k) every node whose
+// estimate for source j changed since its last broadcast sends it. One
+// relaxation wave per source per block yields exactly the ≤h-hop distances
+// in at most h·k + 1 rounds, zero-weight edges included (Bellman–Ford is
+// indifferent to zero weights — it is slow, not wrong, which is why it is
+// the safe baseline).
+package bellman
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// estimate is the wire payload: a distance estimate for one source.
+type estimate struct {
+	src int
+	d   int64
+}
+
+// Words reports the message size in words.
+func (estimate) Words() int { return 2 }
+
+// Opts configures a run.
+type Opts struct {
+	// Sources are the source node IDs. Required.
+	Sources []int
+	// H is the hop bound (each source performs H relaxation waves).
+	// Required.
+	H int
+	// Seed distances: if non-nil, Seed[i][v] initializes node v's distance
+	// for source i instead of the default (0 at the source, Inf elsewhere).
+	// Used for extension-style computations.
+	Seed [][]int64
+	// MaxRounds and Workers are passed to the engine.
+	MaxRounds int
+	Workers   int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Dist   [][]int64 // Dist[i][v]: ≤H-hop distance from Sources[i] to v
+	Parent [][]int   // predecessor of v for Sources[i]; -1 if none
+	Stats  congest.Stats
+}
+
+type node struct {
+	id   int
+	opts *Opts
+
+	dist     []int64 // live merged estimates
+	snap     []int64 // snapshot at the start of the current block: d^(t-1)
+	lastSent []int64 // last broadcast value per source (Inf = never)
+	parent   []int
+	srcIdx   map[int]int
+	inW      map[int]int64
+	cur      int // last round executed
+}
+
+func (nd *node) Init(ctx *congest.Context) {
+	k := len(nd.opts.Sources)
+	nd.dist = make([]int64, k)
+	nd.snap = make([]int64, k)
+	nd.lastSent = make([]int64, k)
+	nd.parent = make([]int, k)
+	nd.srcIdx = make(map[int]int, k)
+	for i, s := range nd.opts.Sources {
+		nd.srcIdx[s] = i
+		nd.dist[i] = graph.Inf
+		nd.lastSent[i] = graph.Inf
+		nd.parent[i] = -1
+		if nd.opts.Seed != nil && nd.opts.Seed[i][nd.id] < graph.Inf {
+			nd.dist[i] = nd.opts.Seed[i][nd.id]
+			nd.parent[i] = nd.id
+		}
+		if s == nd.id && nd.dist[i] > 0 {
+			nd.dist[i] = 0
+			nd.parent[i] = nd.id
+		}
+	}
+	copy(nd.snap, nd.dist)
+	nd.inW = make(map[int]int64)
+	for _, e := range ctx.InEdges() {
+		if w, ok := nd.inW[e.From]; !ok || e.W < w {
+			nd.inW[e.From] = e.W
+		}
+	}
+}
+
+// Round implements one slot of the round-robin schedule. The snapshot taken
+// at each block start makes every block exactly one synchronous relaxation
+// wave (iteration t broadcasts d^(t-1) values only), so after H blocks the
+// estimates are exactly the ≤H-hop distances — values never leak between
+// slots of the same block, which would let a path advance several hops per
+// block and undershoot the h-hop semantics.
+func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
+	nd.cur = r
+	for _, m := range inbox {
+		est := m.Payload.(estimate)
+		w, ok := nd.inW[m.From]
+		if !ok {
+			continue
+		}
+		i, ok := nd.srcIdx[est.src]
+		if !ok {
+			ctx.Failf("estimate for unknown source %d", est.src)
+			return
+		}
+		if d := est.d + w; d < nd.dist[i] {
+			nd.dist[i] = d
+			nd.parent[i] = m.From
+		}
+	}
+	k := len(nd.opts.Sources)
+	if r > nd.opts.H*k {
+		return // all H relaxation waves dispatched; keep merging only
+	}
+	if (r-1)%k == 0 {
+		copy(nd.snap, nd.dist) // block start: freeze d^(t-1)
+	}
+	j := (r - 1) % k
+	if nd.snap[j] < graph.Inf && nd.snap[j] != nd.lastSent[j] {
+		ctx.Broadcast(estimate{src: nd.opts.Sources[j], d: nd.snap[j]})
+		nd.lastSent[j] = nd.snap[j]
+	}
+}
+
+func (nd *node) Quiescent() bool {
+	if nd.cur >= nd.opts.H*len(nd.opts.Sources) {
+		return true
+	}
+	for i := range nd.dist {
+		if nd.dist[i] != nd.lastSent[i] && nd.dist[i] < graph.Inf {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes distributed Bellman–Ford per Opts.
+func Run(g *graph.Graph, opts Opts) (*Result, error) {
+	if len(opts.Sources) == 0 {
+		return nil, fmt.Errorf("bellman: no sources")
+	}
+	if opts.H <= 0 {
+		return nil, fmt.Errorf("bellman: hop bound H=%d must be positive", opts.H)
+	}
+	for _, s := range opts.Sources {
+		if s < 0 || s >= g.N() {
+			return nil, fmt.Errorf("bellman: source %d out of range", s)
+		}
+	}
+	if opts.Seed != nil && len(opts.Seed) != len(opts.Sources) {
+		return nil, fmt.Errorf("bellman: Seed rows %d != sources %d", len(opts.Seed), len(opts.Sources))
+	}
+	nodes := make([]*node, g.N())
+	stats, err := congest.Run(g, func(v int) congest.Node {
+		nodes[v] = &node{id: v, opts: &opts}
+		return nodes[v]
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Dist:   make([][]int64, len(opts.Sources)),
+		Parent: make([][]int, len(opts.Sources)),
+		Stats:  stats,
+	}
+	for i := range opts.Sources {
+		res.Dist[i] = make([]int64, g.N())
+		res.Parent[i] = make([]int, g.N())
+		for v, nd := range nodes {
+			res.Dist[i][v] = nd.dist[i]
+			res.Parent[i][v] = nd.parent[i]
+		}
+	}
+	return res, nil
+}
+
+// FullSSSP computes unrestricted single-source shortest paths from src
+// (hop bound n−1, sufficient for any simple path).
+func FullSSSP(g *graph.Graph, src int) (*Result, error) {
+	h := g.N() - 1
+	if h < 1 {
+		h = 1
+	}
+	return Run(g, Opts{Sources: []int{src}, H: h})
+}
+
+// FullReverseSSSP computes distances TO dst from every node by running
+// forward SSSP on the reversed graph (the communication graph is identical,
+// so the round cost is the honest cost).
+func FullReverseSSSP(g *graph.Graph, dst int) (*Result, error) {
+	return FullSSSP(g.Reverse(), dst)
+}

@@ -1,0 +1,359 @@
+// Package congest simulates the CONGEST model of distributed computation
+// (paper Sec. I-B): n processors on the nodes of a graph proceed in
+// synchronous rounds; in each round a node may send one O(log n)-bit message
+// along each incident communication link and receives, at the start of the
+// next round, the messages sent to it in the previous round.
+//
+// The simulator is the cost substrate for every algorithm in this
+// repository: it counts rounds and messages, tracks per-link congestion, and
+// *enforces* the model — an oversized payload or two messages pushed on the
+// same link direction in one round is an error, not a silent success.
+//
+// Communication always uses the underlying undirected graph of the input,
+// even for directed inputs, exactly as the paper assumes.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Payload is implemented by message payloads. Words reports the payload size
+// in O(log n)-bit machine words so the engine can enforce the bandwidth
+// bound.
+type Payload interface {
+	Words() int
+}
+
+// Message is a single CONGEST message in flight.
+type Message struct {
+	From, To int
+	Payload  Payload
+}
+
+// Node is a processor's algorithm. The engine calls Init once (the paper's
+// round 0, in which state is set up but nothing is sent), then Round once
+// per communication round with the messages sent to this node in the
+// previous round, sorted by sender.
+//
+// Quiescent must report true when the node will send no further messages
+// unless it first receives one; the engine halts when every node is
+// quiescent and no messages are in flight.
+type Node interface {
+	Init(ctx *Context)
+	Round(ctx *Context, r int, inbox []Message)
+	Quiescent() bool
+}
+
+// Context gives a node its local view: its ID, its incident edges, and the
+// send primitives. Nodes must not retain references to inbox slices across
+// rounds.
+type Context struct {
+	id  int
+	g   *graph.Graph
+	eng *engine
+	out []Message
+	err error
+}
+
+// ID returns this node's identifier in 0..N()-1.
+func (c *Context) ID() int { return c.id }
+
+// N returns the number of nodes in the network (known to all nodes, as is
+// standard in the CONGEST model).
+func (c *Context) N() int { return c.g.N() }
+
+// OutEdges returns the weighted arcs leaving this node.
+func (c *Context) OutEdges() []graph.Edge { return c.g.Out(c.id) }
+
+// InEdges returns the weighted arcs entering this node.
+func (c *Context) InEdges() []graph.Edge { return c.g.In(c.id) }
+
+// Neighbors returns this node's neighbors in the communication graph,
+// ascending.
+func (c *Context) Neighbors() []int { return c.g.CommNeighbors(c.id) }
+
+// Degree returns the communication degree of this node.
+func (c *Context) Degree() int { return c.g.Degree(c.id) }
+
+// Send stages a message to neighbor "to" for delivery next round.
+func (c *Context) Send(to int, p Payload) {
+	c.out = append(c.out, Message{From: c.id, To: to, Payload: p})
+}
+
+// Broadcast stages the same message to every communication neighbor.
+func (c *Context) Broadcast(p Payload) {
+	for _, to := range c.g.CommNeighbors(c.id) {
+		c.out = append(c.out, Message{From: c.id, To: to, Payload: p})
+	}
+}
+
+// Fail records an algorithm-level error; the engine aborts the run and
+// returns it.
+func (c *Context) Fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Failf is Fail with formatting.
+func (c *Context) Failf(format string, args ...interface{}) {
+	c.Fail(fmt.Errorf(format, args...))
+}
+
+// Config controls an engine run. The zero value is usable.
+type Config struct {
+	// MaxRounds aborts the run with an error after this many rounds
+	// (default 1<<22). Algorithms with proven round bounds should pass
+	// their bound plus slack so runaway bugs surface as errors.
+	MaxRounds int
+	// MaxWordsPerMessage is the bandwidth bound B in words (default 8;
+	// a CONGEST message is O(log n) bits, i.e. O(1) words of log n bits).
+	MaxWordsPerMessage int
+	// Workers bounds the goroutines stepping nodes within a round. The
+	// default is adaptive: 1 for networks under 128 nodes (the per-round
+	// barrier costs more than the tiny per-node work; see
+	// BenchmarkEngineWorkers*), GOMAXPROCS above. Results are
+	// bit-identical regardless.
+	Workers int
+	// OnRound, if set, observes (round, messages sent that round) after
+	// each round; used by experiment harnesses for timelines.
+	OnRound func(round, msgs int)
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 1 << 22
+	}
+	if c.MaxWordsPerMessage == 0 {
+		c.MaxWordsPerMessage = 8
+	}
+	if c.Workers == 0 {
+		if n < 128 {
+			c.Workers = 1
+		} else {
+			c.Workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	return c
+}
+
+// Stats reports the cost of a run in the model's terms.
+type Stats struct {
+	// Rounds is the index of the last round in which any message was sent:
+	// the algorithm's round complexity on this input.
+	Rounds int
+	// Messages is the total number of messages sent.
+	Messages int64
+	// MaxWords is the largest payload observed, in words.
+	MaxWords int
+	// MaxLinkCongestion is the maximum number of messages carried by a
+	// single link direction over the whole run (the paper's "congestion").
+	MaxLinkCongestion int
+	// MaxNodeSends is the largest total number of messages sent by any
+	// single node — a load-balance indicator (hotspots show up here, e.g.
+	// the roots of broadcast trees).
+	MaxNodeSends int
+}
+
+// Add accumulates s2 into s for multi-phase algorithms: rounds add
+// (phases run sequentially), congestion takes the max.
+func (s *Stats) Add(s2 Stats) {
+	s.Rounds += s2.Rounds
+	s.Messages += s2.Messages
+	if s2.MaxWords > s.MaxWords {
+		s.MaxWords = s2.MaxWords
+	}
+	if s2.MaxLinkCongestion > s.MaxLinkCongestion {
+		s.MaxLinkCongestion = s2.MaxLinkCongestion
+	}
+	if s2.MaxNodeSends > s.MaxNodeSends {
+		s.MaxNodeSends = s2.MaxNodeSends
+	}
+}
+
+// ErrMaxRounds is returned when a run exceeds Config.MaxRounds.
+var ErrMaxRounds = errors.New("congest: exceeded MaxRounds without quiescing")
+
+type engine struct {
+	g     *graph.Graph
+	cfg   Config
+	nodes []Node
+	ctxs  []*Context
+
+	inbox     [][]Message
+	nextIn    [][]Message
+	linkLoad  [][]int32 // per (sender, neighbor-index) message counts
+	nodeSends []int
+	seenStamp []int // per-destination round stamp for duplicate-link checks
+
+	stats Stats
+}
+
+// Run executes the algorithm created by mk (called once per node, in node
+// order) until every node is quiescent and no messages are in flight, or
+// until cfg.MaxRounds is exceeded.
+func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
+	n := g.N()
+	cfg = cfg.withDefaults(n)
+	e := &engine{
+		g:         g,
+		cfg:       cfg,
+		nodes:     make([]Node, n),
+		ctxs:      make([]*Context, n),
+		inbox:     make([][]Message, n),
+		nextIn:    make([][]Message, n),
+		linkLoad:  make([][]int32, n),
+		nodeSends: make([]int, n),
+		seenStamp: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		e.linkLoad[v] = make([]int32, g.Degree(v))
+		e.seenStamp[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		e.nodes[v] = mk(v)
+		e.ctxs[v] = &Context{id: v, g: g, eng: e}
+	}
+	for v := 0; v < n; v++ {
+		e.nodes[v].Init(e.ctxs[v])
+		if err := e.ctxs[v].err; err != nil {
+			return e.stats, fmt.Errorf("congest: node %d failed in Init: %w", v, err)
+		}
+		if len(e.ctxs[v].out) != 0 {
+			return e.stats, fmt.Errorf("congest: node %d sent during Init (the model's round 0 has no sends)", v)
+		}
+	}
+
+	for r := 1; ; r++ {
+		if r > cfg.MaxRounds {
+			return e.stats, fmt.Errorf("%w (MaxRounds=%d)", ErrMaxRounds, cfg.MaxRounds)
+		}
+		if e.allQuiescent() && e.noInflight() {
+			return e.stats, nil
+		}
+		sent, err := e.step(r)
+		if err != nil {
+			return e.stats, err
+		}
+		if sent > 0 {
+			e.stats.Rounds = r
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(r, sent)
+		}
+	}
+}
+
+func (e *engine) allQuiescent() bool {
+	for _, nd := range e.nodes {
+		if !nd.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *engine) noInflight() bool {
+	for _, in := range e.inbox {
+		if len(in) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// step runs one synchronous round: every node consumes its inbox and stages
+// sends; the engine then validates and routes the sends into next-round
+// inboxes. Returns the number of messages sent this round.
+func (e *engine) step(r int) (int, error) {
+	n := len(e.nodes)
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			e.nodes[v].Round(e.ctxs[v], r, e.inbox[v])
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for v := lo; v < hi; v++ {
+					e.nodes[v].Round(e.ctxs[v], r, e.inbox[v])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Validate and route. Single-threaded: it touches shared inboxes.
+	// Routing visits senders in ascending node order, so each destination's
+	// next-round inbox is built already sorted by sender — the delivery
+	// order the Node contract promises — without a sort.
+	sent := 0
+	for v := 0; v < n; v++ {
+		ctx := e.ctxs[v]
+		if ctx.err != nil {
+			return sent, fmt.Errorf("congest: node %d failed in round %d: %w", v, r, ctx.err)
+		}
+		if len(ctx.out) == 0 {
+			continue
+		}
+		// stamp = v*maxRounds+r would overflow; a (round, sender)-unique
+		// stamp suffices since we check one sender's batch at a time.
+		stamp := r*n + v
+		for _, m := range ctx.out {
+			li := e.g.CommIndex(m.From, m.To)
+			if li < 0 {
+				return sent, fmt.Errorf("congest: round %d: node %d sent to %d without a link", r, m.From, m.To)
+			}
+			if e.seenStamp[m.To] == stamp {
+				return sent, fmt.Errorf("congest: round %d: node %d sent two messages on link to %d", r, m.From, m.To)
+			}
+			e.seenStamp[m.To] = stamp
+			w := m.Payload.Words()
+			if w > e.cfg.MaxWordsPerMessage {
+				return sent, fmt.Errorf("congest: round %d: node %d sent %d-word message to %d (bound %d)",
+					r, m.From, w, m.To, e.cfg.MaxWordsPerMessage)
+			}
+			if w > e.stats.MaxWords {
+				e.stats.MaxWords = w
+			}
+			e.linkLoad[m.From][li]++
+			if int(e.linkLoad[m.From][li]) > e.stats.MaxLinkCongestion {
+				e.stats.MaxLinkCongestion = int(e.linkLoad[m.From][li])
+			}
+			e.nextIn[m.To] = append(e.nextIn[m.To], m)
+			sent++
+		}
+		e.nodeSends[v] += len(ctx.out)
+		if e.nodeSends[v] > e.stats.MaxNodeSends {
+			e.stats.MaxNodeSends = e.nodeSends[v]
+		}
+		ctx.out = ctx.out[:0]
+	}
+	e.stats.Messages += int64(sent)
+
+	// Deliver: swap next-round inboxes in (already sorted by sender).
+	for v := 0; v < n; v++ {
+		e.inbox[v] = e.inbox[v][:0]
+		e.inbox[v], e.nextIn[v] = e.nextIn[v], e.inbox[v]
+	}
+	return sent, nil
+}

@@ -1,0 +1,67 @@
+package congest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTimelineObserve(t *testing.T) {
+	var tl Timeline
+	tl.Observe(1, 5)
+	tl.Observe(2, 0)
+	tl.Observe(4, 7) // round 3 skipped: must be zero-filled
+	if len(tl.Counts) != 4 || tl.Counts[2] != 0 || tl.Counts[3] != 7 {
+		t.Fatalf("Counts = %v", tl.Counts)
+	}
+	if tl.Peak() != 7 || tl.Total() != 12 {
+		t.Fatalf("peak %d total %d", tl.Peak(), tl.Total())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	var tl Timeline
+	for r := 1; r <= 100; r++ {
+		tl.Observe(r, r%10)
+	}
+	s := tl.Sparkline(20)
+	if len([]rune(s)) != 20 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	if !strings.ContainsRune(s, '█') {
+		t.Fatalf("no full block in %q", s)
+	}
+	if tl.Sparkline(0) != "" {
+		t.Fatal("width 0 should render empty")
+	}
+	var empty Timeline
+	if empty.Sparkline(10) != "" {
+		t.Fatal("empty timeline should render empty")
+	}
+}
+
+func TestSparklineAllZero(t *testing.T) {
+	var tl Timeline
+	tl.Observe(1, 0)
+	tl.Observe(2, 0)
+	s := tl.Sparkline(10)
+	if s != "▁▁" {
+		t.Fatalf("all-zero sparkline = %q", s)
+	}
+}
+
+func TestTimelineWithEngine(t *testing.T) {
+	g := graph.Path(6, graph.GenOpts{Seed: 1, MaxW: 1})
+	var tl Timeline
+	stats, err := Run(g, newFlood, Config{OnRound: tl.Observe})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tl.Total() != int(stats.Messages) {
+		t.Fatalf("timeline total %d != stats messages %d", tl.Total(), stats.Messages)
+	}
+	if len(tl.Counts) < stats.Rounds {
+		t.Fatalf("timeline rounds %d < stats rounds %d", len(tl.Counts), stats.Rounds)
+	}
+}

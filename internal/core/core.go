@@ -1,0 +1,781 @@
+// Package core implements the paper's central contribution: the pipelined
+// (h,k)-SSP algorithm (Algorithm 1, Sec. II) for graphs with non-negative
+// integer edge weights, zero-weight edges included.
+//
+// Every node v maintains list_v of path entries Z = (κ, d, l, x) ordered by
+// (κ, d, x), where κ = d·γ + l and γ = √(kh/Δ). Unusually — and this is the
+// algorithm's innovation — list_v may hold several entries per source,
+// including entries known not to be shortest, governed by the Z.ν counting
+// rule (Step 13) and the INSERT eviction rule. An entry at position pos is
+// sent in round ⌈κ⌉ + pos. The paper proves (Theorem I.1) that all h-hop
+// shortest path distances from k sources arrive within
+// 2√(khΔ) + k + h rounds.
+//
+// The send schedule: the paper states the rule as equality,
+// "send Z when ⌈Z.κ + pos(Z)⌉ = r". Because pos(Z) can grow by more than
+// one between consecutive rounds (several inserts below Z while an eviction
+// lands above it), a literal implementation can skip past the equality
+// moment. This implementation therefore defaults to the lenient rule —
+// send the earliest-scheduled unsent entry whose schedule time has arrived,
+// one per round — and counts both late sends and same-round schedule
+// collisions, so the experiments quantify how often the strict rule would
+// have misfired (experiment E-INV). Opts.Strict selects the literal rule
+// for the ablation.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/key"
+)
+
+// EvictPolicy selects when the INSERT procedure's eviction rule (remove the
+// closest non-SP entry above the inserted one; paper Observation II.3) is
+// applied. The paper's text applies it to every insertion, but doing so is
+// demonstrably incorrect on small instances this repository found: an
+// insertion can evict a due-but-unsent non-SP entry that is the unique
+// carrier of a downstream node's h-hop shortest path (see
+// TestPaperModeCounterexampleEviction). The default therefore only evicts
+// entries whose information has already been broadcast; the literal policy
+// is kept for the ablation experiment A-LIT.
+type EvictPolicy int
+
+const (
+	// EvictOnlySent applies the rule on every insertion but only evicts
+	// entries that have already been sent (information already shared with
+	// all neighbors, so discarding the local copy cannot lose paths).
+	// Default.
+	EvictOnlySent EvictPolicy = iota
+	// EvictAllInserts applies the eviction rule on every insertion — the
+	// literal reading of the paper's INSERT procedure. Incorrect; kept for
+	// the ablation.
+	EvictAllInserts
+	// EvictNonSPInserts applies the eviction rule only on Step 13 (non-SP)
+	// insertions. Still incorrect (a non-SP insert can evict an unsent
+	// carrier); kept for the ablation.
+	EvictNonSPInserts
+)
+
+// Mode selects the list-maintenance discipline.
+type Mode int
+
+const (
+	// ModePareto (default) keeps, per source, the Pareto frontier of
+	// (distance, hops) pairs: an incoming entry is dropped iff some retained
+	// entry has both smaller-or-equal distance and smaller-or-equal hop
+	// count, and an inserted entry removes the entries it dominates.
+	// Dominated entries are useless for every suffix and hop budget, so
+	// this discipline is correct by construction for exact h-hop shortest
+	// paths; it retains the paper's keys and send schedule unchanged. Its
+	// per-source list size (≤ min(h,Δ)+1) can exceed the paper's
+	// Invariant 2 bound h/γ+1 — that gap is precisely where the paper's
+	// machinery loses needed entries (see ModePaper).
+	ModePareto Mode = iota
+	// ModePaper reproduces the paper's Step 13 ν-counting insertion gate
+	// and the INSERT eviction rule, with the EvictPolicy and gate-key knobs
+	// below. The literal readings are demonstrably incorrect on small
+	// instances (see counterexample_test.go); this mode exists to
+	// reproduce and measure the paper's accounting, including exactly that
+	// failure.
+	ModePaper
+)
+
+// Opts configures an Algorithm 1 run.
+type Opts struct {
+	// Sources is the source set S (the k of (h,k)-SSP). Required.
+	Sources []int
+	// H is the hop bound h. Required.
+	H int
+	// Delta is the promised bound on h-hop shortest-path distances. If 0,
+	// the safe upper bound H·maxWeight is used (correct, but a larger Δ
+	// weakens γ and costs rounds — the paper assumes Δ is known).
+	Delta int64
+	// Seed, if non-nil, gives initial known distances per source index
+	// (graph.Inf = unknown): the extension variant of Sec. II-C lifted to
+	// the multi-entry algorithm. Seeded nodes start with an entry
+	// (Seed[i][v], 0) — an already-computed distance with zero additional
+	// hops — and the run extends those by up to H further hops. A source's
+	// own entry remains (0,0) unless a smaller seed is given. Delta must
+	// then bound seed+extension distances; the auto bound accounts for the
+	// largest finite seed.
+	Seed [][]int64
+	// Mode selects the list discipline (see Mode).
+	Mode Mode
+	// Strict selects the paper's literal equality-only send rule.
+	Strict bool
+	// Evict selects the INSERT eviction policy in ModePaper (see
+	// EvictPolicy).
+	Evict EvictPolicy
+	// GateByUpdatedKey switches the Step 13 insertion gate to count the
+	// receiver's entries below the *updated* key Z.κ (one literal reading
+	// of the paper's text). The default counts entries below the *sender's*
+	// key Z⁻.κ; gating on the updated key demonstrably drops essential
+	// entries (see TestPaperModeCounterexampleGateKey). Only meaningful in
+	// ModePaper.
+	GateByUpdatedKey bool
+	// Audit enables per-insert Invariant 1 and per-round Invariant 2
+	// verification (costs time; violations are counted in the Result).
+	Audit bool
+	// MaxRounds and Workers are passed to the engine. MaxRounds defaults to
+	// a slack multiple of the paper bound.
+	MaxRounds int
+	Workers   int
+	// Trace, if set, receives a line per list event (insert, drop, evict,
+	// send); a debugging aid. Forces Workers=1 so lines are ordered.
+	Trace func(format string, args ...interface{})
+	// OnRound, if set, observes (round, messages sent that round); see
+	// congest.Timeline.
+	OnRound func(round, msgs int)
+	// SnapshotRounds, if non-empty, records each node's best distances at
+	// the end of the given rounds (ascending), exposing the algorithm's
+	// anytime behaviour (experiment E-CONV). Rounds after quiescence
+	// report the final state.
+	SnapshotRounds []int
+}
+
+// Result reports distances and the measured behaviour of the run.
+type Result struct {
+	// Sources echoes the source set; row i below belongs to Sources[i].
+	Sources []int
+	// Dist[i][v], Hops[i][v]: the h-hop shortest distance from Sources[i]
+	// to v and the minimal hop count attaining it (graph.Inf / -1 when v is
+	// not reachable within h hops).
+	Dist [][]int64
+	Hops [][]int64
+	// Parent[i][v]: the predecessor on the recorded path (last edge), -1 if
+	// none, the source itself at the source.
+	Parent [][]int
+	// Stats is the engine cost report.
+	Stats congest.Stats
+	// Bound is the paper's round bound 2√(khΔ) + k + h for this run's
+	// parameters (Lemma II.14), for direct comparison with Stats.Rounds.
+	Bound int64
+	// Delta is the Δ the run actually used.
+	Delta int64
+
+	// Schedule diagnostics (see package comment).
+	LateSends  int // sends after their scheduled round (lenient mode)
+	Collisions int // rounds at a node where ≥2 entries were due simultaneously
+	Missed     int // strict mode: due entries that could not be sent in their round
+
+	// Invariant audit (populated when Opts.Audit).
+	Inv1Violations int // inserts with r ≥ ⌈κ⌉ + pos (Lemma II.12)
+	Inv2Violations int // per-source list count exceeding h/γ + 1 (Lemma II.11)
+
+	// Snapshots[r][i][v]: best distance for Sources[i] at node v at the end
+	// of round r, for each requested SnapshotRounds entry (final state for
+	// rounds past quiescence).
+	Snapshots map[int][][]int64
+
+	// List behaviour.
+	MaxListLen   int   // max |list_v| observed (paper: ≤ γΔ + k)
+	MaxPerSource int   // max entries for one source at one node (paper: ≤ h/γ + 1)
+	Inserts      int64 // total list insertions
+	Evictions    int64 // entries removed by the INSERT eviction rule
+	NuDrops      int64 // non-SP entries rejected by the Step 13 counting rule
+	DupDrops     int64 // exact duplicate entries dropped
+}
+
+// sendItem is a lazy heap item: the entry may have moved (schedule grew) or
+// died since it was pushed.
+type sendItem struct {
+	time int64
+	seq  int64
+	e    *entry
+}
+
+type sendHeap []sendItem
+
+func (h sendHeap) Len() int { return len(h) }
+func (h sendHeap) Less(i, j int) bool {
+	return h[i].time < h[j].time || (h[i].time == h[j].time && h[i].seq < h[j].seq)
+}
+func (h sendHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sendHeap) Push(x interface{}) { *h = append(*h, x.(sendItem)) }
+func (h *sendHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// best is the node's current shortest-path record d*_v[x] with the Step 9
+// tie-break state (d, then l, then parent ID).
+type best struct {
+	d, l   int64
+	parent int
+	e      *entry // the entry carrying flag-d*, nil until first reached
+}
+
+type node struct {
+	id   int
+	opts *Opts
+
+	gamma  key.Gamma
+	srcIdx map[int]int
+	inW    map[int]int64
+
+	list    []*entry
+	perSrc  [][]*entry
+	bests   []best
+	pending int // alive entries with needSend
+	h       sendHeap
+	seq     int64
+	cur     int // last round executed
+
+	// local counters, merged into res at collection time
+	late, collisions, missed int
+	inv1, inv2               int
+	maxList, maxPer          int
+	inserts, evicts, nuDrops int64
+	dupDrops                 int64
+
+	snaps map[int][]int64 // snapshot round -> copy of best distances
+}
+
+func (nd *node) Init(ctx *congest.Context) {
+	k := len(nd.opts.Sources)
+	nd.srcIdx = make(map[int]int, k)
+	nd.bests = make([]best, k)
+	nd.perSrc = make([][]*entry, k)
+	for i, s := range nd.opts.Sources {
+		nd.srcIdx[s] = i
+		nd.bests[i] = best{d: graph.Inf, l: -1, parent: -1}
+	}
+	nd.inW = make(map[int]int64)
+	for _, e := range ctx.InEdges() {
+		if w, ok := nd.inW[e.From]; !ok || e.W < w {
+			nd.inW[e.From] = e.W
+		}
+	}
+	for i := range nd.opts.Sources {
+		d := int64(-1)
+		if nd.opts.Sources[i] == nd.id {
+			d = 0
+		}
+		if nd.opts.Seed != nil {
+			if s := nd.opts.Seed[i][nd.id]; s < graph.Inf && (d < 0 || s < d) {
+				d = s
+			}
+		}
+		if d < 0 {
+			continue
+		}
+		z := &entry{d: d, l: 0, srcIdx: i, parent: nd.id, flagSP: true, needSend: true}
+		z.ceilK = nd.gamma.CeilKappa(d, 0)
+		nd.bests[i] = best{d: d, l: 0, parent: nd.id, e: z}
+		nd.insertAt(z, nd.searchPos(z))
+		nd.schedule(z)
+	}
+}
+
+// schedule pushes an entry's current send time onto the lazy heap.
+func (nd *node) schedule(z *entry) {
+	nd.seq++
+	heap.Push(&nd.h, sendItem{time: z.ceilK + int64(z.idx) + 1, seq: nd.seq, e: z})
+}
+
+// insertAt places z at position p, shifting the tail and fixing indices.
+func (nd *node) insertAt(z *entry, p int) {
+	nd.list = append(nd.list, nil)
+	copy(nd.list[p+1:], nd.list[p:])
+	nd.list[p] = z
+	for i := p; i < len(nd.list); i++ {
+		nd.list[i].idx = i
+	}
+	nd.perSrc[z.srcIdx] = append(nd.perSrc[z.srcIdx], z)
+	if z.needSend {
+		nd.pending++
+	}
+	nd.inserts++
+	if len(nd.list) > nd.maxList {
+		nd.maxList = len(nd.list)
+	}
+	if c := len(nd.perSrc[z.srcIdx]); c > nd.maxPer {
+		nd.maxPer = c
+	}
+}
+
+// removeEntry deletes z from the list and per-source set and marks it dead.
+func (nd *node) removeEntry(z *entry) {
+	p := z.idx
+	nd.list = append(nd.list[:p], nd.list[p+1:]...)
+	for i := p; i < len(nd.list); i++ {
+		nd.list[i].idx = i
+	}
+	ps := nd.perSrc[z.srcIdx]
+	for i, e := range ps {
+		if e == z {
+			ps[i] = ps[len(ps)-1]
+			nd.perSrc[z.srcIdx] = ps[:len(ps)-1]
+			break
+		}
+	}
+	if z.needSend && !z.dead {
+		nd.pending--
+	}
+	z.dead = true
+	nd.evicts++
+}
+
+// searchPos returns the position at which z belongs in the list order.
+func (nd *node) searchPos(z *entry) int {
+	return sort.Search(len(nd.list), func(i int) bool {
+		return z.less(nd.list[i], nd.gamma, nd.opts.Sources) || z.equalKey(nd.list[i])
+	})
+}
+
+// countBefore returns the number of entries for z's source that precede z
+// in the list order (z need not be in the list).
+func (nd *node) countBefore(z *entry) int {
+	c := 0
+	for _, e := range nd.perSrc[z.srcIdx] {
+		if e.less(z, nd.gamma, nd.opts.Sources) {
+			c++
+		}
+	}
+	return c
+}
+
+// nu computes Z.ν: entries for z's source at or below z (inclusive),
+// with z on the list.
+func (nd *node) nu(z *entry) int { return nd.countBefore(z) + 1 }
+
+// insert performs the paper's INSERT procedure: place z in sorted order,
+// then (policy permitting) evict the closest non-SP entry for the same
+// source above z.
+func (nd *node) insert(z *entry, r int) {
+	p := nd.searchPos(z)
+	nd.insertAt(z, p)
+	if nd.opts.Audit {
+		// Invariant 1 (Lemma II.12): an entry added in round r satisfies
+		// r < ⌈κ⌉ + pos. Messages processed in engine round r were sent in
+		// round r−1, which is the paper's "added in round r−1".
+		if int64(r-1) >= z.ceilK+int64(z.idx)+1 {
+			nd.inv1++
+		}
+	}
+	if nd.opts.Evict != EvictNonSPInserts || !z.flagSP {
+		// Eviction: closest non-SP entry for x strictly above z (policy
+		// permitting; EvictOnlySent skips entries not yet broadcast).
+		var victim *entry
+		for _, e := range nd.perSrc[z.srcIdx] {
+			if e == z || e.flagSP || e.idx <= z.idx {
+				continue
+			}
+			if nd.opts.Evict == EvictOnlySent && e.needSend {
+				continue
+			}
+			if victim == nil || e.idx < victim.idx {
+				victim = e
+			}
+		}
+		if victim != nil {
+			nd.trace("v%d EVICT (d=%d l=%d src=%d) sent=%v", nd.id, victim.d, victim.l, nd.opts.Sources[victim.srcIdx], !victim.needSend)
+			nd.removeEntry(victim)
+		}
+	}
+	nd.schedule(z)
+}
+
+// receivePareto processes an incoming entry under ModePareto: keep exactly
+// the per-source Pareto frontier of (d, l) pairs. A dominated entry is
+// useless for every suffix and hop budget (its extensions are dominated
+// too), so dropping it — and only it — cannot lose any h-hop shortest path.
+func (nd *node) receivePareto(z *entry, r int, from int) {
+	i := z.srcIdx
+	b := &nd.bests[i]
+	if z.d == b.d && z.l == b.l {
+		// Same record as the current shortest-path entry: at most the
+		// tie-break parent (smallest ID, Step 9) improves. The wire content
+		// would be identical, so no new entry is needed.
+		if from < b.parent {
+			b.parent = from
+			if b.e != nil {
+				b.e.parent = from
+			}
+		}
+		return
+	}
+	for _, e := range nd.perSrc[i] {
+		if e.d <= z.d && e.l <= z.l {
+			nd.nuDrops++
+			nd.trace("r%d v%d PARETODROP (d=%d l=%d src=%d)", r, nd.id, z.d, z.l, nd.opts.Sources[i])
+			return
+		}
+	}
+	if z.d < b.d || (z.d == b.d && z.l < b.l) {
+		if b.e != nil {
+			b.e.flagSP = false
+		}
+		z.flagSP = true
+		*b = best{d: z.d, l: z.l, parent: from, e: z}
+	}
+	z.needSend = true
+	p := nd.searchPos(z)
+	nd.insertAt(z, p)
+	nd.trace("r%d v%d INSERT pareto (d=%d l=%d src=%d) sp=%v", r, nd.id, z.d, z.l, nd.opts.Sources[i], z.flagSP)
+	// Remove the entries z dominates; they are strictly above z in the
+	// list order (κ(z) ≤ κ(e) with a strict component).
+	var victims []*entry
+	for _, e := range nd.perSrc[i] {
+		if e != z && e.d >= z.d && e.l >= z.l {
+			victims = append(victims, e)
+		}
+	}
+	for _, e := range victims {
+		nd.trace("v%d DOMINATED-REMOVE (d=%d l=%d src=%d) sent=%v", nd.id, e.d, e.l, nd.opts.Sources[i], !e.needSend)
+		nd.removeEntry(e)
+	}
+	nd.schedule(z)
+}
+
+// trace emits a debug line when Opts.Trace is set.
+func (nd *node) trace(format string, args ...interface{}) {
+	if nd.opts.Trace != nil {
+		nd.opts.Trace(format, args...)
+	}
+}
+
+func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
+	nd.cur = r
+	// Receive (Steps 3–13). Inbox is sorted by sender for determinism.
+	for _, m := range inbox {
+		msg := m.Payload.(wire)
+		w, ok := nd.inW[m.From]
+		if !ok {
+			continue // link without an arc into this node
+		}
+		i, ok := nd.srcIdx[msg.src]
+		if !ok {
+			ctx.Failf("entry for unknown source %d", msg.src)
+			return
+		}
+		d := msg.d + w
+		l := msg.l + 1
+		if l > int64(nd.opts.H) {
+			continue // beyond the hop budget: cannot be an h-hop path
+		}
+		if nd.opts.Mode == ModePareto && d > nd.opts.Delta {
+			// Under the Δ promise, every prefix of a useful path weighs at
+			// most Δ (weights are non-negative), so heavier entries are
+			// dead weight; pruning them keeps the frontier ≤ min(h,Δ)+1.
+			continue
+		}
+		if nd.id == nd.opts.Sources[i] {
+			continue // nothing improves the source's own (0,0) record
+		}
+		z := &entry{d: d, l: l, srcIdx: i, parent: m.From}
+		z.ceilK = nd.gamma.CeilKappa(d, l)
+
+		if nd.opts.Mode == ModePareto {
+			nd.receivePareto(z, r, m.From)
+			continue
+		}
+
+		b := &nd.bests[i]
+		better := d < b.d ||
+			(d == b.d && l < b.l) ||
+			(d == b.d && l == b.l && m.From < b.parent)
+		if better {
+			// Step 9–11: z is the new shortest-path entry.
+			if b.e != nil {
+				b.e.flagSP = false
+			}
+			z.flagSP = true
+			z.needSend = true
+			*b = best{d: d, l: l, parent: m.From, e: z}
+			nd.insert(z, r)
+			nd.trace("r%d v%d INSERT SP (d=%d l=%d src=%d) from %d", r, nd.id, d, l, msg.src, m.From)
+			continue
+		}
+		// Step 13: non-SP entry; insert only if fewer than ν⁻ entries for
+		// x lie below the gate key. Exact duplicates carry no information.
+		dup := false
+		for _, e := range nd.perSrc[i] {
+			if e.equalKey(z) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			nd.dupDrops++
+			continue
+		}
+		gate := z
+		if !nd.opts.GateByUpdatedKey {
+			// Count entries below the sender's key κ(Z⁻) instead of the
+			// updated κ(Z); see Opts.GateByUpdatedKey.
+			gate = &entry{d: msg.d, l: msg.l, srcIdx: i}
+		}
+		if nd.countBefore(gate) < int(msg.nu) {
+			z.needSend = true
+			nd.insert(z, r)
+			nd.trace("r%d v%d INSERT nonSP (d=%d l=%d src=%d) from %d nu=%d", r, nd.id, d, l, msg.src, m.From, msg.nu)
+		} else {
+			nd.nuDrops++
+			nd.trace("r%d v%d NUDROP (d=%d l=%d src=%d) from %d nu=%d below=%d", r, nd.id, d, l, msg.src, m.From, msg.nu, nd.countBefore(gate))
+		}
+	}
+
+	if nd.opts.Audit {
+		nd.auditInv2()
+	}
+
+	// Send (Steps 1–2): at most one entry per round, per the schedule.
+	nd.sendPhase(ctx, r)
+
+	for _, sr := range nd.opts.SnapshotRounds {
+		if sr == r {
+			if nd.snaps == nil {
+				nd.snaps = make(map[int][]int64)
+			}
+			row := make([]int64, len(nd.bests))
+			for i, b := range nd.bests {
+				row[i] = b.d
+			}
+			nd.snaps[sr] = row
+		}
+	}
+}
+
+// sendPhase pops due heap items lazily and sends at most one entry.
+func (nd *node) sendPhase(ctx *congest.Context, r int) {
+	var candidate *entry
+	var candSched int64
+	requeue := nd.h[:0:0] // collected due-but-not-sent items to re-push
+	for nd.h.Len() > 0 && nd.h[0].time <= int64(r) {
+		it := heap.Pop(&nd.h).(sendItem)
+		z := it.e
+		if z.dead || !z.needSend {
+			continue
+		}
+		sched := z.ceilK + int64(z.idx) + 1
+		if sched > int64(r) {
+			nd.schedule(z) // schedule moved into the future; re-arm
+			continue
+		}
+		if nd.opts.Strict && sched < int64(r) {
+			// Missed its equality moment; it may become due again if its
+			// position grows, so keep probing each round.
+			nd.missed++
+			nd.seq++
+			requeue = append(requeue, sendItem{time: int64(r) + 1, seq: nd.seq, e: z})
+			continue
+		}
+		if candidate == nil {
+			candidate, candSched = z, sched
+			continue
+		}
+		// A second due entry this round. It is a schedule collision in the
+		// paper's sense only when both entries hit their equality moment in
+		// this exact round (backlogged overdue entries are counted as late
+		// sends instead).
+		if sched == int64(r) && candSched == int64(r) {
+			nd.collisions++
+		}
+		keep, keepSched := candidate, candSched
+		other := z
+		otherSched := sched
+		// Earliest schedule wins; ties by list order.
+		if otherSched < keepSched || (otherSched == keepSched && other.idx < keep.idx) {
+			keep, keepSched, other = other, otherSched, keep
+		}
+		candidate, candSched = keep, keepSched
+		nd.seq++
+		requeue = append(requeue, sendItem{time: int64(r) + 1, seq: nd.seq, e: other})
+	}
+	for _, it := range requeue {
+		heap.Push(&nd.h, it)
+	}
+	if candidate == nil {
+		return
+	}
+	if candSched < int64(r) {
+		nd.late++
+	}
+	z := candidate
+	z.needSend = false
+	nd.pending--
+	nd.trace("r%d v%d SEND (d=%d l=%d src=%d) sp=%v nu=%d sched=%d", r, nd.id, z.d, z.l, nd.opts.Sources[z.srcIdx], z.flagSP, nd.nu(z), candSched)
+	ctx.Broadcast(wire{d: z.d, l: z.l, src: nd.opts.Sources[z.srcIdx], sp: z.flagSP, nu: int32(nd.nu(z))})
+}
+
+// auditInv2 checks Lemma II.11: per-source entry count ≤ h/γ + 1, i.e.
+// (count−1)² · k ≤ h · Δ, exactly in integers.
+func (nd *node) auditInv2() {
+	h := int64(nd.opts.H)
+	k := int64(len(nd.opts.Sources))
+	for _, ps := range nd.perSrc {
+		c := int64(len(ps)) - 1
+		if c <= 0 {
+			continue
+		}
+		if c*c*k > h*nd.opts.Delta {
+			nd.inv2++
+		}
+	}
+}
+
+func (nd *node) Quiescent() bool {
+	if !nd.opts.Strict {
+		return nd.pending == 0
+	}
+	// Strict: a pending entry can fire later only with a future schedule;
+	// overdue entries re-fire only if their position grows via a receive.
+	for _, z := range nd.list {
+		if z.needSend && z.ceilK+int64(z.idx)+1 > int64(nd.cur) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes Algorithm 1 on g.
+func Run(g *graph.Graph, opts Opts) (*Result, error) {
+	if len(opts.Sources) == 0 {
+		return nil, fmt.Errorf("core: no sources")
+	}
+	if opts.H <= 0 {
+		return nil, fmt.Errorf("core: hop bound H=%d must be positive", opts.H)
+	}
+	seen := make(map[int]bool)
+	for _, s := range opts.Sources {
+		if s < 0 || s >= g.N() {
+			return nil, fmt.Errorf("core: source %d out of range", s)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("core: duplicate source %d", s)
+		}
+		seen[s] = true
+	}
+	if opts.Seed != nil && len(opts.Seed) != len(opts.Sources) {
+		return nil, fmt.Errorf("core: Seed rows %d != sources %d", len(opts.Seed), len(opts.Sources))
+	}
+	var maxSeed int64
+	if opts.Seed != nil {
+		for i := range opts.Seed {
+			if len(opts.Seed[i]) != g.N() {
+				return nil, fmt.Errorf("core: Seed row %d has %d entries, want %d", i, len(opts.Seed[i]), g.N())
+			}
+			for _, s := range opts.Seed[i] {
+				if s < 0 {
+					return nil, fmt.Errorf("core: negative seed distance %d", s)
+				}
+				if s < graph.Inf && s > maxSeed {
+					maxSeed = s
+				}
+			}
+		}
+	}
+	if opts.Delta == 0 {
+		opts.Delta = int64(opts.H)*g.MaxWeight() + maxSeed
+		if opts.Delta < 1 {
+			opts.Delta = 1
+		}
+	}
+	k := len(opts.Sources)
+	bound := key.Bound(k, opts.H, opts.Delta)
+	if opts.MaxRounds == 0 {
+		mr := 16*bound + 1024
+		if mr > int64(1<<30) {
+			mr = 1 << 30
+		}
+		opts.MaxRounds = int(mr)
+	}
+	gamma := key.New(k, opts.H, opts.Delta)
+	if opts.Trace != nil {
+		opts.Workers = 1
+	}
+
+	res := &Result{Sources: append([]int(nil), opts.Sources...), Bound: bound, Delta: opts.Delta}
+	nodes := make([]*node, g.N())
+	stats, err := congest.Run(g, func(v int) congest.Node {
+		nodes[v] = &node{id: v, opts: &opts, gamma: gamma}
+		return nodes[v]
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, OnRound: opts.OnRound})
+	res.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+
+	res.Dist = make([][]int64, k)
+	res.Hops = make([][]int64, k)
+	res.Parent = make([][]int, k)
+	for i := 0; i < k; i++ {
+		res.Dist[i] = make([]int64, g.N())
+		res.Hops[i] = make([]int64, g.N())
+		res.Parent[i] = make([]int, g.N())
+		for v, nd := range nodes {
+			b := nd.bests[i]
+			res.Dist[i][v] = b.d
+			res.Hops[i][v] = b.l
+			res.Parent[i][v] = b.parent
+		}
+	}
+	if len(opts.SnapshotRounds) > 0 {
+		res.Snapshots = make(map[int][][]int64, len(opts.SnapshotRounds))
+		for _, sr := range opts.SnapshotRounds {
+			snap := make([][]int64, k)
+			for i := 0; i < k; i++ {
+				snap[i] = make([]int64, g.N())
+				for v, nd := range nodes {
+					if row, ok := nd.snaps[sr]; ok {
+						snap[i][v] = row[i]
+					} else {
+						snap[i][v] = nd.bests[i].d // run ended before sr
+					}
+				}
+			}
+			res.Snapshots[sr] = snap
+		}
+	}
+	for _, nd := range nodes {
+		res.LateSends += nd.late
+		res.Collisions += nd.collisions
+		res.Missed += nd.missed
+		res.Inv1Violations += nd.inv1
+		res.Inv2Violations += nd.inv2
+		if nd.maxList > res.MaxListLen {
+			res.MaxListLen = nd.maxList
+		}
+		if nd.maxPer > res.MaxPerSource {
+			res.MaxPerSource = nd.maxPer
+		}
+		res.Inserts += nd.inserts
+		res.Evictions += nd.evicts
+		res.NuDrops += nd.nuDrops
+		res.DupDrops += nd.dupDrops
+	}
+	return res, nil
+}
+
+// APSP runs Algorithm 1 with every node a source and hop bound n−1
+// (sufficient for any shortest path), realizing Theorem I.1(ii):
+// APSP in 2n√Δ + 2n rounds for shortest-path distances at most Δ.
+func APSP(g *graph.Graph, delta int64, strict bool) (*Result, error) {
+	sources := make([]int, g.N())
+	for v := range sources {
+		sources[v] = v
+	}
+	h := g.N() - 1
+	if h < 1 {
+		h = 1
+	}
+	return Run(g, Opts{Sources: sources, H: h, Delta: delta, Strict: strict})
+}
+
+// KSSP runs Algorithm 1 for k given sources with hop bound n−1, realizing
+// Theorem I.1(iii).
+func KSSP(g *graph.Graph, sources []int, delta int64, strict bool) (*Result, error) {
+	h := g.N() - 1
+	if h < 1 {
+		h = 1
+	}
+	return Run(g, Opts{Sources: sources, H: h, Delta: delta, Strict: strict})
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/difftest"
+)
+
+// TestDifferentialSweep sweeps small random instances against the h-hop
+// oracle; this is the harness that originally found the counterexamples in
+// counterexample_test.go, kept green as a permanent regression sweep.
+func TestDifferentialSweep(t *testing.T) {
+	checked := difftest.Search(t, difftest.Space{}, func(in difftest.Instance) error {
+		res, err := Run(in.G, Opts{Sources: in.Sources, H: in.H})
+		if err != nil {
+			return err
+		}
+		return difftest.HHopOracle(in, res.Dist)
+	})
+	if checked == 0 {
+		t.Fatal("no instances checked")
+	}
+}
+
+// TestDifferentialSweepUndirected covers the undirected case.
+func TestDifferentialSweepUndirected(t *testing.T) {
+	difftest.Search(t, difftest.Space{Undirected: true, SeedsPerSize: 15}, func(in difftest.Instance) error {
+		res, err := Run(in.G, Opts{Sources: in.Sources, H: in.H})
+		if err != nil {
+			return err
+		}
+		return difftest.HHopOracle(in, res.Dist)
+	})
+}
+
+// TestDifferentialSweepHighZero stresses the zero-weight regime.
+func TestDifferentialSweepHighZero(t *testing.T) {
+	difftest.Search(t, difftest.Space{ZeroFrac: 0.6, SeedsPerSize: 20, H: 6}, func(in difftest.Instance) error {
+		res, err := Run(in.G, Opts{Sources: in.Sources, H: in.H})
+		if err != nil {
+			return err
+		}
+		return difftest.HHopOracle(in, res.Dist)
+	})
+}

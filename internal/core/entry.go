@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/key"
+)
+
+// entry is one element Z of list_v (paper Table II): a path record
+// (κ, d, l, x) with κ = d·γ + l represented implicitly by (d, l) and
+// compared exactly through key.Gamma.
+type entry struct {
+	d, l   int64 // weighted distance and hop length of the path
+	srcIdx int   // index of source x in Opts.Sources
+	parent int   // the neighbor the entry arrived from (source itself at origin)
+
+	flagSP   bool // Z.flag-d*: currently the shortest-path entry for x at v
+	needSend bool // scheduled but not yet sent
+	dead     bool // removed from the list (heap entries are lazy)
+
+	idx   int   // current position in the list (0-based; pos = idx+1)
+	ceilK int64 // cached ⌈κ⌉ = ⌈d·γ⌉ + l
+}
+
+// less is the total list order (κ, d, x): keys ascending, ties by distance,
+// then by source label (paper Sec. II-A: "ordered by key value κ, with ties
+// first resolved by the value of d, and then by the label of the source
+// vertex").
+func (z *entry) less(o *entry, g key.Gamma, sources []int) bool {
+	if c := g.Cmp(z.d, z.l, o.d, o.l); c != 0 {
+		return c < 0
+	}
+	if z.d != o.d {
+		return z.d < o.d
+	}
+	return sources[z.srcIdx] < sources[o.srcIdx]
+}
+
+// equalKey reports whether two entries occupy the same position in the
+// total order: identical (d, l, x) (κ is a function of d and l).
+func (z *entry) equalKey(o *entry) bool {
+	return z.d == o.d && z.l == o.l && z.srcIdx == o.srcIdx
+}
+
+// wire is the message payload M = (Z, Z.flag-d*, Z.ν) of Step 2.
+type wire struct {
+	d, l int64
+	src  int // source node ID (not index: IDs are what travel on the wire)
+	sp   bool
+	nu   int32 // Z.ν: entries for x at or below Z on the sender's list
+}
+
+// Words reports the CONGEST size: d, l, src, ν and the flag packed with ν.
+func (wire) Words() int { return 4 }

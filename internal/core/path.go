@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ReconstructPath rebuilds the recorded shortest path from Sources[i] to v
+// by walking parent pointers, validating tightness edge by edge: each step
+// (p, u) must satisfy dist[p] + w(p,u) == dist[u] and hops[p]+1 == hops[u].
+//
+// For unrestricted runs (h ≥ n−1) the walk always succeeds. For genuinely
+// hop-bounded runs it can fail even though every individual distance is
+// correct: a prefix of an h-hop shortest path need not be an h-hop
+// shortest path (the paper's Figure 1), so an ancestor's recorded entry
+// may belong to a different path. That is not a defect of the run —
+// reconstructing h-hop paths requires the CSSSP machinery of Sec. III
+// (package cssp), and the error message says so.
+func ReconstructPath(g *graph.Graph, res *Result, i, v int) ([]int, error) {
+	if i < 0 || i >= len(res.Sources) {
+		return nil, fmt.Errorf("core: source index %d out of range", i)
+	}
+	if v < 0 || v >= g.N() {
+		return nil, fmt.Errorf("core: node %d out of range", v)
+	}
+	src := res.Sources[i]
+	if res.Dist[i][v] >= graph.Inf {
+		return nil, fmt.Errorf("core: %d unreachable from %d within %d hops", v, src, len(res.Dist[i]))
+	}
+	var rev []int
+	cur := v
+	for steps := 0; ; steps++ {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+		if steps > g.N() {
+			return nil, fmt.Errorf("core: parent walk from %d cycles", v)
+		}
+		p := res.Parent[i][cur]
+		if p < 0 {
+			return nil, fmt.Errorf("core: broken parent chain at %d", cur)
+		}
+		w, ok := g.Weight(p, cur)
+		if !ok {
+			return nil, fmt.Errorf("core: recorded parent arc (%d,%d) not in graph", p, cur)
+		}
+		if res.Dist[i][p]+w != res.Dist[i][cur] || res.Hops[i][p]+1 != res.Hops[i][cur] {
+			return nil, fmt.Errorf(
+				"core: parent records diverge at %d→%d (the Figure-1 phenomenon; use package cssp for consistent h-hop paths)",
+				p, cur)
+		}
+		cur = p
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev, nil
+}
+
+// PathWeight sums the arc weights along path (using minimum parallel
+// weights), returning an error if an arc is missing.
+func PathWeight(g *graph.Graph, path []int) (int64, error) {
+	var total int64
+	for j := 0; j+1 < len(path); j++ {
+		w, ok := g.Weight(path[j], path[j+1])
+		if !ok {
+			return 0, fmt.Errorf("core: no arc (%d,%d)", path[j], path[j+1])
+		}
+		total += w
+	}
+	return total, nil
+}

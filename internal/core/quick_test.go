@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Property: the Pareto-pipelined (h,k)-SSP equals the sequential h-hop DP
+// on arbitrary random instances — distances and minimal hop counts both.
+func TestQuickHKSSPMatchesReference(t *testing.T) {
+	f := func(seedRaw uint32, nRaw, hRaw, kRaw, zfRaw uint8) bool {
+		seed := int64(seedRaw)
+		n := 6 + int(nRaw%14)
+		h := 1 + int(hRaw%7)
+		k := 1 + int(kRaw%3)
+		zf := float64(zfRaw%4) / 4.0
+		g := graph.Random(n, 3*n, graph.GenOpts{Seed: seed, MaxW: 6, ZeroFrac: zf, Directed: seed%2 == 0})
+		sources := make([]int, 0, k)
+		for i := 0; i < k; i++ {
+			sources = append(sources, (i*n)/k)
+		}
+		res, err := Run(g, Opts{Sources: sources, H: h})
+		if err != nil {
+			return false
+		}
+		for i, s := range sources {
+			wantD, wantL := graph.HHopDistHops(g, s, h)
+			for v := 0; v < n; v++ {
+				if res.Dist[i][v] != wantD[v] {
+					return false
+				}
+				if wantD[v] < graph.Inf && res.Hops[i][v] != int64(wantL[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the send schedule audit never reports an Invariant-1 violation
+// (entries always arrive strictly before their schedule time).
+func TestQuickInvariant1Holds(t *testing.T) {
+	f := func(seedRaw uint32, hRaw uint8) bool {
+		seed := int64(seedRaw)
+		h := 2 + int(hRaw%8)
+		g := graph.ZeroHeavy(16, 48, 0.5, graph.GenOpts{Seed: seed, MaxW: 5, Directed: true})
+		sources := []int{0, 5, 10}
+		delta := graph.HHopDelta(g, sources, h)
+		if delta == 0 {
+			delta = 1
+		}
+		res, err := Run(g, Opts{Sources: sources, H: h, Delta: delta, Audit: true})
+		if err != nil {
+			return false
+		}
+		return res.Inv1Violations == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the per-source frontier never exceeds min(h,Δ)+1 under the
+// Pareto discipline.
+func TestQuickFrontierBound(t *testing.T) {
+	f := func(seedRaw uint32, hRaw uint8) bool {
+		seed := int64(seedRaw)
+		h := 2 + int(hRaw%10)
+		g := graph.Random(14, 42, graph.GenOpts{Seed: seed, MaxW: 7, ZeroFrac: 0.4, Directed: true})
+		sources := []int{0, 7}
+		delta := graph.HHopDelta(g, sources, h)
+		if delta == 0 {
+			delta = 1
+		}
+		res, err := Run(g, Opts{Sources: sources, H: h, Delta: delta})
+		if err != nil {
+			return false
+		}
+		bound := int64(h) + 1
+		if delta+1 < bound {
+			bound = delta + 1
+		}
+		return int64(res.MaxPerSource) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: results and stats are identical across worker counts
+// (the engine parallelizes within rounds; outcomes must not depend on it).
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.ZeroHeavy(30, 100, 0.5, graph.GenOpts{Seed: 17, MaxW: 8, Directed: true})
+	sources := []int{0, 10, 20}
+	h := 9
+	delta := graph.HHopDelta(g, sources, h)
+	run := func(workers int) *Result {
+		res, err := Run(g, Opts{Sources: sources, H: h, Delta: delta, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, w := range []int{2, 8} {
+		res := run(w)
+		if res.Stats != base.Stats {
+			t.Fatalf("workers=%d changed stats: %+v vs %+v", w, res.Stats, base.Stats)
+		}
+		for i := range sources {
+			for v := 0; v < g.N(); v++ {
+				if res.Dist[i][v] != base.Dist[i][v] || res.Parent[i][v] != base.Parent[i][v] {
+					t.Fatalf("workers=%d changed result at [%d][%d]", w, i, v)
+				}
+			}
+		}
+	}
+}
+
+// The MaxRounds guard must fire as an error, not hang, when set too low.
+func TestMaxRoundsGuard(t *testing.T) {
+	g := graph.Random(20, 60, graph.GenOpts{Seed: 1, MaxW: 5, Directed: true})
+	_, err := Run(g, Opts{Sources: []int{0}, H: 10, MaxRounds: 2})
+	if err == nil {
+		t.Fatal("MaxRounds=2 did not error")
+	}
+}
+
+// The Trace hook must receive events and force single-worker execution.
+func TestTraceHook(t *testing.T) {
+	g := graph.Path(4, graph.GenOpts{Seed: 1, MaxW: 3})
+	lines := 0
+	_, err := Run(g, Opts{Sources: []int{0}, H: 3, Trace: func(string, ...interface{}) { lines++ }})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if lines == 0 {
+		t.Fatal("trace hook never called")
+	}
+}

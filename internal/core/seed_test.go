@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// extendReference computes the expected result of the extension variant:
+// h relaxation waves from the seeded state.
+func extendReference(g *graph.Graph, seed []int64, src, h int) []int64 {
+	cur := append([]int64(nil), seed...)
+	if src >= 0 && cur[src] > 0 {
+		cur[src] = 0
+	}
+	for it := 0; it < h; it++ {
+		next := append([]int64(nil), cur...)
+		for v := 0; v < g.N(); v++ {
+			if cur[v] >= graph.Inf {
+				continue
+			}
+			for _, e := range g.Out(v) {
+				if d := cur[v] + e.W; d < next[e.To] {
+					next[e.To] = d
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestSeededExtension(t *testing.T) {
+	for seedNum := int64(0); seedNum < 5; seedNum++ {
+		g := graph.Random(22, 70, graph.GenOpts{Seed: seedNum, MaxW: 6, ZeroFrac: 0.3, Directed: true})
+		n := g.N()
+		// Two conceptual sources with scattered known frontiers.
+		seeds := make([][]int64, 2)
+		for i := range seeds {
+			seeds[i] = make([]int64, n)
+			for v := range seeds[i] {
+				seeds[i][v] = graph.Inf
+			}
+		}
+		seeds[0][3], seeds[0][9], seeds[0][15] = 4, 0, 11
+		seeds[1][7], seeds[1][19] = 2, 6
+		sources := []int{3, 7} // labels only; their own seeds apply
+		h := 5
+		res, err := Run(g, Opts{Sources: sources, H: h, Seed: seeds})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seedNum, err)
+		}
+		for i, s := range sources {
+			want := extendReference(g, seeds[i], s, h)
+			for v := 0; v < n; v++ {
+				if res.Dist[i][v] != want[v] {
+					t.Fatalf("seed %d: ext dist[%d][%d] = %d, want %d", seedNum, s, v, res.Dist[i][v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSeedZeroHeavyExtension(t *testing.T) {
+	g := graph.ZeroHeavy(20, 70, 0.5, graph.GenOpts{Seed: 8, MaxW: 7, Directed: true})
+	n := g.N()
+	seed := make([]int64, n)
+	for v := range seed {
+		seed[v] = graph.Inf
+	}
+	seed[5], seed[12] = 3, 0
+	res, err := Run(g, Opts{Sources: []int{5}, H: 6, Seed: [][]int64{seed}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := extendReference(g, seed, 5, 6)
+	for v := 0; v < n; v++ {
+		if res.Dist[0][v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[0][v], want[v])
+		}
+	}
+}
+
+func TestSeedSourceKeepsZero(t *testing.T) {
+	// A seed at the source larger than 0 must not override the source's
+	// own distance.
+	g := graph.Path(4, graph.GenOpts{Seed: 1, MaxW: 3, MinW: 1})
+	seed := []int64{9, graph.Inf, graph.Inf, graph.Inf}
+	res, err := Run(g, Opts{Sources: []int{0}, H: 3, Seed: [][]int64{seed}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dist[0][0] != 0 {
+		t.Fatalf("source distance = %d, want 0", res.Dist[0][0])
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	g := graph.Path(3, graph.GenOpts{Seed: 1, MaxW: 2})
+	if _, err := Run(g, Opts{Sources: []int{0}, H: 2, Seed: [][]int64{nil, nil}}); err == nil {
+		t.Fatal("mis-sized Seed accepted")
+	}
+	if _, err := Run(g, Opts{Sources: []int{0}, H: 2, Seed: [][]int64{{0, 1}}}); err == nil {
+		t.Fatal("short Seed row accepted")
+	}
+	if _, err := Run(g, Opts{Sources: []int{0}, H: 2, Seed: [][]int64{{0, -2, 1}}}); err == nil {
+		t.Fatal("negative seed accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package cssp
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLemmasIII6III7OnRandomFamilies(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Random(24, 80, graph.GenOpts{Seed: seed, MaxW: 6, ZeroFrac: 0.35, Directed: seed%2 == 0})
+		sources := []int{0, 6, 12, 18}
+		c, err := Build(g, sources, 3, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if bad := c.VerifyLemmas(); len(bad) != 0 {
+			t.Fatalf("seed %d: %s (and %d more)", seed, bad[0], len(bad)-1)
+		}
+	}
+}
+
+func TestLemmasOnZeroHeavy(t *testing.T) {
+	g := graph.ZeroHeavy(28, 100, 0.6, graph.GenOpts{Seed: 11, MaxW: 7, Directed: true})
+	sources := make([]int, 7)
+	for i := range sources {
+		sources[i] = i * 4
+	}
+	c, err := Build(g, sources, 4, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if bad := c.VerifyLemmas(); len(bad) != 0 {
+		t.Fatalf("%s (and %d more)", bad[0], len(bad)-1)
+	}
+}
+
+func TestVerifyInTreeDetectsViolation(t *testing.T) {
+	// Fabricate an inconsistent collection: two trees route to node 3
+	// through different successors of node 0.
+	// T_1 routes 1→4→0→3 (node 0's successor toward 3 is 3);
+	// T_2 routes 2→0→5→3 (node 0's successor toward 3 is 5): conflict.
+	c := &Collection{
+		Sources: []int{1, 2},
+		H:       3,
+		Parent: [][]int{
+			{4, 1, -1, 0, 1, -1}, // T_1: 3←0←4←1
+			{2, -1, 2, 5, -1, 0}, // T_2: 3←5←0←2
+		},
+	}
+	bad := c.VerifyInTree(3)
+	if len(bad) == 0 {
+		t.Fatal("fabricated in-tree violation not detected")
+	}
+}
+
+func TestVerifyCommonSubtreeDetectsViolation(t *testing.T) {
+	// Two trees give node 4 different parents below the shared node 0.
+	c := &Collection{
+		Sources: []int{1, 2},
+		H:       3,
+		Parent: [][]int{
+			{1, 1, -1, 0, 3, -1},  // T_1: 1→0→3→4
+			{2, -1, 2, -1, 0, -1}, // T_2: 2→0→4 (parent of 4 is 0)
+		},
+	}
+	bad := c.VerifyCommonSubtree(0)
+	if len(bad) == 0 {
+		t.Fatal("fabricated subtree violation not detected")
+	}
+}

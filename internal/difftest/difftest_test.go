@@ -1,0 +1,65 @@
+package difftest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSearchCountsInstances(t *testing.T) {
+	space := Space{MinN: 4, MaxN: 5, SeedsPerSize: 3, MaxK: 2}
+	got := Search(t, space, func(Instance) error { return nil })
+	// 2 sizes × 3 seeds × 2 ks.
+	if got != 12 {
+		t.Fatalf("checked %d instances, want 12", got)
+	}
+}
+
+func TestSearchReportsFailure(t *testing.T) {
+	// Run the failing search in a sub-test runner so the failure is
+	// observable without failing this test.
+	inner := &testing.T{}
+	done := make(chan bool)
+	go func() {
+		defer func() { recover(); done <- true }() // Fatalf panics via runtime.Goexit
+		Search(inner, Space{MinN: 4, MaxN: 4, SeedsPerSize: 1, MaxK: 1}, func(Instance) error {
+			return errors.New("synthetic failure")
+		})
+	}()
+	<-done
+	if !inner.Failed() {
+		t.Fatal("Search did not fail the test on a failing check")
+	}
+}
+
+func TestInstanceDump(t *testing.T) {
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 2)
+	in := Instance{G: g, Sources: []int{0}, H: 2, Seed: 9}
+	d := in.Dump()
+	for _, want := range []string{"seed=9", "n=3", "sources=[0]", "e 0 1 2"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestOracles(t *testing.T) {
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	in := Instance{G: g, Sources: []int{0}, H: 2}
+	good := [][]int64{{0, 2, 5}}
+	if err := HHopOracle(in, good); err != nil {
+		t.Fatalf("HHopOracle rejected correct matrix: %v", err)
+	}
+	if err := SSSPOracle(in, good); err != nil {
+		t.Fatalf("SSSPOracle rejected correct matrix: %v", err)
+	}
+	bad := [][]int64{{0, 2, 4}}
+	if HHopOracle(in, bad) == nil || SSSPOracle(in, bad) == nil {
+		t.Fatal("oracles accepted a wrong matrix")
+	}
+}

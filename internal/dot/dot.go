@@ -1,0 +1,77 @@
+// Package dot renders graphs, tree overlays and node highlights in
+// Graphviz DOT format — the quickest way to eyeball a CSSSP tree, a
+// blocker set, or a counterexample instance.
+package dot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Title becomes the graph label.
+	Title string
+	// TreeParent, if non-nil, draws the edge parent→v of every node with
+	// TreeParent[v] >= 0 && != v bold; remaining graph edges are dimmed.
+	TreeParent []int
+	// Highlight maps node → fill color (e.g. blocker picks to "tomato").
+	Highlight map[int]string
+	// NodeLabel, if set, overrides the default numeric label.
+	NodeLabel func(v int) string
+}
+
+// Write renders g to w in DOT format.
+func Write(w io.Writer, g *graph.Graph, opts Options) error {
+	bw := bufio.NewWriter(w)
+	kind, arrow := "digraph", "->"
+	if !g.Directed() {
+		kind, arrow = "graph", "--"
+	}
+	fmt.Fprintf(bw, "%s apsp {\n", kind)
+	if opts.Title != "" {
+		fmt.Fprintf(bw, "  label=%q;\n  labelloc=t;\n", opts.Title)
+	}
+	fmt.Fprintf(bw, "  node [shape=circle, fontsize=10];\n")
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprint(v)
+		if opts.NodeLabel != nil {
+			label = opts.NodeLabel(v)
+		}
+		// Labels may contain DOT escapes like \n, so only quotes are
+		// escaped (fmt's %q would double the backslashes).
+		attrs := fmt.Sprintf("label=\"%s\"", strings.ReplaceAll(label, `"`, `\"`))
+		if c, ok := opts.Highlight[v]; ok {
+			attrs += fmt.Sprintf(", style=filled, fillcolor=%q", c)
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", v, attrs)
+	}
+	inTree := func(u, v int) bool {
+		if opts.TreeParent == nil {
+			return false
+		}
+		if v < len(opts.TreeParent) && opts.TreeParent[v] == u && u != v {
+			return true
+		}
+		if !g.Directed() && u < len(opts.TreeParent) && opts.TreeParent[u] == v && u != v {
+			return true
+		}
+		return false
+	}
+	for _, e := range g.Edges() {
+		style := "color=gray70"
+		if opts.TreeParent == nil {
+			style = "color=black"
+		}
+		if inTree(e.From, e.To) {
+			style = "color=black, penwidth=2.2"
+		}
+		fmt.Fprintf(bw, "  n%d %s n%d [label=\"%d\", fontsize=9, %s];\n", e.From, arrow, e.To, e.W, style)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,59 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestWriteDirected(t *testing.T) {
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 0)
+	var buf bytes.Buffer
+	err := Write(&buf, g, Options{
+		Title:      "demo",
+		TreeParent: []int{0, 0, 1},
+		Highlight:  map[int]string{1: "tomato"},
+	})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph apsp {", `label="demo"`, "n0 -> n1", "penwidth=2.2",
+		`fillcolor="tomato"`, `label="5"`, "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteUndirected(t *testing.T) {
+	g := graph.New(2, false)
+	g.MustAddEdge(0, 1, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, Options{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph apsp {") || !strings.Contains(out, "n0 -- n1") {
+		t.Fatalf("undirected DOT wrong:\n%s", out)
+	}
+}
+
+func TestNodeLabel(t *testing.T) {
+	g := graph.New(2, true)
+	g.MustAddEdge(0, 1, 1)
+	var buf bytes.Buffer
+	err := Write(&buf, g, Options{NodeLabel: func(v int) string { return "X" }})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.Contains(buf.String(), `label="X"`) {
+		t.Fatal("custom label missing")
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"A-LIST", "A-LIT", "A-ZERO", "E-APX", "E-BIG", "E-BLK", "E-CONV", "E-CSSSP", "E-DELTA", "E-INV", "E-KSSP", "E-SCALE", "E-SCHED", "E-SR", "E-STEP1", "E-T11", "E-T1213", "F1", "SCORECARD", "T1-approx", "T1-exact"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nope", Config{Small: true}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestEachExperimentSmall(t *testing.T) {
+	// Every experiment must run to completion at small size and produce a
+	// non-empty, well-formed table (internal validations inside each
+	// experiment fail loudly if an algorithm returns a wrong distance).
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, Config{Small: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if tab.ID != id {
+				t.Fatalf("table ID %q != %q", tab.ID, id)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Headers) {
+					t.Fatalf("%s: ragged row %v vs headers %v", id, row, tab.Headers)
+				}
+			}
+			var buf bytes.Buffer
+			tab.Format(&buf)
+			if !strings.Contains(buf.String(), id) {
+				t.Fatalf("%s: formatted output missing ID", id)
+			}
+		})
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Headers: []string{"a", "bb"}}
+	tab.AddRow(1, "x")
+	tab.AddRow(2.5, 7)
+	tab.Note("hello %d", 42)
+	var buf bytes.Buffer
+	tab.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "2.500", "hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Headers: []string{"a", "bb"}}
+	tab.AddRow(1, "x")
+	tab.Note("footnote")
+	var buf bytes.Buffer
+	tab.Markdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### X — demo", "| a | bb |", "| --- | --- |", "| 1 | x |", "*footnote*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cssp"
+	"repro/internal/graph"
+)
+
+func init() {
+	register("E-STEP1", eStep1)
+}
+
+// eStep1 is the paper's own headline ablation inside Algorithm 3: Step 1
+// (h-hop CSSSP construction) via the Θ(n·h)-round Bellman–Ford method of
+// [3] versus via the pipelined Algorithm 1, which Sec. III introduces
+// precisely because the [3] method "takes Θ(n·h) rounds, which is too
+// large for our purposes".
+func eStep1(cfg Config) (*Table, error) {
+	n, m := 40, 140
+	if cfg.Small {
+		n, m = 24, 80
+	}
+	t := &Table{
+		ID:      "E-STEP1",
+		Title:   "Algorithm 3 Step 1: CSSSP via Algorithm 1 vs via Bellman–Ford ([3])",
+		Headers: []string{"h", "Alg1 rounds", "BF rounds", "~2h·k·2", "√(2·2h·k·Δ)·2", "speedup"},
+	}
+	g := graph.ZeroHeavy(n, m, 0.35, graph.GenOpts{Seed: cfg.Seed, MaxW: 6, Directed: true})
+	sources := make([]int, n)
+	for v := range sources {
+		sources[v] = v
+	}
+	for _, h := range []int{2, 4, 8} {
+		viaAlg1, err := cssp.Build(g, sources, h, 0)
+		if err != nil {
+			return nil, err
+		}
+		viaBF, err := cssp.BuildBellmanFord(g, sources, h)
+		if err != nil {
+			return nil, err
+		}
+		// Both must produce valid collections with identical tree data.
+		if bad := viaAlg1.Verify(g); len(bad) != 0 {
+			return nil, fmt.Errorf("h=%d: Alg1 CSSSP invalid: %s", h, bad[0])
+		}
+		if bad := viaBF.Verify(g); len(bad) != 0 {
+			return nil, fmt.Errorf("h=%d: BF CSSSP invalid: %s", h, bad[0])
+		}
+		for i := range sources {
+			for v := 0; v < n; v++ {
+				if viaAlg1.Dist[i][v] != viaBF.Dist[i][v] || viaAlg1.Hops[i][v] != viaBF.Hops[i][v] {
+					return nil, fmt.Errorf("h=%d: constructions disagree at [%d][%d]", h, i, v)
+				}
+			}
+		}
+		delta := graph.HHopDelta(g, sources, 2*h)
+		if delta == 0 {
+			delta = 1
+		}
+		pipePred := int64(2 * math.Sqrt(float64(int64(2*2*h*n)*delta))) // 2√(2khΔ) with the 2h budget
+		t.AddRow(h, viaAlg1.Stats.Rounds, viaBF.Stats.Rounds,
+			2*2*h*n, pipePred,
+			ratio(int64(viaBF.Stats.Rounds), int64(viaAlg1.Stats.Rounds)))
+	}
+	t.Note("BF cost includes the hop-tagging second sweep (×2); its growth is linear in h·k, Alg1's is √(hkΔ)")
+	t.Note("both constructions yield identical collections (verified)")
+	return t, nil
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blocker"
+	"repro/internal/core"
+	"repro/internal/cssp"
+	"repro/internal/graph"
+	"repro/internal/shortrange"
+)
+
+func init() {
+	register("F1", f1)
+	register("E-CSSSP", eCSSSP)
+	register("E-BLK", eBlk)
+	register("E-SR", eSR)
+}
+
+// f1 reproduces Figure 1: plain h-hop parent pointers are not h-hop trees;
+// the 2h-truncation CSSSP is.
+func f1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "F1",
+		Title:   "Figure 1: naive h-hop parent chains vs CSSSP",
+		Headers: []string{"graph", "h", "naive chains >h (or broken)", "CSSSP violations", "CSSSP rounds"},
+	}
+	families := []struct {
+		name    string
+		g       *graph.Graph
+		h       int
+		sources []int
+	}{
+		{"fig1 instance", fig1Graph(), 2, []int{0}},
+		{"zeroheavy", graph.ZeroHeavy(24, 80, 0.5, graph.GenOpts{Seed: cfg.Seed, MaxW: 6, Directed: true}), 3, []int{0, 8, 16}},
+		{"random", graph.Random(24, 80, graph.GenOpts{Seed: cfg.Seed, MaxW: 6, ZeroFrac: 0.3, Directed: true}), 4, []int{0, 12}},
+	}
+	for _, fam := range families {
+		// Naive: run Algorithm 1 at h directly and walk parent chains.
+		direct, err := core.Run(fam.g, core.Opts{Sources: fam.sources, H: fam.h})
+		if err != nil {
+			return nil, err
+		}
+		deep := 0
+		for i := range fam.sources {
+			for v := 0; v < fam.g.N(); v++ {
+				if direct.Parent[i][v] < 0 {
+					continue
+				}
+				depth, ok := chainDepth(direct.Parent[i], fam.sources[i], v, fam.g.N())
+				if !ok || depth > fam.h {
+					deep++
+				}
+			}
+		}
+		coll, err := cssp.Build(fam.g, fam.sources, fam.h, 0)
+		if err != nil {
+			return nil, err
+		}
+		bad := coll.Verify(fam.g)
+		t.AddRow(fam.name, fam.h, deep, len(bad), coll.Stats.Rounds)
+	}
+	t.Note("naive = parent pointers of a direct h-hop Algorithm 1 run; 'broken' counts chains that do not reach the root")
+	return t, nil
+}
+
+// fig1Graph is the instance from cssp.TestFigureOnePhenomenon.
+func fig1Graph() *graph.Graph {
+	g := graph.New(4, true)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(0, 2, 0)
+	g.MustAddEdge(2, 1, 0)
+	g.MustAddEdge(1, 3, 0)
+	return g
+}
+
+// chainDepth walks parent pointers from v toward root; ok=false on a break
+// or cycle.
+func chainDepth(parent []int, root, v, n int) (int, bool) {
+	depth := 0
+	for cur := v; cur != root; cur = parent[cur] {
+		if parent[cur] < 0 || depth > n {
+			return depth, false
+		}
+		depth++
+	}
+	return depth, true
+}
+
+// eCSSSP verifies Definition III.3 across families and reports construction
+// cost against the √(Δhk) shape (Lemma III.5).
+func eCSSSP(cfg Config) (*Table, error) {
+	n, m := 30, 100
+	if cfg.Small {
+		n, m = 20, 64
+	}
+	t := &Table{
+		ID:      "E-CSSSP",
+		Title:   "CSSSP construction (Lemmas III.4–III.5): consistency and cost",
+		Headers: []string{"k", "h", "Δ(2h)", "violations", "rounds", "2√(2khΔ)+k+2h", "dropped by repair"},
+	}
+	for _, k := range []int{4, 8} {
+		for _, h := range []int{3, 6} {
+			g := graph.Random(n, m, graph.GenOpts{Seed: cfg.Seed + int64(k*h), MaxW: 6, ZeroFrac: 0.35, Directed: true})
+			sources := make([]int, 0, k)
+			for i := 0; i < k; i++ {
+				sources = append(sources, (i*n)/k)
+			}
+			delta := graph.HHopDelta(g, sources, 2*h)
+			if delta == 0 {
+				delta = 1
+			}
+			coll, err := cssp.Build(g, sources, h, delta)
+			if err != nil {
+				return nil, err
+			}
+			bad := coll.Verify(g)
+			// Count vertices the repair phase dropped relative to the raw
+			// truncation (reachable in ≤h recorded hops but not in a tree).
+			dropped := 0
+			for i := range sources {
+				for v := 0; v < n; v++ {
+					if coll.Parent[i][v] < 0 && coll.RawDist[i][v] < graph.Inf {
+						hh := graph.HHopDistances(g, sources[i], h)
+						if hh[v] < graph.Inf && coll.RawDist[i][v] == hh[v] {
+							dropped++
+						}
+					}
+				}
+			}
+			bound := int64(2*math.Sqrt(float64(int64(2*k*h)*delta))) + int64(k) + int64(2*h)
+			t.AddRow(k, h, delta, len(bad), coll.Stats.Rounds, bound, dropped)
+		}
+	}
+	t.Note("'dropped by repair' counts h-hop-reachable vertices excluded by the parent re-selection (legitimate per Definition III.3 when their true δ needs >h hops)")
+	return t, nil
+}
+
+// eBlk sweeps h: blocker size against the O((n ln n)/h) guarantee and the
+// per-phase round costs, including Algorithm 4's k+h−1 bound per pick.
+func eBlk(cfg Config) (*Table, error) {
+	n, m := 36, 130
+	if cfg.Small {
+		n, m = 24, 80
+	}
+	t := &Table{
+		ID:      "E-BLK",
+		Title:   "Blocker sets (Sec. III-B): size and phase costs vs h",
+		Headers: []string{"h", "|Q|", "(n ln n)/h", "claim rds", "score rds", "select rds", "update rds", "upd/pick", "k+h-1"},
+	}
+	g := graph.Random(n, m, graph.GenOpts{Seed: cfg.Seed, MaxW: 5, ZeroFrac: 0.3, Directed: true})
+	sources := make([]int, n)
+	for v := range sources {
+		sources[v] = v
+	}
+	for _, h := range []int{2, 3, 5, 8} {
+		coll, err := cssp.Build(g, sources, h, 0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := blocker.Compute(g, coll)
+		if err != nil {
+			return nil, err
+		}
+		if bad := blocker.VerifyCoverage(coll, res.Q); len(bad) != 0 {
+			return nil, fmt.Errorf("h=%d: blocker does not cover: %s", h, bad[0])
+		}
+		guarantee := int(float64(n) * math.Log(float64(n)) / float64(h))
+		perPick := "-"
+		if len(res.Q) > 0 {
+			perPick = fmt.Sprintf("%.1f", float64(res.PhaseRounds["descendants"])/float64(len(res.Q)))
+		}
+		t.AddRow(h, len(res.Q), guarantee, res.PhaseRounds["claims"], res.PhaseRounds["scores"],
+			res.PhaseRounds["select"], res.PhaseRounds["descendants"], perPick, len(sources)+h-1)
+	}
+	t.Note("'upd/pick' is the measured Algorithm 4 (+ancestor) rounds per blocker pick; the paper bounds it by k+h−1")
+	return t, nil
+}
+
+// eSR measures Algorithm 2 (Lemma II.15): the snapshot claim (estimates ≤
+// h-hop distance by round ⌈Δγ⌉+h) and congestion ≤ √h.
+func eSR(cfg Config) (*Table, error) {
+	n, m := 40, 130
+	if cfg.Small {
+		n, m = 24, 80
+	}
+	t := &Table{
+		ID:      "E-SR",
+		Title:   "Short-range Algorithm 2 (Lemma II.15): dilation and congestion",
+		Headers: []string{"h", "zeroFrac", "snap viol", "pairs", "snap round", "final rounds", "congestion", "√h"},
+	}
+	for _, h := range []int{4, 9, 16} {
+		for _, zf := range []float64{0, 0.5} {
+			g := graph.Random(n, m, graph.GenOpts{Seed: cfg.Seed + int64(h), MaxW: 5, ZeroFrac: zf, MinW: 1, Directed: true})
+			sources := []int{0, n / 2}
+			delta := graph.HHopDelta(g, sources, h)
+			if delta == 0 {
+				delta = 1
+			}
+			res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: h, Delta: delta})
+			if err != nil {
+				return nil, err
+			}
+			viol, pairs := 0, 0
+			for i, s := range sources {
+				want := graph.HHopDistances(g, s, h)
+				for v := 0; v < n; v++ {
+					if want[v] >= graph.Inf {
+						continue
+					}
+					pairs++
+					if res.Snap[i][v] > want[v] {
+						viol++
+					}
+				}
+			}
+			t.AddRow(h, fmt.Sprintf("%.1f", zf), viol, pairs, res.SnapRound,
+				res.Stats.Rounds, res.Stats.MaxLinkCongestion, fmt.Sprintf("%.1f", math.Sqrt(float64(h))))
+		}
+	}
+	t.Note("snap viol counts estimates still above their h-hop distance at the claimed round ⌈Δγ⌉+h")
+	return t, nil
+}

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode: the text-format parser must never panic and must round-trip
+// whatever it accepts.
+func FuzzDecode(f *testing.F) {
+	f.Add("n 3 directed\ne 0 1 5\ne 1 2 0\n")
+	f.Add("n 1 undirected\n")
+	f.Add("# comment\n\nn 2 directed\ne 0 1 9\n")
+	f.Add("n 3 sideways\n")
+	f.Add("e 0 1 2\n")
+	f.Add("n 999999999999999999 directed\n")
+	f.Add("n 3 directed\ne 0 1 -5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("Encode of accepted graph failed: %v", err)
+		}
+		h, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if h.N() != g.N() || h.M() != g.M() || h.Directed() != g.Directed() {
+			t.Fatalf("round trip changed the graph: %d/%d vs %d/%d", g.N(), g.M(), h.N(), h.M())
+		}
+	})
+}

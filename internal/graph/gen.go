@@ -1,0 +1,361 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenOpts configures the random generators. Zero values select sensible
+// defaults documented on each field.
+type GenOpts struct {
+	// MaxW is the maximum edge weight W; weights are drawn uniformly from
+	// [MinW, MaxW]. Default 16.
+	MaxW int64
+	// MinW is the minimum edge weight. Default 0 (zero-weight edges allowed,
+	// the regime the paper targets). Set to 1 for strictly positive weights.
+	MinW int64
+	// ZeroFrac, if positive, forces approximately this fraction of edges to
+	// weight zero regardless of MinW/MaxW.
+	ZeroFrac float64
+	// Directed selects a directed graph. The communication graph is always
+	// the underlying undirected graph.
+	Directed bool
+	// Seed seeds the deterministic generator. Same seed, same graph.
+	Seed int64
+}
+
+func (o GenOpts) withDefaults() GenOpts {
+	if o.MaxW == 0 {
+		o.MaxW = 16
+	}
+	if o.MinW > o.MaxW {
+		o.MinW = o.MaxW
+	}
+	return o
+}
+
+func (o GenOpts) weight(rng *rand.Rand) int64 {
+	if o.ZeroFrac > 0 && rng.Float64() < o.ZeroFrac {
+		return 0
+	}
+	return o.MinW + rng.Int63n(o.MaxW-o.MinW+1)
+}
+
+// Random returns a connected random graph with n nodes and approximately m
+// logical edges: a random spanning backbone (guaranteeing the communication
+// graph is connected) plus m-(n-1) uniformly random extra edges. Requires
+// m >= n-1.
+func Random(n, m int, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: Random requires m >= n-1, got n=%d m=%d", n, m))
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(n, opts.Directed)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		// Attach perm[i] to a random earlier node: a random spanning tree.
+		u := perm[rng.Intn(i)]
+		v := perm[i]
+		if opts.Directed && rng.Intn(2) == 0 {
+			u, v = v, u
+		}
+		g.MustAddEdge(u, v, opts.weight(rng))
+	}
+	for g.M() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.MustAddEdge(u, v, opts.weight(rng))
+	}
+	return g
+}
+
+// Gnp returns an Erdős–Rényi G(n,p) graph with a spanning backbone added to
+// keep the communication graph connected.
+func Gnp(n int, p float64, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(n, opts.Directed)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(perm[rng.Intn(i)], perm[i], opts.weight(rng))
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || (!opts.Directed && u > v) {
+				continue
+			}
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, opts.weight(rng))
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns an rows x cols grid graph ("road network"): node r*cols+c is
+// linked to its right and down neighbors.
+func Grid(rows, cols int, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(rows*cols, opts.Directed)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1), opts.weight(rng))
+				if opts.Directed {
+					g.MustAddEdge(id(r, c+1), id(r, c), opts.weight(rng))
+				}
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), opts.weight(rng))
+				if opts.Directed {
+					g.MustAddEdge(id(r+1, c), id(r, c), opts.weight(rng))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Ring returns an n-cycle. For directed graphs arcs run both ways so every
+// pair remains reachable.
+func Ring(n int, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(n, opts.Directed)
+	for v := 0; v < n; v++ {
+		u := (v + 1) % n
+		g.MustAddEdge(v, u, opts.weight(rng))
+		if opts.Directed {
+			g.MustAddEdge(u, v, opts.weight(rng))
+		}
+	}
+	return g
+}
+
+// Path returns the n-node path 0-1-...-(n-1). For directed graphs arcs run
+// both ways.
+func Path(n int, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(n, opts.Directed)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, opts.weight(rng))
+		if opts.Directed {
+			g.MustAddEdge(v+1, v, opts.weight(rng))
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(n, opts.Directed)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, opts.weight(rng))
+			if opts.Directed {
+				g.MustAddEdge(v, u, opts.weight(rng))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly-attached random tree.
+func RandomTree(n int, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(n, opts.Directed)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		g.MustAddEdge(u, v, opts.weight(rng))
+		if opts.Directed {
+			g.MustAddEdge(v, u, opts.weight(rng))
+		}
+	}
+	return g
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: each new node
+// attaches to deg existing nodes chosen proportionally to degree.
+func PreferentialAttachment(n, deg int, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	if deg < 1 {
+		deg = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(n, opts.Directed)
+	// endpoint pool: every edge endpoint appears once, so sampling from the
+	// pool is degree-proportional sampling.
+	pool := []int{0}
+	for v := 1; v < n; v++ {
+		targets := make(map[int]bool)
+		want := deg
+		if v < deg {
+			want = v
+		}
+		for len(targets) < want {
+			u := pool[rng.Intn(len(pool))]
+			if u != v {
+				targets[u] = true
+			}
+		}
+		for u := range targets {
+			g.MustAddEdge(u, v, opts.weight(rng))
+			pool = append(pool, u, v)
+		}
+		if len(targets) == 0 {
+			pool = append(pool, v)
+		}
+	}
+	return g
+}
+
+// SmallWorld returns a Watts–Strogatz small-world graph: an n-cycle where
+// each node also links to its next `near` clockwise neighbors, with each
+// such link rewired to a uniform random target with probability rewire.
+// Captures the low-diameter/high-clustering regime between grids and
+// random graphs.
+func SmallWorld(n, near int, rewire float64, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	if near < 1 {
+		near = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(n, opts.Directed)
+	addBoth := func(u, v int) {
+		g.MustAddEdge(u, v, opts.weight(rng))
+		if opts.Directed {
+			g.MustAddEdge(v, u, opts.weight(rng))
+		}
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= near; j++ {
+			u := (v + j) % n
+			if u == v {
+				continue
+			}
+			if j > 1 && rng.Float64() < rewire {
+				// Rewire to a random non-self target; the j == 1 ring stays
+				// intact so the communication graph remains connected.
+				for {
+					w := rng.Intn(n)
+					if w != v {
+						u = w
+						break
+					}
+				}
+			}
+			if !g.HasLink(v, u) {
+				addBoth(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// Geometric returns a random geometric graph ("road-like"): n nodes placed
+// uniformly in the unit square, linked when within the given radius, with
+// edge weights proportional to Euclidean distance (scaled to [MinW, MaxW]).
+// A ring backbone keeps the communication graph connected when the radius
+// is small.
+func Geometric(n int, radius float64, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	order := rng.Perm(n)
+	for _, v := range order {
+		xs[v], ys[v] = rng.Float64(), rng.Float64()
+	}
+	g := New(n, opts.Directed)
+	weightFor := func(d float64) int64 {
+		span := float64(opts.MaxW - opts.MinW)
+		w := opts.MinW + int64(d/radius*span+0.5)
+		if w > opts.MaxW {
+			w = opts.MaxW
+		}
+		if w < opts.MinW {
+			w = opts.MinW
+		}
+		return w
+	}
+	addBoth := func(u, v int, w int64) {
+		g.MustAddEdge(u, v, w)
+		if opts.Directed {
+			g.MustAddEdge(v, u, w)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			d2 := dx*dx + dy*dy
+			if d2 <= radius*radius {
+				addBoth(u, v, weightFor(math.Sqrt(d2)))
+			}
+		}
+	}
+	// Backbone for connectivity.
+	for v := 0; v < n; v++ {
+		u := (v + 1) % n
+		if !g.HasLink(v, u) {
+			addBoth(v, u, opts.MaxW)
+		}
+	}
+	return g
+}
+
+// ZeroHeavy returns a connected random graph in which roughly zeroFrac of the
+// edges have weight zero: the adversarial regime for positive-weight
+// pipelining (paper Sec. II). The remaining edges have weights in
+// [1, opts.MaxW].
+func ZeroHeavy(n, m int, zeroFrac float64, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	if opts.MinW < 1 {
+		opts.MinW = 1
+	}
+	opts.ZeroFrac = zeroFrac
+	return Random(n, m, opts)
+}
+
+// LayeredZero returns the "zero-weight ladder": layers of width w connected
+// by zero-weight edges within a layer and unit-or-heavier edges between
+// layers. Shortest paths take many zero-weight hops, so weighted distance
+// and hop count diverge maximally — the structure that breaks the
+// unweighted pipelining invariant (paper Sec. II).
+func LayeredZero(layers, width int, opts GenOpts) *Graph {
+	opts = opts.withDefaults()
+	if opts.MinW < 1 {
+		opts.MinW = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New(layers*width, opts.Directed)
+	id := func(l, i int) int { return l*width + i }
+	for l := 0; l < layers; l++ {
+		for i := 0; i+1 < width; i++ {
+			g.MustAddEdge(id(l, i), id(l, i+1), 0) // zero chain inside the layer
+			if opts.Directed {
+				g.MustAddEdge(id(l, i+1), id(l, i), 0)
+			}
+		}
+		if l+1 < layers {
+			// One weighted link between consecutive layers from a random
+			// position, plus a second for redundancy when width allows.
+			i := rng.Intn(width)
+			g.MustAddEdge(id(l, i), id(l+1, rng.Intn(width)), opts.weight(rng))
+			if opts.Directed {
+				g.MustAddEdge(id(l+1, i), id(l, rng.Intn(width)), opts.weight(rng))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,196 @@
+package graph
+
+import "testing"
+
+func TestRandomConnectedAndSized(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := Random(50, 150, GenOpts{Seed: seed, MaxW: 20, Directed: seed%2 == 0})
+		if !g.CommConnected() {
+			t.Fatalf("seed %d: Random graph disconnected", seed)
+		}
+		if g.M() != 150 {
+			t.Fatalf("seed %d: M = %d, want 150", seed, g.M())
+		}
+		if g.MaxWeight() > 20 {
+			t.Fatalf("seed %d: weight %d > MaxW", seed, g.MaxWeight())
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(30, 90, GenOpts{Seed: 42, MaxW: 7, Directed: true})
+	b := Random(30, 90, GenOpts{Seed: 42, MaxW: 7, Directed: true})
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed, different edge count")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed, edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	c := Random(30, 90, GenOpts{Seed: 43, MaxW: 7, Directed: true})
+	same := true
+	ec := c.Edges()
+	for i := range ea {
+		if ea[i] != ec[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestMinWRespected(t *testing.T) {
+	g := Random(20, 60, GenOpts{Seed: 5, MinW: 3, MaxW: 9})
+	for _, e := range g.Edges() {
+		if e.W < 3 || e.W > 9 {
+			t.Fatalf("weight %d outside [3,9]", e.W)
+		}
+	}
+}
+
+func TestZeroFracProducesZeros(t *testing.T) {
+	g := Random(50, 400, GenOpts{Seed: 8, MinW: 1, MaxW: 10, ZeroFrac: 0.5})
+	zeros := 0
+	for _, e := range g.Edges() {
+		if e.W == 0 {
+			zeros++
+		}
+	}
+	if zeros < 100 || zeros > 300 {
+		t.Fatalf("zero edges = %d of 400, want roughly half", zeros)
+	}
+}
+
+func TestGnpConnected(t *testing.T) {
+	g := Gnp(40, 0.1, GenOpts{Seed: 2})
+	if !g.CommConnected() {
+		t.Fatal("Gnp with backbone must be connected")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4, GenOpts{Seed: 1, MaxW: 5})
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Undirected grid edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.M() != 17 {
+		t.Fatalf("M = %d, want 17", g.M())
+	}
+	if !g.HasLink(0, 1) || !g.HasLink(0, 4) || g.HasLink(3, 4) {
+		t.Fatal("grid adjacency wrong")
+	}
+	dg := Grid(3, 4, GenOpts{Seed: 1, MaxW: 5, Directed: true})
+	if dg.M() != 34 {
+		t.Fatalf("directed grid M = %d, want 34", dg.M())
+	}
+	if !dg.CommConnected() {
+		t.Fatal("directed grid comm graph disconnected")
+	}
+}
+
+func TestRingPathCompleteTree(t *testing.T) {
+	if g := Ring(8, GenOpts{Seed: 1}); g.M() != 8 || !g.CommConnected() {
+		t.Fatalf("ring: M=%d connected=%v", g.M(), g.CommConnected())
+	}
+	if g := Path(8, GenOpts{Seed: 1}); g.M() != 7 || g.CommDiameter() != 7 {
+		t.Fatalf("path: M=%d diam=%d", g.M(), g.CommDiameter())
+	}
+	if g := Complete(6, GenOpts{Seed: 1}); g.M() != 15 || g.CommDiameter() != 1 {
+		t.Fatalf("complete: M=%d diam=%d", g.M(), g.CommDiameter())
+	}
+	if g := RandomTree(20, GenOpts{Seed: 1}); g.M() != 19 || !g.CommConnected() {
+		t.Fatalf("tree: M=%d connected=%v", g.M(), g.CommConnected())
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(60, 2, GenOpts{Seed: 4, MaxW: 9})
+	if !g.CommConnected() {
+		t.Fatal("PA graph disconnected")
+	}
+	// Hubs should exist: max degree well above the attachment degree.
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 5 {
+		t.Fatalf("max degree %d suspiciously small for a PA graph", maxDeg)
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	g := SmallWorld(40, 3, 0.2, GenOpts{Seed: 6, MaxW: 8})
+	if !g.CommConnected() {
+		t.Fatal("small-world disconnected (ring backbone must survive rewiring)")
+	}
+	// Rewiring should shrink the diameter well below the pure ring lattice.
+	lattice := SmallWorld(40, 3, 0, GenOpts{Seed: 6, MaxW: 8})
+	if d1, d2 := g.CommDiameter(), lattice.CommDiameter(); d1 > d2 {
+		t.Fatalf("rewired diameter %d > lattice diameter %d", d1, d2)
+	}
+	// Determinism.
+	h := SmallWorld(40, 3, 0.2, GenOpts{Seed: 6, MaxW: 8})
+	if g.M() != h.M() {
+		t.Fatal("SmallWorld not deterministic")
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	g := Geometric(50, 0.25, GenOpts{Seed: 4, MinW: 1, MaxW: 10})
+	if !g.CommConnected() {
+		t.Fatal("geometric graph disconnected despite backbone")
+	}
+	for _, e := range g.Edges() {
+		if e.W < 1 || e.W > 10 {
+			t.Fatalf("weight %d outside [1,10]", e.W)
+		}
+	}
+	// Larger radius, more edges.
+	dense := Geometric(50, 0.5, GenOpts{Seed: 4, MinW: 1, MaxW: 10})
+	if dense.M() <= g.M() {
+		t.Fatalf("radius 0.5 edges %d ≤ radius 0.25 edges %d", dense.M(), g.M())
+	}
+	// Directed variant keeps pairs.
+	dg := Geometric(30, 0.3, GenOpts{Seed: 4, MinW: 1, MaxW: 5, Directed: true})
+	if !dg.CommConnected() {
+		t.Fatal("directed geometric disconnected")
+	}
+}
+
+func TestZeroHeavy(t *testing.T) {
+	g := ZeroHeavy(40, 160, 0.6, GenOpts{Seed: 9, MaxW: 10})
+	zeros := 0
+	for _, e := range g.Edges() {
+		if e.W == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("ZeroHeavy produced no zero edges")
+	}
+	if !g.CommConnected() {
+		t.Fatal("ZeroHeavy disconnected")
+	}
+}
+
+func TestLayeredZero(t *testing.T) {
+	g := LayeredZero(4, 5, GenOpts{Seed: 3, MaxW: 6})
+	if g.N() != 20 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.CommConnected() {
+		t.Fatal("LayeredZero disconnected")
+	}
+	// Inside a layer distances are zero but hop counts are not.
+	d, l := HHopDistHops(g, 0, g.N())
+	if d[4] != 0 || l[4] != 4 {
+		t.Fatalf("(d,l) along zero chain = (%d,%d), want (0,4)", d[4], l[4])
+	}
+}

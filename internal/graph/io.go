@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The on-disk format is a plain text edge list:
+//
+//	# optional comments
+//	n <nodes> <directed|undirected>
+//	e <from> <to> <weight>
+//	...
+//
+// It is deliberately trivial so experiment inputs can be inspected and
+// hand-edited.
+
+// Encode writes g to w in the text edge-list format.
+func Encode(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.Directed() {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "n %d %s\n", g.N(), kind); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d %d\n", e.From, e.To, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a graph in the text edge-list format.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: header wants 'n <nodes> <directed|undirected>'", line)
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[1])
+			}
+			if n < 1 || n > MaxN {
+				return nil, fmt.Errorf("graph: line %d: node count %d out of range [1,%d]", line, n, MaxN)
+			}
+			switch fields[2] {
+			case "directed":
+				g = New(n, true)
+			case "undirected":
+				g = New(n, false)
+			default:
+				return nil, fmt.Errorf("graph: line %d: bad kind %q", line, fields[2])
+			}
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: edge wants 'e <from> <to> <weight>'", line)
+			}
+			var u, v int
+			var w int64
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %d %d", &u, &v, &w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			if err := g.AddEdge(u, v, w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return g, nil
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := Random(25, 80, GenOpts{Seed: seed, MaxW: 30, ZeroFrac: 0.2, Directed: seed%2 == 0})
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		h, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if h.N() != g.N() || h.Directed() != g.Directed() {
+			t.Fatalf("header mismatch: n=%d dir=%v", h.N(), h.Directed())
+		}
+		ea, eb := g.Edges(), h.Edges()
+		if len(ea) != len(eb) {
+			t.Fatalf("edge count %d vs %d", len(ea), len(eb))
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("edge %d: %+v vs %+v", i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestDecodeCommentsAndBlank(t *testing.T) {
+	in := "# comment\n\nn 3 directed\n# another\ne 0 1 5\ne 1 2 0\n"
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 || !g.Directed() {
+		t.Fatalf("decoded wrong graph: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"",                             // empty
+		"e 0 1 2\n",                    // edge before header
+		"n 3\n",                        // short header
+		"n 3 sideways\n",               // bad kind
+		"n 3 directed\ne 0 0 1\n",      // self loop
+		"n 3 directed\ne 0 9 1\n",      // out of range
+		"n 3 directed\ne 0 1 -2\n",     // negative weight
+		"n 3 directed\nx 1 2 3\n",      // unknown record
+		"n 3 directed\nn 3 directed\n", // duplicate header
+		"n 3 directed\ne 0 1\n",        // short edge
+	}
+	for _, in := range bad {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", in)
+		}
+	}
+}

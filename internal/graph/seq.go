@@ -1,0 +1,232 @@
+package graph
+
+import "container/heap"
+
+// This file contains the sequential reference implementations every
+// distributed algorithm in the repository is validated against. They are
+// deliberately simple and independent of the distributed code paths.
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v int
+	d int64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d || (q[i].d == q[j].d && q[i].v < q[j].v) }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra returns single-source shortest path distances from src.
+// Unreachable nodes get Inf. Zero-weight edges are handled (weights are
+// non-negative).
+func Dijkstra(g *Graph, src int) []int64 {
+	d, _ := DijkstraTree(g, src)
+	return d
+}
+
+// DijkstraTree returns distances and a shortest-path-tree parent array
+// (parent[src] == src; parent[v] == -1 for unreachable v).
+func DijkstraTree(g *Graph, src int) ([]int64, []int) {
+	n := g.N()
+	dist := make([]int64, n)
+	parent := make([]int, n)
+	done := make([]bool, n)
+	for v := range dist {
+		dist[v] = Inf
+		parent[v] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	q := &pq{{v: src, d: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.v] || it.d > dist[it.v] {
+			continue
+		}
+		done[it.v] = true
+		for _, e := range g.Out(it.v) {
+			nd := it.d + e.W
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				parent[e.To] = it.v
+				heap.Push(q, pqItem{v: e.To, d: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// APSP returns the all-pairs shortest path distance matrix dist[src][v]
+// computed by n runs of Dijkstra.
+func APSP(g *Graph) [][]int64 {
+	n := g.N()
+	all := make([][]int64, n)
+	for s := 0; s < n; s++ {
+		all[s] = Dijkstra(g, s)
+	}
+	return all
+}
+
+// FloydWarshall returns the all-pairs distance matrix via the O(n^3)
+// recurrence; an independent cross-check of APSP for small graphs.
+func FloydWarshall(g *Graph) [][]int64 {
+	n := g.N()
+	d := make([][]int64, n)
+	for i := range d {
+		d[i] = make([]int64, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = Inf
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.W < d[e.From][e.To] {
+			d[e.From][e.To] = e.W
+		}
+		if !g.Directed() && e.W < d[e.To][e.From] {
+			d[e.To][e.From] = e.W
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := dik + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// HHopDistances returns, for each v, the minimum weight of a path from src
+// to v using at most h edges (Inf if no such path). Because weights are
+// non-negative, the minimum over walks equals the minimum over simple paths.
+func HHopDistances(g *Graph, src, h int) []int64 {
+	d, _ := HHopDistHops(g, src, h)
+	return d
+}
+
+// HHopDistHops returns, for each v, the minimum weight d of a path from src
+// to v with at most h edges, together with the minimum hop count l among
+// paths achieving weight d within the hop budget. This is the (d, l)
+// tie-break order used by the paper's Algorithm 1 (Step 9).
+// Unreachable nodes get (Inf, -1).
+func HHopDistHops(g *Graph, src, h int) ([]int64, []int) {
+	n := g.N()
+	cur := make([]int64, n)
+	next := make([]int64, n)
+	hops := make([]int, n)
+	for v := range cur {
+		cur[v] = Inf
+		hops[v] = -1
+	}
+	cur[src] = 0
+	hops[src] = 0
+	for i := 1; i <= h; i++ {
+		copy(next, cur)
+		changed := false
+		for v := 0; v < n; v++ {
+			if cur[v] >= Inf {
+				continue
+			}
+			for _, e := range g.Out(v) {
+				if nd := cur[v] + e.W; nd < next[e.To] {
+					next[e.To] = nd
+					changed = true
+				}
+			}
+		}
+		cur, next = next, cur
+		// Record the first hop count at which each node attains its final
+		// value; overwrite whenever the distance strictly improves.
+		for v := 0; v < n; v++ {
+			if cur[v] < next[v] || (hops[v] < 0 && cur[v] < Inf) {
+				hops[v] = i
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur, hops
+}
+
+// KSourceHHop returns dist[i][v] = h-hop distance from sources[i] to v.
+func KSourceHHop(g *Graph, sources []int, h int) [][]int64 {
+	out := make([][]int64, len(sources))
+	for i, s := range sources {
+		out[i] = HHopDistances(g, s, h)
+	}
+	return out
+}
+
+// Delta returns the maximum finite shortest-path distance over all ordered
+// pairs (the paper's Δ for APSP), and 0 for an edgeless graph.
+func Delta(g *Graph) int64 {
+	var max int64
+	for _, row := range APSP(g) {
+		for _, d := range row {
+			if d < Inf && d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// HHopDelta returns the maximum finite h-hop distance from the given sources
+// (the Δ promise for (h,k)-SSP runs).
+func HHopDelta(g *Graph, sources []int, h int) int64 {
+	var max int64
+	for _, s := range sources {
+		for _, d := range HHopDistances(g, s, h) {
+			if d < Inf && d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// ZeroClosure returns reach[u][v] = true iff there is a path of total weight
+// zero from u to v (including u == v). Used by the approximate-APSP
+// algorithm of Sec. IV, which handles zero-distance pairs separately.
+func ZeroClosure(g *Graph) [][]bool {
+	n := g.N()
+	zero := g.Subgraph(func(e Edge) bool { return e.W == 0 })
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		reach[s][s] = true
+		stack := []int{s}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range zero.Out(v) {
+				if !reach[s][e.To] {
+					reach[s][e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDijkstraSmall(t *testing.T) {
+	// 0 ->(0) 1 ->(2) 2, 0 ->(3) 2
+	g := New(3, true)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 2, 3)
+	d := Dijkstra(g, 0)
+	want := []int64{0, 0, 2}
+	for v, w := range want {
+		if d[v] != w {
+			t.Fatalf("d[%d] = %d, want %d", v, d[v], w)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3, true)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 1, 1) // 2 unreachable from 0 (directed)
+	d := Dijkstra(g, 0)
+	if d[2] != Inf {
+		t.Fatalf("d[2] = %d, want Inf", d[2])
+	}
+}
+
+func TestDijkstraTreeParents(t *testing.T) {
+	g := Random(40, 120, GenOpts{Seed: 7, MaxW: 9, Directed: true})
+	d, par := DijkstraTree(g, 0)
+	if par[0] != 0 {
+		t.Fatalf("parent[src] = %d", par[0])
+	}
+	for v := 1; v < g.N(); v++ {
+		if d[v] >= Inf {
+			if par[v] != -1 {
+				t.Fatalf("unreachable %d has parent %d", v, par[v])
+			}
+			continue
+		}
+		p := par[v]
+		w, ok := g.Weight(p, v)
+		if !ok {
+			t.Fatalf("parent edge (%d,%d) missing", p, v)
+		}
+		if d[p]+w != d[v] {
+			t.Fatalf("parent edge not tight at %d: d[p]=%d w=%d d[v]=%d", v, d[p], w, d[v])
+		}
+	}
+}
+
+func TestAPSPMatchesFloydWarshall(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := Random(24, 70, GenOpts{Seed: seed, MaxW: 10, ZeroFrac: 0.3, Directed: seed%2 == 0})
+		a := APSP(g)
+		f := FloydWarshall(g)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != f[i][j] {
+					t.Fatalf("seed %d: APSP[%d][%d]=%d FW=%d", seed, i, j, a[i][j], f[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestHHopDistancesConvergeToDijkstra(t *testing.T) {
+	g := Random(30, 90, GenOpts{Seed: 3, MaxW: 8, ZeroFrac: 0.25, Directed: true})
+	full := Dijkstra(g, 4)
+	h := HHopDistances(g, 4, g.N()) // n hops is enough for any simple path
+	for v := range full {
+		if full[v] != h[v] {
+			t.Fatalf("h-hop with h=n disagrees with Dijkstra at %d: %d vs %d", v, h[v], full[v])
+		}
+	}
+}
+
+func TestHHopDistancesMonotoneInH(t *testing.T) {
+	g := Random(25, 60, GenOpts{Seed: 11, MaxW: 6, Directed: true})
+	prev := HHopDistances(g, 0, 1)
+	for h := 2; h <= 10; h++ {
+		cur := HHopDistances(g, 0, h)
+		for v := range cur {
+			if cur[v] > prev[v] {
+				t.Fatalf("h-hop distance increased with h at v=%d h=%d: %d > %d", v, h, cur[v], prev[v])
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestHHopDistHopsTieBreak(t *testing.T) {
+	// 0 ->(2) 3 directly (1 hop, weight 2); 0 ->(1) 1 ->(1) 2 ->(0) 3 (3 hops,
+	// weight 2). Same weight; the minimal hop count is 1.
+	g := New(4, true)
+	g.MustAddEdge(0, 3, 2)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 0)
+	d, l := HHopDistHops(g, 0, 3)
+	if d[3] != 2 || l[3] != 1 {
+		t.Fatalf("(d,l) at 3 = (%d,%d), want (2,1)", d[3], l[3])
+	}
+	// With hop budget exactly 1, node 2 is unreachable.
+	d1, l1 := HHopDistHops(g, 0, 1)
+	if d1[2] != Inf || l1[2] != -1 {
+		t.Fatalf("1-hop (d,l) at 2 = (%d,%d), want (Inf,-1)", d1[2], l1[2])
+	}
+}
+
+func TestHHopZeroWeightLongPath(t *testing.T) {
+	// A zero-weight chain: weighted distance 0 but many hops, the exact
+	// divergence that motivates the paper's key κ = d·γ + l.
+	g := Path(10, GenOpts{Seed: 1, MaxW: 1})
+	zero := g.Transform(func(int64) int64 { return 0 })
+	d, l := HHopDistHops(zero, 0, 9)
+	if d[9] != 0 || l[9] != 9 {
+		t.Fatalf("(d,l) at end of zero chain = (%d,%d), want (0,9)", d[9], l[9])
+	}
+	short := HHopDistances(zero, 0, 4)
+	if short[9] != Inf {
+		t.Fatalf("hop budget must bind: d=%d, want Inf", short[9])
+	}
+}
+
+func TestDeltaAndHHopDelta(t *testing.T) {
+	g := Path(5, GenOpts{Seed: 1, MaxW: 1, MinW: 1})
+	// Path with all weights 1: Delta = 4.
+	one := g.Transform(func(int64) int64 { return 1 })
+	if d := Delta(one); d != 4 {
+		t.Fatalf("Delta = %d, want 4", d)
+	}
+	if d := HHopDelta(one, []int{0}, 2); d != 2 {
+		t.Fatalf("HHopDelta = %d, want 2", d)
+	}
+}
+
+func TestZeroClosure(t *testing.T) {
+	g := New(4, true)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(2, 3, 5)
+	r := ZeroClosure(g)
+	if !r[0][0] || !r[0][1] || !r[0][2] {
+		t.Fatalf("zero closure missing pairs: %v", r[0])
+	}
+	if r[0][3] {
+		t.Fatal("zero closure crossed a weighted edge")
+	}
+	if r[1][0] {
+		t.Fatal("zero closure ignored direction")
+	}
+}
+
+func TestZeroClosureMatchesAPSP(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := Random(20, 60, GenOpts{Seed: seed, MaxW: 5, ZeroFrac: 0.5, Directed: true})
+		r := ZeroClosure(g)
+		d := APSP(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if r[u][v] != (d[u][v] == 0) {
+					t.Fatalf("seed %d: zero closure (%d,%d)=%v but dist=%d", seed, u, v, r[u][v], d[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraRandomAgainstBellmanFordStyle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		g := Random(20+rng.Intn(20), 80, GenOpts{Seed: int64(trial), MaxW: 12, ZeroFrac: 0.2, Directed: trial%2 == 0})
+		src := rng.Intn(g.N())
+		d := Dijkstra(g, src)
+		h := HHopDistances(g, src, g.N())
+		for v := range d {
+			if d[v] != h[v] {
+				t.Fatalf("trial %d: Dijkstra vs n-hop DP mismatch at %d: %d vs %d", trial, v, d[v], h[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package hssp
+
+import (
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/graph"
+)
+
+// TestDifferentialSweep sweeps small instances of the full Algorithm 3
+// pipeline against Dijkstra.
+func TestDifferentialSweep(t *testing.T) {
+	difftest.Search(t, difftest.Space{SeedsPerSize: 10, MaxK: 2, ZeroFrac: 0.3}, func(in difftest.Instance) error {
+		res, err := Run(in.G, Opts{Sources: in.Sources, H: 3})
+		if err != nil {
+			return err
+		}
+		return difftest.SSSPOracle(in, res.Dist)
+	})
+}
+
+func TestAPSPMatchesDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Random(22, 66, graph.GenOpts{Seed: seed, MaxW: 6, ZeroFrac: 0.3, Directed: seed%2 == 0})
+		res, err := Run(g, Opts{H: 3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := graph.APSP(g)
+		for s := 0; s < g.N(); s++ {
+			for v := 0; v < g.N(); v++ {
+				if res.Dist[s][v] != want[s][v] {
+					t.Fatalf("seed %d: dist[%d][%d] = %d, want %d (|Q|=%d h=%d)",
+						seed, s, v, res.Dist[s][v], want[s][v], len(res.Q), res.H)
+				}
+			}
+		}
+	}
+}
+
+func TestKSSP(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.Random(26, 90, graph.GenOpts{Seed: seed, MaxW: 5, ZeroFrac: 0.25, Directed: true})
+		sources := []int{0, 9, 17, 25}
+		res, err := Run(g, Opts{Sources: sources, H: 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, s := range sources {
+			want := graph.Dijkstra(g, s)
+			for v := 0; v < g.N(); v++ {
+				if res.Dist[i][v] != want[v] {
+					t.Fatalf("seed %d: dist[%d][%d] = %d, want %d", seed, s, v, res.Dist[i][v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestAutoH(t *testing.T) {
+	g := graph.Random(24, 80, graph.GenOpts{Seed: 2, MaxW: 4, ZeroFrac: 0.3, Directed: true})
+	res, err := Run(g, Opts{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.H < 1 || res.H >= g.N() {
+		t.Fatalf("auto H = %d out of range", res.H)
+	}
+	want := graph.APSP(g)
+	for s := 0; s < g.N(); s++ {
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[s][v] != want[s][v] {
+				t.Fatalf("dist[%d][%d] = %d, want %d", s, v, res.Dist[s][v], want[s][v])
+			}
+		}
+	}
+}
+
+func TestZeroHeavy(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.ZeroHeavy(20, 70, 0.6, graph.GenOpts{Seed: seed, MaxW: 7, Directed: true})
+		res, err := Run(g, Opts{H: 3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := graph.APSP(g)
+		for s := 0; s < g.N(); s++ {
+			for v := 0; v < g.N(); v++ {
+				if res.Dist[s][v] != want[s][v] {
+					t.Fatalf("seed %d: dist[%d][%d] = %d, want %d", seed, s, v, res.Dist[s][v], want[s][v])
+				}
+			}
+		}
+	}
+}
+
+func TestGridWorkload(t *testing.T) {
+	g := graph.Grid(5, 5, graph.GenOpts{Seed: 3, MaxW: 9, ZeroFrac: 0.2})
+	res, err := Run(g, Opts{H: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := graph.APSP(g)
+	for s := 0; s < g.N(); s++ {
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[s][v] != want[s][v] {
+				t.Fatalf("dist[%d][%d] = %d, want %d", s, v, res.Dist[s][v], want[s][v])
+			}
+		}
+	}
+	if res.PhaseRounds["cssp"] == 0 || res.PhaseRounds["broadcast"] == 0 {
+		t.Fatalf("phase accounting empty: %v", res.PhaseRounds)
+	}
+}
+
+func TestChooseHMonotoneInW(t *testing.T) {
+	// Heavier weights should push toward smaller h (Δ ≈ hW grows with h).
+	h1 := ChooseH(100, 100, 1, 0)
+	h2 := ChooseH(100, 100, 1000, 0)
+	if h2 > h1 {
+		t.Fatalf("ChooseH grew with W: %d -> %d", h1, h2)
+	}
+	if h1 < 1 || h1 >= 100 {
+		t.Fatalf("ChooseH out of range: %d", h1)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.Path(4, graph.GenOpts{Seed: 1, MaxW: 3})
+	if _, err := Run(g, Opts{Sources: []int{}}); err == nil {
+		t.Fatal("empty source slice accepted")
+	}
+}

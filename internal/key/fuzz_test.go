@@ -1,0 +1,39 @@
+package key
+
+import "testing"
+
+// FuzzCmpCeil: exact key arithmetic must satisfy its defining properties
+// on arbitrary inputs (antisymmetry of Cmp, and the two ceiling
+// inequalities) without panicking.
+func FuzzCmpCeil(f *testing.F) {
+	f.Add(int64(2), int64(1), int64(3), int64(4), int64(5), int64(6))
+	f.Add(int64(1), int64(1), int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(1<<40), int64(3), int64(1<<30), int64(7), int64(1<<20), int64(9))
+	f.Fuzz(func(t *testing.T, num, den, d1, l1, d2, l2 int64) {
+		if num <= 0 || den <= 0 || num > 1<<50 || den > 1<<50 {
+			return
+		}
+		norm := func(x int64) int64 {
+			if x < 0 {
+				x = -x
+			}
+			return x % (1 << 40)
+		}
+		d1, l1, d2, l2 = norm(d1), norm(l1), norm(d2), norm(l2)
+		g := NewRatio(num, den)
+		if c, cRev := g.Cmp(d1, l1, d2, l2), g.Cmp(d2, l2, d1, l1); c != -cRev {
+			t.Fatalf("antisymmetry failed: %d vs %d", c, cRev)
+		}
+		if g.Cmp(d1, l1, d1, l1) != 0 {
+			t.Fatal("reflexivity failed")
+		}
+		ck := g.CeilKappa(d1, l1)
+		c := ck - l1
+		if !g.geCSquared(c, d1) {
+			t.Fatalf("ceiling too small: %d", ck)
+		}
+		if c > 0 && g.geCSquared(c-1, d1) {
+			t.Fatalf("ceiling not tight: %d", ck)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package posweight
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func allSources(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestPositiveWeightsMatchDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Random(30, 90, graph.GenOpts{Seed: seed, MinW: 1, MaxW: 9, Directed: seed%2 == 0})
+		res, err := Run(g, Opts{Sources: allSources(g.N())})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := graph.APSP(g)
+		for s := 0; s < g.N(); s++ {
+			for v := 0; v < g.N(); v++ {
+				if res.Dist[s][v] != want[s][v] {
+					t.Fatalf("seed %d: dist[%d][%d] = %d, want %d", seed, s, v, res.Dist[s][v], want[s][v])
+				}
+			}
+		}
+		if res.LateSends != 0 {
+			t.Errorf("seed %d: %d late sends with positive weights (schedule should be sound)", seed, res.LateSends)
+		}
+	}
+}
+
+func TestScheduleSoundInStrictModePositive(t *testing.T) {
+	g := graph.Random(25, 70, graph.GenOpts{Seed: 12, MinW: 1, MaxW: 5, Directed: true})
+	res, err := Run(g, Opts{Sources: allSources(g.N()), Strict: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := graph.APSP(g)
+	for s := 0; s < g.N(); s++ {
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[s][v] != want[s][v] {
+				t.Fatalf("strict mode wrong with positive weights at [%d][%d]: %d vs %d", s, v, res.Dist[s][v], want[s][v])
+			}
+		}
+	}
+}
+
+func TestRoundBoundPositive(t *testing.T) {
+	// Paper Sec. II: estimates arrive before round d(s)+pos(s), so the last
+	// send is at most Δ + k; everything is quiet by Δ + k + 1.
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.Random(40, 120, graph.GenOpts{Seed: seed, MinW: 1, MaxW: 6, Directed: true})
+		res, err := Run(g, Opts{Sources: allSources(g.N())})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		delta := graph.Delta(g)
+		bound := int(delta) + g.N()
+		if res.Stats.Rounds > bound {
+			t.Fatalf("seed %d: rounds %d exceed Δ+k = %d", seed, res.Stats.Rounds, bound)
+		}
+	}
+}
+
+func TestUnitWeightsWithinTwoN(t *testing.T) {
+	g := graph.Random(50, 150, graph.GenOpts{Seed: 3, MinW: 1, MaxW: 1})
+	res, err := Run(g, Opts{Sources: allSources(g.N())})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stats.Rounds >= 2*g.N() {
+		t.Fatalf("unweighted APSP rounds %d, want < 2n = %d ([12] bound)", res.Stats.Rounds, 2*g.N())
+	}
+}
+
+func TestMaxDistTruncates(t *testing.T) {
+	g := graph.Path(6, graph.GenOpts{Seed: 1, MinW: 2, MaxW: 2})
+	res, err := Run(g, Opts{Sources: []int{0}, MaxDist: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Distances along the path: 0,2,4,6,8,10; cap 5 keeps 0,2,4.
+	want := []int64{0, 2, 4, graph.Inf, graph.Inf, graph.Inf}
+	for v, w := range want {
+		if res.Dist[0][v] != w {
+			t.Fatalf("dist[0][%d] = %d, want %d", v, res.Dist[0][v], w)
+		}
+	}
+}
+
+func TestZeroWeightBreaksStrictSchedule(t *testing.T) {
+	// The paper's motivating failure (Sec. II): on a zero-weight chain the
+	// predecessor no longer satisfies d_y = d_v − 1, estimates arrive after
+	// their send slot, and the strict equality schedule drops them.
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	res, err := Run(g, Opts{Sources: []int{0}, Strict: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dist[0][2] != graph.Inf {
+		t.Fatalf("expected the strict schedule to lose the zero-chain estimate; dist = %d", res.Dist[0][2])
+	}
+	if res.MissedSends == 0 {
+		t.Fatal("expected missed sends to be counted")
+	}
+}
+
+func TestZeroWeightLenientIsCorrectButLate(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.ZeroHeavy(30, 90, 0.5, graph.GenOpts{Seed: seed, MaxW: 6, Directed: true})
+		res, err := Run(g, Opts{Sources: allSources(g.N())})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := graph.APSP(g)
+		for s := 0; s < g.N(); s++ {
+			for v := 0; v < g.N(); v++ {
+				if res.Dist[s][v] != want[s][v] {
+					t.Fatalf("seed %d: lenient mode wrong at [%d][%d]: %d vs %d", seed, s, v, res.Dist[s][v], want[s][v])
+				}
+			}
+		}
+	}
+	// At least one seed must exhibit late sends; a zero-heavy family that
+	// never violates the schedule would not demonstrate anything.
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	res, err := Run(g, Opts{Sources: []int{0}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.LateSends == 0 {
+		t.Fatal("zero chain produced no late sends in lenient mode")
+	}
+	if res.Dist[0][2] != 0 {
+		t.Fatalf("lenient dist = %d, want 0", res.Dist[0][2])
+	}
+}
+
+func TestParentPointersFormShortestPaths(t *testing.T) {
+	g := graph.Random(25, 80, graph.GenOpts{Seed: 21, MinW: 1, MaxW: 7, Directed: true})
+	res, err := Run(g, Opts{Sources: []int{0, 5, 9}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, s := range []int{0, 5, 9} {
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[i][v] >= graph.Inf {
+				if res.Parent[i][v] != -1 {
+					t.Fatalf("unreachable %d has parent", v)
+				}
+				continue
+			}
+			if v == s {
+				if res.Parent[i][v] != s {
+					t.Fatalf("source parent = %d", res.Parent[i][v])
+				}
+				continue
+			}
+			p := res.Parent[i][v]
+			w, ok := g.Weight(p, v)
+			if !ok || res.Dist[i][p]+w != res.Dist[i][v] {
+				t.Fatalf("parent edge not tight: src %d node %d parent %d", s, v, p)
+			}
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	g := graph.Path(3, graph.GenOpts{Seed: 1, MaxW: 3})
+	if _, err := Run(g, Opts{}); err == nil {
+		t.Fatal("no sources accepted")
+	}
+	if _, err := Run(g, Opts{Sources: []int{7}}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := Run(g, Opts{Sources: []int{1, 1}}); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+}
+
+func TestSubsetOfSources(t *testing.T) {
+	g := graph.Grid(4, 5, graph.GenOpts{Seed: 2, MinW: 1, MaxW: 4})
+	sources := []int{0, 7, 19}
+	res, err := Run(g, Opts{Sources: sources})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, s := range sources {
+		want := graph.Dijkstra(g, s)
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[i][v] != want[v] {
+				t.Fatalf("dist[%d][%d] = %d, want %d", s, v, res.Dist[i][v], want[v])
+			}
+		}
+	}
+}

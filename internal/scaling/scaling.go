@@ -1,0 +1,428 @@
+// Package scaling implements the extension the paper leaves as future work
+// (Sec. V, Conclusion): combining the pipelined strategy with Gabow's
+// scaling technique [9] to get weight-insensitive exact APSP.
+//
+// Gabow's scaling processes the weight bits most-significant first. With
+// B = ⌈log₂(W+1)⌉, phase t ∈ {B−1, …, 0} uses the scaled weights
+// w_t(e) = ⌊w(e)/2^t⌋ = 2·w_{t+1}(e) + bit_t(e). Given the previous
+// phase's distances d_{t+1}(x,·), the reduced costs
+//
+//	c_t^x(u,v) = w_t(u,v) + 2·d_{t+1}(x,u) − 2·d_{t+1}(x,v)
+//
+// are non-negative, and the phase's shortest-path distances under c_t^x
+// are at most n−1 (each edge contributes its bit plus slack that
+// telescopes away), so each phase is an (h,k)-SSP instance with the tiny
+// promise Δ ≤ n−1 regardless of W — exactly where the pipelined approach
+// shines.
+//
+// The paper's obstacle — "in the scaling algorithm each source sees a
+// different edge weight on a given edge" — dissolves once each message
+// carries the sender's previous-phase distance: the receiver then computes
+// the reduced cost of the traversed edge locally, because it knows its own
+// previous-phase distance. The messages grow by one word, which the
+// CONGEST budget absorbs, and the whole computation stays deterministic —
+// no Ghaffari-style randomized scheduling is needed.
+//
+// Round complexity: B phases, each a k-source pipelined run with Δ ≤ n−1
+// and h = n−1, i.e. O(√(k·n·n)) = O(n^{3/2}) rounds per phase for k = n,
+// for O(n^{3/2}·log W) in total — independent of Δ, and better than
+// Theorem I.1(ii)'s 2n√Δ whenever Δ ≫ n·log²W.
+//
+// The per-phase list discipline is the provably-correct Pareto frontier
+// (see internal/core): zero reduced costs are pervasive (every tight edge
+// has slack 0 and possibly bit 0), so this is squarely the zero-weight
+// regime the paper targets.
+package scaling
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/key"
+)
+
+// Opts configures a scaling run.
+type Opts struct {
+	// Sources is the source set (nil = all nodes).
+	Sources []int
+	// MaxRounds and Workers are passed to the engine (per phase).
+	MaxRounds int
+	Workers   int
+}
+
+// Result reports exact distances and per-phase costs.
+type Result struct {
+	Sources []int
+	// Dist[i][v] = δ(Sources[i], v).
+	Dist [][]int64
+	// Stats accumulates all phases; PhaseRounds[t] is the rounds of scaling
+	// phase t (index 0 = most significant bit phase).
+	Stats       congest.Stats
+	PhaseRounds []int
+	// Bits is the number of scaling phases B.
+	Bits int
+}
+
+// phaseMsg is the wire format: an entry extended with the sender's
+// previous-phase distance so the receiver can form the reduced cost.
+type phaseMsg struct {
+	src   int   // source node ID
+	d     int64 // reduced-cost distance of the carried path
+	l     int64 // hop length
+	prevY int64 // sender's previous-phase distance d_{t+1}(src, y)
+}
+
+// Words reports the message size: 4 words, within the CONGEST budget.
+func (phaseMsg) Words() int { return 4 }
+
+// phaseEntry is one Pareto-frontier entry.
+type phaseEntry struct {
+	d, l     int64
+	srcIdx   int
+	parent   int
+	needSend bool
+	dead     bool
+	idx      int
+	ceilK    int64
+}
+
+type phaseItem struct {
+	time int64
+	seq  int64
+	e    *phaseEntry
+}
+
+type phaseHeap []phaseItem
+
+func (h phaseHeap) Len() int { return len(h) }
+func (h phaseHeap) Less(i, j int) bool {
+	return h[i].time < h[j].time || (h[i].time == h[j].time && h[i].seq < h[j].seq)
+}
+func (h phaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *phaseHeap) Push(x interface{}) { *h = append(*h, x.(phaseItem)) }
+func (h *phaseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// phaseNode runs one scaling phase: a k-source Pareto-pipelined SSP under
+// per-source reduced costs.
+type phaseNode struct {
+	id      int
+	sources []int
+	srcIdx  map[int]int
+	gamma   key.Gamma
+	h       int64
+
+	// scaledW[y] = w_t of the minimum arc y->id (this phase's scale).
+	scaledW map[int]int64
+	// prev[i] = d_{t+1}(sources[i], id); Inf if unreachable.
+	prev []int64
+
+	list    []*phaseEntry
+	perSrc  [][]*phaseEntry
+	bestD   []int64
+	bestL   []int64
+	pending int
+	hp      phaseHeap
+	seq     int64
+	late    int
+}
+
+func (nd *phaseNode) Init(ctx *congest.Context) {
+	k := len(nd.sources)
+	nd.srcIdx = make(map[int]int, k)
+	nd.perSrc = make([][]*phaseEntry, k)
+	nd.bestD = make([]int64, k)
+	nd.bestL = make([]int64, k)
+	for i, s := range nd.sources {
+		nd.srcIdx[s] = i
+		nd.bestD[i] = graph.Inf
+		nd.bestL[i] = -1
+	}
+	if i, ok := nd.srcIdx[nd.id]; ok && nd.prev[i] < graph.Inf {
+		z := &phaseEntry{d: 0, l: 0, srcIdx: i, parent: nd.id, needSend: true}
+		z.ceilK = nd.gamma.CeilKappa(0, 0)
+		nd.bestD[i], nd.bestL[i] = 0, 0
+		nd.insertAt(z, 0)
+		nd.schedule(z)
+	}
+}
+
+func (nd *phaseNode) schedule(z *phaseEntry) {
+	nd.seq++
+	heap.Push(&nd.hp, phaseItem{time: z.ceilK + int64(z.idx) + 1, seq: nd.seq, e: z})
+}
+
+func (nd *phaseNode) insertAt(z *phaseEntry, p int) {
+	nd.list = append(nd.list, nil)
+	copy(nd.list[p+1:], nd.list[p:])
+	nd.list[p] = z
+	for i := p; i < len(nd.list); i++ {
+		nd.list[i].idx = i
+	}
+	nd.perSrc[z.srcIdx] = append(nd.perSrc[z.srcIdx], z)
+	if z.needSend {
+		nd.pending++
+	}
+}
+
+func (nd *phaseNode) remove(z *phaseEntry) {
+	p := z.idx
+	nd.list = append(nd.list[:p], nd.list[p+1:]...)
+	for i := p; i < len(nd.list); i++ {
+		nd.list[i].idx = i
+	}
+	ps := nd.perSrc[z.srcIdx]
+	for i, e := range ps {
+		if e == z {
+			ps[i] = ps[len(ps)-1]
+			nd.perSrc[z.srcIdx] = ps[:len(ps)-1]
+			break
+		}
+	}
+	if z.needSend {
+		nd.pending--
+	}
+	z.dead = true
+}
+
+func (nd *phaseNode) less(a, b *phaseEntry) bool {
+	if c := nd.gamma.Cmp(a.d, a.l, b.d, b.l); c != 0 {
+		return c < 0
+	}
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return nd.sources[a.srcIdx] < nd.sources[b.srcIdx]
+}
+
+func (nd *phaseNode) Round(ctx *congest.Context, r int, inbox []congest.Message) {
+	for _, m := range inbox {
+		msg := m.Payload.(phaseMsg)
+		w, ok := nd.scaledW[m.From]
+		if !ok {
+			continue
+		}
+		i, ok := nd.srcIdx[msg.src]
+		if !ok {
+			ctx.Failf("scaling: unknown source %d", msg.src)
+			return
+		}
+		if nd.prev[i] >= graph.Inf {
+			// Unreachable in the previous phase means unreachable, period;
+			// no reduced cost is defined.
+			continue
+		}
+		// Reduced cost of the traversed arc, formed locally:
+		// c = w_t(y,v) + 2·d_{t+1}(x,y) − 2·d_{t+1}(x,v).
+		c := w + 2*msg.prevY - 2*nd.prev[i]
+		if c < 0 {
+			ctx.Failf("scaling: negative reduced cost %d at node %d (phase invariant broken)", c, nd.id)
+			return
+		}
+		d := msg.d + c
+		l := msg.l + 1
+		if l > nd.h || d > nd.h {
+			continue // phase promise: distances ≤ n−1
+		}
+		// Pareto discipline.
+		if d == nd.bestD[i] && l == nd.bestL[i] {
+			continue
+		}
+		dominated := false
+		for _, e := range nd.perSrc[i] {
+			if e.d <= d && e.l <= l {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		z := &phaseEntry{d: d, l: l, srcIdx: i, parent: m.From, needSend: true}
+		z.ceilK = nd.gamma.CeilKappa(d, l)
+		if d < nd.bestD[i] || (d == nd.bestD[i] && l < nd.bestL[i]) {
+			nd.bestD[i], nd.bestL[i] = d, l
+		}
+		p := sort.Search(len(nd.list), func(j int) bool { return !nd.less(nd.list[j], z) })
+		nd.insertAt(z, p)
+		var victims []*phaseEntry
+		for _, e := range nd.perSrc[i] {
+			if e != z && e.d >= d && e.l >= l {
+				victims = append(victims, e)
+			}
+		}
+		for _, e := range victims {
+			nd.remove(e)
+		}
+		nd.schedule(z)
+	}
+
+	// Send phase: earliest due entry, one per round.
+	var cand *phaseEntry
+	var candSched int64
+	for nd.hp.Len() > 0 && nd.hp[0].time <= int64(r) {
+		it := heap.Pop(&nd.hp).(phaseItem)
+		z := it.e
+		if z.dead || !z.needSend {
+			continue
+		}
+		sched := z.ceilK + int64(z.idx) + 1
+		if sched > int64(r) {
+			nd.schedule(z)
+			continue
+		}
+		if cand == nil || sched < candSched || (sched == candSched && z.idx < cand.idx) {
+			if cand != nil {
+				nd.seq++
+				heap.Push(&nd.hp, phaseItem{time: int64(r) + 1, seq: nd.seq, e: cand})
+			}
+			cand, candSched = z, sched
+		} else {
+			nd.seq++
+			heap.Push(&nd.hp, phaseItem{time: int64(r) + 1, seq: nd.seq, e: z})
+		}
+	}
+	if cand == nil {
+		return
+	}
+	if candSched < int64(r) {
+		nd.late++
+	}
+	cand.needSend = false
+	nd.pending--
+	i := cand.srcIdx
+	ctx.Broadcast(phaseMsg{src: nd.sources[i], d: cand.d, l: cand.l, prevY: nd.prev[i]})
+}
+
+func (nd *phaseNode) Quiescent() bool { return nd.pending == 0 }
+
+// Run computes exact APSP/k-SSP by bit scaling.
+func Run(g *graph.Graph, opts Opts) (*Result, error) {
+	n := g.N()
+	sources := opts.Sources
+	if sources == nil {
+		sources = make([]int, n)
+		for v := range sources {
+			sources[v] = v
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("scaling: no sources")
+	}
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("scaling: source %d out of range", s)
+		}
+	}
+	k := len(sources)
+	res := &Result{Sources: append([]int(nil), sources...)}
+
+	// B = number of bit phases. W = 0 still needs one phase to resolve
+	// reachability into 0/Inf distances.
+	bits := 0
+	for w := g.MaxWeight(); w > 0; w >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	res.Bits = bits
+
+	h := int64(n - 1)
+	if h < 1 {
+		h = 1
+	}
+	gamma := key.New(k, int(h), h) // per-phase promise Δ = n−1
+
+	// prev[i][v] carries d_{t+1}; phase B's scaled weights are all zero, so
+	// start with "reachability distances" of 0/Inf under all-zero weights —
+	// which is exactly what running the first phase with prev ≡ 0 for
+	// reachable... we bootstrap with prev = 0 everywhere and let phase B−1's
+	// hop/distance caps do the work: with w_{B}≡0, d_B(x,v) = 0 iff v is
+	// reachable from x. We compute that bootstrap with a phase run at scale
+	// t = B (all weights 0).
+	prev := make([][]int64, k)
+	for i := range prev {
+		prev[i] = make([]int64, n)
+		// At scale B every weight is 0, and the virtual phase B+1 has
+		// everything at 0 for reachable nodes; seeding with 0 for all is
+		// sound because unreachable nodes simply never receive entries.
+		for v := range prev[i] {
+			prev[i][v] = 0
+		}
+	}
+
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		b := key.Bound(k, int(h), h)
+		mr := 16*b + 4096
+		if mr > 1<<30 {
+			mr = 1 << 30
+		}
+		maxRounds = int(mr)
+	}
+
+	runPhase := func(t int) ([][]int64, error) {
+		nodes := make([]*phaseNode, n)
+		stats, err := congest.Run(g, func(v int) congest.Node {
+			nd := &phaseNode{id: v, sources: sources, gamma: gamma, h: h}
+			nd.scaledW = make(map[int]int64)
+			for _, e := range g.In(v) {
+				w := e.W >> uint(t)
+				if old, ok := nd.scaledW[e.From]; !ok || w < old {
+					nd.scaledW[e.From] = w
+				}
+			}
+			nd.prev = make([]int64, k)
+			for i := range nd.prev {
+				nd.prev[i] = prev[i][v]
+			}
+			nodes[v] = nd
+			return nd
+		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers})
+		res.Stats.Add(stats)
+		res.PhaseRounds = append(res.PhaseRounds, stats.Rounds)
+		if err != nil {
+			return nil, fmt.Errorf("scaling: phase t=%d: %w", t, err)
+		}
+		// d_t(x,v) = dist_c(x,v) + 2·d_{t+1}(x,v), locally at v.
+		out := make([][]int64, k)
+		for i := 0; i < k; i++ {
+			out[i] = make([]int64, n)
+			for v := 0; v < n; v++ {
+				if nodes[v].bestD[i] >= graph.Inf || prev[i][v] >= graph.Inf {
+					out[i][v] = graph.Inf
+				} else {
+					out[i][v] = nodes[v].bestD[i] + 2*prev[i][v]
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Bootstrap phase at scale = bits (all scaled weights zero): resolves
+	// reachability, d = 0 or Inf.
+	boot, err := runPhase(bits)
+	if err != nil {
+		return nil, err
+	}
+	prev = boot
+
+	for t := bits - 1; t >= 0; t-- {
+		cur, err := runPhase(t)
+		if err != nil {
+			return nil, err
+		}
+		prev = cur
+	}
+	res.Dist = prev
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package unweighted
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAPSPMatchesHopDistances(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.Random(30, 90, graph.GenOpts{Seed: seed, MaxW: 9, Directed: seed%2 == 0})
+		res, err := APSP(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		unit := g.Transform(func(int64) int64 { return 1 })
+		for s := 0; s < g.N(); s++ {
+			want := graph.Dijkstra(unit, s)
+			for v := 0; v < g.N(); v++ {
+				if res.Dist[s][v] != want[v] {
+					t.Fatalf("seed %d: hops[%d][%d] = %d, want %d", seed, s, v, res.Dist[s][v], want[v])
+				}
+			}
+		}
+		if res.Stats.Rounds >= 2*g.N() {
+			t.Fatalf("seed %d: rounds %d ≥ 2n ([12] bound)", seed, res.Stats.Rounds)
+		}
+		if res.LateSends != 0 {
+			t.Fatalf("seed %d: unweighted pipeline had %d late sends", seed, res.LateSends)
+		}
+	}
+}
+
+func TestKSourceSubset(t *testing.T) {
+	g := graph.Grid(5, 5, graph.GenOpts{Seed: 3, MaxW: 4})
+	sources := []int{0, 12, 24}
+	res, err := KSource(g, sources)
+	if err != nil {
+		t.Fatalf("KSource: %v", err)
+	}
+	unit := g.Transform(func(int64) int64 { return 1 })
+	for i, s := range sources {
+		want := graph.Dijkstra(unit, s)
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[i][v] != want[v] {
+				t.Fatalf("hops[%d][%d] = %d, want %d", s, v, res.Dist[i][v], want[v])
+			}
+		}
+	}
+}
+
+func TestEstimateDelta(t *testing.T) {
+	g := graph.Random(30, 120, graph.GenOpts{Seed: 6, MaxW: 10, ZeroFrac: 0.2, Directed: true})
+	h := g.N() - 1
+	est, res, err := EstimateDelta(g, h)
+	if err != nil {
+		t.Fatalf("EstimateDelta: %v", err)
+	}
+	truth := graph.Delta(g)
+	if est < truth {
+		t.Fatalf("estimate %d below true Δ %d (must be an upper bound)", est, truth)
+	}
+	naive := int64(h) * g.MaxWeight()
+	if est > naive {
+		t.Fatalf("estimate %d worse than the local fallback %d", est, naive)
+	}
+	if res.Stats.Rounds >= 2*g.N() {
+		t.Fatalf("estimation cost %d rounds ≥ 2n", res.Stats.Rounds)
+	}
+	t.Logf("Δ̂ = %d (true %d, local fallback %d, cost %d rounds)", est, truth, naive, res.Stats.Rounds)
+	// With a small hop budget the bound uses h, not the eccentricity.
+	est2, _, err := EstimateDelta(g, 2)
+	if err != nil {
+		t.Fatalf("EstimateDelta: %v", err)
+	}
+	if est2 != 2*g.MaxWeight() {
+		t.Fatalf("h-capped estimate = %d, want %d", est2, 2*g.MaxWeight())
+	}
+}
+
+func TestZeroReachMatchesClosure(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.Random(25, 75, graph.GenOpts{Seed: seed, MaxW: 6, ZeroFrac: 0.4, Directed: true})
+		sources := make([]int, g.N())
+		for v := range sources {
+			sources[v] = v
+		}
+		reach, _, err := ZeroReach(g, sources)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := graph.ZeroClosure(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if reach[u][v] != want[u][v] {
+					t.Fatalf("seed %d: reach[%d][%d] = %v, want %v", seed, u, v, reach[u][v], want[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestZeroReachNoZeroEdges(t *testing.T) {
+	g := graph.Random(15, 40, graph.GenOpts{Seed: 2, MinW: 1, MaxW: 5, Directed: true})
+	reach, res, err := ZeroReach(g, []int{0, 1})
+	if err != nil {
+		t.Fatalf("ZeroReach: %v", err)
+	}
+	for i, s := range []int{0, 1} {
+		for v := 0; v < g.N(); v++ {
+			if reach[i][v] != (v == s) {
+				t.Fatalf("reach[%d][%d] = %v on zero-free graph", s, v, reach[i][v])
+			}
+		}
+	}
+	if res.Stats.Rounds != 0 {
+		// No zero arcs: sources have no links in the subgraph, so the only
+		// entries are the self-entries and at most one send each can occur
+		// on... no links at all means zero sends.
+		t.Fatalf("rounds = %d on an edgeless zero-subgraph", res.Stats.Rounds)
+	}
+}

@@ -1,0 +1,71 @@
+package apsp
+
+import (
+	"sync"
+	"testing"
+)
+
+// A Graph must be safely reusable: repeated runs give identical results
+// (no hidden mutation), and concurrent runs on the same Graph are safe
+// (verified under -race).
+
+func TestRepeatedRunsIdentical(t *testing.T) {
+	g := ZeroHeavyGraph(24, 80, 0.4, GenOpts{Seed: 9, MaxW: 7, Directed: true})
+	first, err := PipelinedAPSP(g, 0)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		res, err := PipelinedAPSP(g, 0)
+		if err != nil {
+			t.Fatalf("run %d: %v", trial+2, err)
+		}
+		if res.Stats != first.Stats {
+			t.Fatalf("run %d changed stats: %+v vs %+v", trial+2, res.Stats, first.Stats)
+		}
+		for s := 0; s < g.N(); s++ {
+			for v := 0; v < g.N(); v++ {
+				if res.Dist[s][v] != first.Dist[s][v] {
+					t.Fatalf("run %d changed dist[%d][%d]", trial+2, s, v)
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentRunsOnSharedGraph(t *testing.T) {
+	g := RandomGraph(20, 60, GenOpts{Seed: 4, MaxW: 6, ZeroFrac: 0.3, Directed: true})
+	want := ExactAPSP(g)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := PipelinedAPSP(g, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for s := 0; s < g.N(); s++ {
+				for v := 0; v < g.N(); v++ {
+					if res.Dist[s][v] != want[s][v] {
+						errs <- errMismatch
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent run produced a wrong distance" }
