@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz clean
+.PHONY: all build test race cover bench experiments examples fuzz trace-demo clean
 
 all: build test
 
@@ -39,6 +39,16 @@ examples:
 	$(GO) run ./examples/blockertour
 	$(GO) run ./examples/approxtrade
 	$(GO) run ./examples/scalingdemo
+
+# Phase-attributed tracing demo: BlockerAPSP on a small grid with every
+# observability sink enabled. Prints the per-phase cost table; the trace
+# file locations land on stderr (open out/trace.chrome.json in
+# chrome://tracing or Perfetto).
+trace-demo:
+	mkdir -p out
+	$(GO) run ./cmd/apsprun -alg blocker -grid 6x6 -maxw 8 -zero 0.2 -quiet \
+		-phases -trace out/trace.jsonl -metrics out/metrics.prom \
+		-stats-json out/stats.json
 
 # Short fuzzing bursts for the parser and the exact key arithmetic.
 fuzz:

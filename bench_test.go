@@ -3,10 +3,12 @@ package apsp
 import (
 	"testing"
 
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/key"
+	"repro/internal/obs"
 )
 
 // Every table and figure of the paper has a benchmark that regenerates it
@@ -178,7 +180,7 @@ func BenchmarkGraphGen(b *testing.B) {
 	}
 }
 
-func benchEngineWorkers(b *testing.B, workers int) {
+func benchEngineWorkers(b *testing.B, workers int, mkObs func() congest.Observer) {
 	g := graph.Random(96, 384, graph.GenOpts{Seed: 5, MaxW: 8, ZeroFrac: 0.25, Directed: true})
 	delta := graph.Delta(g)
 	b.ResetTimer()
@@ -187,7 +189,11 @@ func benchEngineWorkers(b *testing.B, workers int) {
 		for v := range sources {
 			sources[v] = v
 		}
-		if _, err := core.Run(g, core.Opts{Sources: sources, H: g.N() - 1, Delta: delta, Workers: workers}); err != nil {
+		var o congest.Observer
+		if mkObs != nil {
+			o = mkObs()
+		}
+		if _, err := core.Run(g, core.Opts{Sources: sources, H: g.N() - 1, Delta: delta, Workers: workers, Obs: o}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -195,7 +201,20 @@ func benchEngineWorkers(b *testing.B, workers int) {
 
 // BenchmarkEngineWorkers* measure the engine's intra-round parallel
 // speedup (results are bit-identical across worker counts; see
-// core.TestDeterministicAcrossWorkers).
-func BenchmarkEngineWorkers1(b *testing.B) { benchEngineWorkers(b, 1) }
-func BenchmarkEngineWorkers4(b *testing.B) { benchEngineWorkers(b, 4) }
-func BenchmarkEngineWorkers8(b *testing.B) { benchEngineWorkers(b, 8) }
+// core.TestDeterministicAcrossWorkers). They run with no observer — the
+// engine's nil-observer fast path — and are the baseline for the guard
+// below.
+func BenchmarkEngineWorkers1(b *testing.B) { benchEngineWorkers(b, 1, nil) }
+func BenchmarkEngineWorkers4(b *testing.B) { benchEngineWorkers(b, 4, nil) }
+func BenchmarkEngineWorkers8(b *testing.B) { benchEngineWorkers(b, 8, nil) }
+
+// BenchmarkEngineWorkers*Observed run the identical workload with a full
+// obs.Recorder attached (no sinks). Comparing against the unobserved
+// variants bounds the instrumentation's cost; the nil-observer variants
+// themselves must stay within noise of the pre-observer engine.
+func BenchmarkEngineWorkers1Observed(b *testing.B) {
+	benchEngineWorkers(b, 1, func() congest.Observer { return obs.NewRecorder() })
+}
+func BenchmarkEngineWorkers8Observed(b *testing.B) {
+	benchEngineWorkers(b, 8, func() congest.Observer { return obs.NewRecorder() })
+}

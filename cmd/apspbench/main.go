@@ -8,6 +8,7 @@
 //	apspbench -small       # reduced sizes (what the benchmarks use)
 //	apspbench -exp E-BLK   # a single experiment
 //	apspbench -list        # list experiment IDs
+//	apspbench -json out.json  # additionally persist the tables as JSON
 package main
 
 import (
@@ -20,11 +21,12 @@ import (
 
 func main() {
 	var (
-		small = flag.Bool("small", false, "run reduced-size experiments")
-		exp   = flag.String("exp", "", "run a single experiment by ID")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		seed  = flag.Int64("seed", 1, "deterministic seed")
-		md    = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+		small    = flag.Bool("small", false, "run reduced-size experiments")
+		exp      = flag.String("exp", "", "run a single experiment by ID")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		md       = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+		jsonPath = flag.String("json", "", "also write the result tables as JSON to this path")
 	)
 	flag.Parse()
 
@@ -35,21 +37,44 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{Small: *small, Seed: *seed}
+
+	var tables []*experiments.Table
 	if *exp != "" {
 		t, err := experiments.Run(*exp, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "apspbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
+		tables = []*experiments.Table{t}
+	} else {
+		ts, err := experiments.Collect(cfg)
+		if err != nil {
+			fail(err)
+		}
+		tables = ts
+	}
+	for _, t := range tables {
 		if *md {
 			t.Markdown(os.Stdout)
 		} else {
 			t.Format(os.Stdout)
 		}
-		return
 	}
-	if err := experiments.RunAll(cfg, os.Stdout, *md); err != nil {
-		fmt.Fprintf(os.Stderr, "apspbench: %v\n", err)
-		os.Exit(1)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteJSON(f, tables); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "tables: %s\n", *jsonPath)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "apspbench: %v\n", err)
+	os.Exit(1)
 }

@@ -3,19 +3,28 @@
 // the distances, the CONGEST cost, and — when -check is set — a validation
 // against the sequential Dijkstra oracle.
 //
+// Observability: -trace writes a phase-attributed JSONL event stream plus
+// a Chrome trace_event file (open in chrome://tracing or Perfetto) next to
+// it; -metrics writes a Prometheus text dump; -phases prints the per-phase
+// cost table; -json / -stats-json emit the aggregate + per-phase report as
+// JSON (stdout / file).
+//
 // Usage:
 //
 //	apsprun -alg pipeline -graph g.txt -sources 0,5,9
 //	apsprun -alg blocker -n 48 -m 160 -zero 0.3 -check
-//	apsprun -alg approx -eps 0.25 -n 32 -m 96
+//	apsprun -alg blocker -n 64 -m 256 -phases -trace trace.jsonl
+//	apsprun -alg approx -eps 0.25 -n 32 -m 96 -json
 //	apsprun -alg shortrange -graph g.txt -sources 0 -h 8
 //	apsprun -alg bellman -n 32 -m 96 -h 6 -sources 0,1,2 -check
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -25,36 +34,79 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hssp"
+	"repro/internal/obs"
 	"repro/internal/scaling"
 	"repro/internal/shortrange"
 )
 
 func main() {
 	var (
-		alg      = flag.String("alg", "pipeline", "pipeline | blocker | scaling | approx | shortrange | bellman")
-		file     = flag.String("graph", "", "graph file (empty = generate)")
-		n        = flag.Int("n", 32, "nodes (generated graphs)")
-		m        = flag.Int("m", 96, "edges (generated graphs)")
-		maxW     = flag.Int64("maxw", 8, "max weight (generated graphs)")
-		zero     = flag.Float64("zero", 0.25, "zero-weight fraction (generated graphs)")
-		seed     = flag.Int64("seed", 1, "seed (generated graphs)")
-		srcsArg  = flag.String("sources", "", "comma-separated sources (empty = all)")
-		h        = flag.Int("h", 0, "hop parameter (0 = automatic where applicable)")
-		eps      = flag.Float64("eps", 0.5, "target stretch − 1 (approx)")
-		check    = flag.Bool("check", false, "validate against Dijkstra")
-		quiet    = flag.Bool("quiet", false, "suppress the distance matrix")
-		timeline = flag.Bool("timeline", false, "print a per-round message sparkline (pipeline only)")
-		trace    = flag.Bool("trace", false, "dump per-node list events to stderr (pipeline only; single-worker)")
+		alg       = flag.String("alg", "pipeline", "pipeline | blocker | scaling | approx | shortrange | bellman")
+		file      = flag.String("graph", "", "graph file (empty = generate)")
+		grid      = flag.String("grid", "", "ROWSxCOLS: generate a grid graph instead of a random one")
+		n         = flag.Int("n", 32, "nodes (generated graphs)")
+		m         = flag.Int("m", 96, "edges (generated graphs)")
+		maxW      = flag.Int64("maxw", 8, "max weight (generated graphs)")
+		zero      = flag.Float64("zero", 0.25, "zero-weight fraction (generated graphs)")
+		seed      = flag.Int64("seed", 1, "seed (generated graphs)")
+		srcsArg   = flag.String("sources", "", "comma-separated sources (empty = all)")
+		h         = flag.Int("h", 0, "hop parameter (0 = automatic where applicable)")
+		eps       = flag.Float64("eps", 0.5, "target stretch − 1 (approx)")
+		check     = flag.Bool("check", false, "validate against Dijkstra")
+		quiet     = flag.Bool("quiet", false, "suppress the distance matrix")
+		timeline  = flag.Bool("timeline", false, "print a per-round message sparkline (pipeline only)")
+		listTrace = flag.Bool("listtrace", false, "dump per-node list events to stderr (pipeline only; single-worker)")
+		tracePath = flag.String("trace", "", "write a JSONL event trace here, plus a Chrome trace_event file at <base>.chrome.json")
+		metrics   = flag.String("metrics", "", "write a Prometheus text metrics dump here")
+		statsJSON = flag.String("stats-json", "", "write the aggregate + per-phase stats report (JSON) here")
+		jsonOut   = flag.Bool("json", false, "print the stats report as JSON on stdout (suppresses the human summary)")
+		phases    = flag.Bool("phases", false, "print the per-phase cost breakdown table")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*file, *n, *m, *maxW, *zero, *seed)
+	g, err := loadGraph(*file, *grid, *n, *m, *maxW, *zero, *seed)
 	if err != nil {
 		fail(err)
 	}
 	sources, err := parseSources(*srcsArg, g.N())
 	if err != nil {
 		fail(err)
+	}
+
+	// Observability: attach a Recorder only when asked for, so the
+	// engine's nil-observer fast path stays in effect otherwise.
+	var rec *obs.Recorder
+	chrome := ""
+	if *tracePath != "" || *metrics != "" || *statsJSON != "" || *jsonOut || *phases {
+		var sinks []obs.Sink
+		if *tracePath != "" {
+			j, err := obs.CreateJSONL(*tracePath)
+			if err != nil {
+				fail(err)
+			}
+			chrome = chromePath(*tracePath)
+			c, err := obs.CreateChrome(chrome)
+			if err != nil {
+				fail(err)
+			}
+			sinks = append(sinks, j, c)
+		}
+		if *metrics != "" {
+			ms, err := obs.CreateMetrics(*metrics)
+			if err != nil {
+				fail(err)
+			}
+			sinks = append(sinks, ms)
+		}
+		rec = obs.NewRecorder(sinks...)
+	}
+	var tl congest.Timeline
+	observer := congest.Observer(nil)
+	if rec != nil {
+		observer = rec
+	}
+	if *timeline {
+		observer = congest.Tee(observer, tl.Observer())
 	}
 
 	var (
@@ -71,12 +123,8 @@ func main() {
 		} else {
 			hopUsed = hopBound
 		}
-		var tl congest.Timeline
-		copts := core.Opts{Sources: sources, H: hopBound}
-		if *timeline {
-			copts.OnRound = tl.Observe
-		}
-		if *trace {
+		copts := core.Opts{Sources: sources, H: hopBound, Obs: observer}
+		if *listTrace {
 			copts.Trace = func(format string, args ...interface{}) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			}
@@ -91,33 +139,34 @@ func main() {
 			fmt.Printf("activity (peak %d msgs/round): %s\n", tl.Peak(), tl.Sparkline(72))
 		}
 	case "blocker":
-		res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h})
+		res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
 		dist, stats = res.Dist, res.Stats
 		extra = fmt.Sprintf("h=%d |Q|=%d phases=%v", res.H, len(res.Q), res.PhaseRounds)
 	case "approx":
-		res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps})
+		res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
 		stats = res.Stats
+		extra = fmt.Sprintf("scales=%d", res.Scales)
 		if *check {
 			stretch, mism := approx.CheckStretch(g, res)
-			fmt.Printf("check: max stretch %.4f (claim ≤ %.2f), mismatches %d\n", stretch, 1+*eps, mism)
+			fmt.Fprintf(os.Stderr, "check: max stretch %.4f (claim ≤ %.2f), mismatches %d\n", stretch, 1+*eps, mism)
 		}
-		fmt.Printf("rounds=%d messages=%d scales=%d\n", stats.Rounds, stats.Messages, res.Scales)
-		if !*quiet {
+		if !*quiet && !*jsonOut {
 			for i := range sources {
 				for v := 0; v < g.N(); v++ {
 					fmt.Printf("approx(%d,%d) = %.3f\n", sources[i], v, res.Value(i, v))
 				}
 			}
 		}
+		finish(rec, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
 		return
 	case "scaling":
-		res, err := scaling.Run(g, scaling.Opts{Sources: sources})
+		res, err := scaling.Run(g, scaling.Opts{Sources: sources, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
@@ -128,7 +177,7 @@ func main() {
 		if hopBound == 0 {
 			hopBound = 8
 		}
-		res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound})
+		res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
@@ -141,7 +190,7 @@ func main() {
 		} else {
 			hopUsed = hopBound
 		}
-		res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound})
+		res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
@@ -150,8 +199,6 @@ func main() {
 		fail(fmt.Errorf("unknown algorithm %q", *alg))
 	}
 
-	fmt.Printf("rounds=%d messages=%d maxCongestion=%d %s\n",
-		stats.Rounds, stats.Messages, stats.MaxLinkCongestion, extra)
 	if *check {
 		wrong := 0
 		oracle := "Dijkstra"
@@ -169,9 +216,9 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("check vs %s: %d wrong of %d\n", oracle, wrong, len(sources)*g.N())
+		fmt.Fprintf(os.Stderr, "check vs %s: %d wrong of %d\n", oracle, wrong, len(sources)*g.N())
 	}
-	if !*quiet {
+	if !*quiet && !*jsonOut {
 		for i, s := range sources {
 			for v := 0; v < g.N(); v++ {
 				d := "inf"
@@ -182,9 +229,86 @@ func main() {
 			}
 		}
 	}
+	finish(rec, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
 }
 
-func loadGraph(file string, n, m int, maxW int64, zero float64, seed int64) (*graph.Graph, error) {
+// finish prints the cost summary, the optional per-phase table and JSON
+// report, and flushes the trace/metrics sinks.
+func finish(rec *obs.Recorder, alg string, g *graph.Graph, k int, stats congest.Stats, extra string,
+	jsonOut, phases bool, statsJSON, tracePath, chromePath, metricsPath string) {
+	if !jsonOut {
+		fmt.Printf("rounds=%d messages=%d maxCongestion=%d %s\n",
+			stats.Rounds, stats.Messages, stats.MaxLinkCongestion, extra)
+	}
+	if rec == nil {
+		return
+	}
+	rep := rec.ReportOf(alg, g.N(), g.M(), k)
+	if phases {
+		printPhases(rep)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	}
+	if statsJSON != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(statsJSON, append(raw, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		fail(err)
+	}
+	if tracePath != "" {
+		fmt.Fprintf(os.Stderr, "trace: %s (JSONL), %s (chrome://tracing)\n", tracePath, chromePath)
+	}
+	if metricsPath != "" {
+		fmt.Fprintf(os.Stderr, "metrics: %s\n", metricsPath)
+	}
+}
+
+// printPhases renders the per-phase breakdown; the totals row is the
+// Stats.Add fold of the rows above it and matches the algorithm's
+// aggregate exactly.
+func printPhases(rep obs.Report) {
+	fmt.Printf("%-12s %5s %7s %10s %8s %8s %10s\n",
+		"phase", "runs", "rounds", "messages", "maxLink", "maxNode", "wall")
+	var total congest.Stats
+	for _, p := range rep.Phases {
+		total.Add(p.Stats)
+		fmt.Printf("%-12s %5d %7d %10d %8d %8d %10s\n",
+			p.Phase, p.Runs, p.Stats.Rounds, p.Stats.Messages,
+			p.Stats.MaxLinkCongestion, p.Stats.MaxNodeSends, p.Wall.Round(10e3).String())
+	}
+	fmt.Printf("%-12s %5d %7d %10d %8d %8d\n",
+		"total", rep.Runs, total.Rounds, total.Messages,
+		total.MaxLinkCongestion, total.MaxNodeSends)
+}
+
+// chromePath derives the Chrome trace filename from the JSONL trace path:
+// trace.jsonl → trace.chrome.json.
+func chromePath(trace string) string {
+	base := strings.TrimSuffix(trace, filepath.Ext(trace))
+	return base + ".chrome.json"
+}
+
+func loadGraph(file, grid string, n, m int, maxW int64, zero float64, seed int64) (*graph.Graph, error) {
+	if grid != "" {
+		rows, cols, ok := strings.Cut(grid, "x")
+		r, err1 := strconv.Atoi(rows)
+		c, err2 := strconv.Atoi(cols)
+		if !ok || err1 != nil || err2 != nil || r < 1 || c < 1 {
+			return nil, fmt.Errorf("bad -grid %q (want ROWSxCOLS)", grid)
+		}
+		return graph.Grid(r, c, graph.GenOpts{MaxW: maxW, ZeroFrac: zero, Seed: seed}), nil
+	}
 	if file == "" {
 		return graph.Random(n, m, graph.GenOpts{MaxW: maxW, ZeroFrac: zero, Seed: seed, Directed: true}), nil
 	}

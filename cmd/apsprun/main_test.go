@@ -24,12 +24,27 @@ func TestParseSources(t *testing.T) {
 }
 
 func TestLoadGraphGenerated(t *testing.T) {
-	g, err := loadGraph("", 12, 36, 5, 0.2, 3)
+	g, err := loadGraph("", "", 12, 36, 5, 0.2, 3)
 	if err != nil {
 		t.Fatalf("loadGraph: %v", err)
 	}
 	if g.N() != 12 || g.M() != 36 {
 		t.Fatalf("generated n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestLoadGraphGrid(t *testing.T) {
+	g, err := loadGraph("", "3x4", 0, 0, 5, 0, 1)
+	if err != nil {
+		t.Fatalf("loadGraph: %v", err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("grid n=%d, want 12", g.N())
+	}
+	for _, bad := range []string{"3", "x4", "3x", "0x4", "axb"} {
+		if _, err := loadGraph("", bad, 0, 0, 5, 0, 1); err == nil {
+			t.Fatalf("bad grid spec %q accepted", bad)
+		}
 	}
 }
 
@@ -39,14 +54,14 @@ func TestLoadGraphFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("n 2 directed\ne 0 1 5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err := loadGraph(path, 0, 0, 0, 0, 0)
+	g, err := loadGraph(path, "", 0, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatalf("loadGraph: %v", err)
 	}
 	if g.N() != 2 || g.M() != 1 {
 		t.Fatalf("loaded n=%d m=%d", g.N(), g.M())
 	}
-	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), 0, 0, 0, 0, 0); err == nil {
+	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), "", 0, 0, 0, 0, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

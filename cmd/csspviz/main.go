@@ -59,14 +59,14 @@ func main() {
 			sources[v] = v
 		}
 	}
-	coll, err := cssp.Build(g, sources, *h, 0)
+	coll, err := cssp.Build(g, sources, *h, 0, nil)
 	if err != nil {
 		fail(err)
 	}
 	highlight := map[int]string{}
 	title := fmt.Sprintf("CSSSP tree of %d (h=%d)", *source, *h)
 	if *blockers {
-		blk, err := blocker.Compute(g, coll)
+		blk, err := blocker.Compute(g, coll, nil)
 		if err != nil {
 			fail(err)
 		}

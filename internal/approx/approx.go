@@ -40,6 +40,11 @@ type Opts struct {
 	// Eps is the target stretch 1+Eps. Must be positive; the theorem's
 	// analysis needs Eps > 3/n.
 	Eps float64
+	// Obs, if set, receives the engine events of every phase (see
+	// congest.Observer). Run annotates the phase boundaries via
+	// congest.SetPhase with the names "zero" and "scale<i>" — the same
+	// keys as Result.PhaseRounds.
+	Obs congest.Observer
 }
 
 // Result reports approximate distances.
@@ -94,7 +99,8 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	}
 
 	// Step 1: zero-weight reachability.
-	reach, zr, err := unweighted.ZeroReach(g, sources)
+	congest.SetPhase(opts.Obs, "zero")
+	reach, zr, err := unweighted.ZeroReach(g, sources, opts.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("approx: zero reachability: %w", err)
 	}
@@ -136,7 +142,8 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 		// per-hop round-up slack.
 		depth := (2*lim)/rho + int64(n)
 		gs := gp.Transform(func(w int64) int64 { return (w + rho - 1) / rho })
-		pr, err := posweight.Run(gs, posweight.Opts{Sources: sources, MaxDist: depth})
+		congest.SetPhase(opts.Obs, fmt.Sprintf("scale%d", scale))
+		pr, err := posweight.Run(gs, posweight.Opts{Sources: sources, MaxDist: depth, Obs: opts.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("approx: scale %d: %w", scale, err)
 		}

@@ -94,7 +94,7 @@ func (c *claimNode) Quiescent() bool { return c.sent }
 // BuildTree constructs a BFS spanning tree rooted at root, distributed:
 // a flooding phase establishes distances and parents, a claim phase tells
 // parents their children. The communication graph must be connected.
-func BuildTree(g *graph.Graph, root int) (*Tree, congest.Stats, error) {
+func BuildTree(g *graph.Graph, root int, obs congest.Observer) (*Tree, congest.Stats, error) {
 	n := g.N()
 	if root < 0 || root >= n {
 		return nil, congest.Stats{}, fmt.Errorf("bcast: root %d out of range", root)
@@ -103,7 +103,7 @@ func BuildTree(g *graph.Graph, root int) (*Tree, congest.Stats, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		tns[v] = &treeNode{id: v, root: root}
 		return tns[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	if err != nil {
 		return nil, stats, fmt.Errorf("bcast: BFS phase: %w", err)
 	}
@@ -111,7 +111,7 @@ func BuildTree(g *graph.Graph, root int) (*Tree, congest.Stats, error) {
 	s2, err := congest.Run(g, func(v int) congest.Node {
 		cns[v] = &claimNode{id: v, parent: tns[v].parent}
 		return cns[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	stats.Add(s2)
 	if err != nil {
 		return nil, stats, fmt.Errorf("bcast: claim phase: %w", err)
@@ -163,7 +163,7 @@ func (a *aggNode) Quiescent() bool { return a.sent || a.pending > 0 || a.id == a
 // to the tree root. args default to the node ID. Returns the max, its arg,
 // and the run stats. Only the root's view is returned (a follow-up
 // Broadcast distributes it when needed).
-func MaxArg(g *graph.Graph, tr *Tree, vals []int64) (int64, int64, congest.Stats, error) {
+func MaxArg(g *graph.Graph, tr *Tree, vals []int64, obs congest.Observer) (int64, int64, congest.Stats, error) {
 	combine := func(v1, a1, v2, a2 int64) (int64, int64) {
 		if v2 > v1 || (v2 == v1 && a2 < a1) {
 			return v2, a2
@@ -174,7 +174,7 @@ func MaxArg(g *graph.Graph, tr *Tree, vals []int64) (int64, int64, congest.Stats
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &aggNode{id: v, tree: tr, val: vals[v], arg: int64(v), combine: combine}
 		return nodes[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	if err != nil {
 		return 0, 0, stats, fmt.Errorf("bcast: MaxArg: %w", err)
 	}
@@ -183,13 +183,13 @@ func MaxArg(g *graph.Graph, tr *Tree, vals []int64) (int64, int64, congest.Stats
 }
 
 // Sum aggregates the sum of vals to the tree root.
-func Sum(g *graph.Graph, tr *Tree, vals []int64) (int64, congest.Stats, error) {
+func Sum(g *graph.Graph, tr *Tree, vals []int64, obs congest.Observer) (int64, congest.Stats, error) {
 	combine := func(v1, a1, v2, a2 int64) (int64, int64) { return v1 + v2, 0 }
 	nodes := make([]*aggNode, g.N())
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &aggNode{id: v, tree: tr, val: vals[v], combine: combine}
 		return nodes[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	if err != nil {
 		return 0, stats, fmt.Errorf("bcast: Sum: %w", err)
 	}
@@ -241,7 +241,7 @@ func (p *pipeNode) Quiescent() bool {
 // Broadcast pipelines the given values from the tree root to every node.
 // Every node receives all values in order; rounds ≤ len(values) + tree
 // height. Returns each node's received list (the root's is the input).
-func Broadcast(g *graph.Graph, tr *Tree, values []Vec) ([][]Vec, congest.Stats, error) {
+func Broadcast(g *graph.Graph, tr *Tree, values []Vec, obs congest.Observer) ([][]Vec, congest.Stats, error) {
 	nodes := make([]*pipeNode, g.N())
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &pipeNode{id: v, tree: tr}
@@ -249,7 +249,7 @@ func Broadcast(g *graph.Graph, tr *Tree, values []Vec) ([][]Vec, congest.Stats, 
 			nodes[v].src = values
 		}
 		return nodes[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	if err != nil {
 		return nil, stats, fmt.Errorf("bcast: Broadcast: %w", err)
 	}
@@ -294,12 +294,12 @@ func (gn *gatherNode) Quiescent() bool { return gn.id == gn.tree.Root || len(gn.
 
 // Gather collects items[v] from every node v at the root. Returns the
 // root's received items (origin must be encoded in the Vec by the caller).
-func Gather(g *graph.Graph, tr *Tree, items [][]Vec) ([]Vec, congest.Stats, error) {
+func Gather(g *graph.Graph, tr *Tree, items [][]Vec, obs congest.Observer) ([]Vec, congest.Stats, error) {
 	nodes := make([]*gatherNode, g.N())
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &gatherNode{id: v, tree: tr, queue: append([]Vec(nil), items[v]...)}
 		return nodes[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	if err != nil {
 		return nil, stats, fmt.Errorf("bcast: Gather: %w", err)
 	}

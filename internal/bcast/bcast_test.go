@@ -8,7 +8,7 @@ import (
 
 func buildTestTree(t *testing.T, g *graph.Graph, root int) *Tree {
 	t.Helper()
-	tr, _, err := BuildTree(g, root)
+	tr, _, err := BuildTree(g, root, nil)
 	if err != nil {
 		t.Fatalf("BuildTree: %v", err)
 	}
@@ -76,7 +76,7 @@ func TestBuildTreeDisconnected(t *testing.T) {
 	g := graph.New(4, false)
 	g.MustAddEdge(0, 1, 1)
 	g.MustAddEdge(2, 3, 1)
-	if _, _, err := BuildTree(g, 0); err == nil {
+	if _, _, err := BuildTree(g, 0, nil); err == nil {
 		t.Fatal("BuildTree on disconnected graph succeeded")
 	}
 }
@@ -94,7 +94,7 @@ func TestMaxArg(t *testing.T) {
 			wantV, wantA = x, int64(v)
 		}
 	}
-	got, arg, _, err := MaxArg(g, tr, vals)
+	got, arg, _, err := MaxArg(g, tr, vals, nil)
 	if err != nil {
 		t.Fatalf("MaxArg: %v", err)
 	}
@@ -109,7 +109,7 @@ func TestMaxArgTieBreaksSmallestNode(t *testing.T) {
 	vals := make([]int64, 8)
 	vals[6] = 5
 	vals[2] = 5
-	_, arg, _, err := MaxArg(g, tr, vals)
+	_, arg, _, err := MaxArg(g, tr, vals, nil)
 	if err != nil {
 		t.Fatalf("MaxArg: %v", err)
 	}
@@ -127,7 +127,7 @@ func TestSum(t *testing.T) {
 		vals[v] = int64(v)
 		want += int64(v)
 	}
-	got, _, err := Sum(g, tr, vals)
+	got, _, err := Sum(g, tr, vals, nil)
 	if err != nil {
 		t.Fatalf("Sum: %v", err)
 	}
@@ -140,7 +140,7 @@ func TestBroadcastPipelined(t *testing.T) {
 	g := graph.Path(6, graph.GenOpts{Seed: 1, MaxW: 1})
 	tr := buildTestTree(t, g, 0)
 	values := []Vec{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
-	got, stats, err := Broadcast(g, tr, values)
+	got, stats, err := Broadcast(g, tr, values, nil)
 	if err != nil {
 		t.Fatalf("Broadcast: %v", err)
 	}
@@ -163,7 +163,7 @@ func TestBroadcastPipelined(t *testing.T) {
 func TestBroadcastEmptyList(t *testing.T) {
 	g := graph.Path(3, graph.GenOpts{Seed: 1, MaxW: 1})
 	tr := buildTestTree(t, g, 0)
-	got, stats, err := Broadcast(g, tr, nil)
+	got, stats, err := Broadcast(g, tr, nil, nil)
 	if err != nil {
 		t.Fatalf("Broadcast: %v", err)
 	}
@@ -188,7 +188,7 @@ func TestGather(t *testing.T) {
 			total++
 		}
 	}
-	got, stats, err := Gather(g, tr, items)
+	got, stats, err := Gather(g, tr, items, nil)
 	if err != nil {
 		t.Fatalf("Gather: %v", err)
 	}

@@ -42,6 +42,8 @@ type Opts struct {
 	// MaxRounds and Workers are passed to the engine.
 	MaxRounds int
 	Workers   int
+	// Obs, if set, receives engine events (see congest.Observer).
+	Obs congest.Observer
 }
 
 // Result is the outcome of a run.
@@ -164,7 +166,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Observer: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -185,18 +187,18 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 }
 
 // FullSSSP computes unrestricted single-source shortest paths from src
-// (hop bound n−1, sufficient for any simple path).
-func FullSSSP(g *graph.Graph, src int) (*Result, error) {
+// (hop bound n−1, sufficient for any simple path). obs may be nil.
+func FullSSSP(g *graph.Graph, src int, obs congest.Observer) (*Result, error) {
 	h := g.N() - 1
 	if h < 1 {
 		h = 1
 	}
-	return Run(g, Opts{Sources: []int{src}, H: h})
+	return Run(g, Opts{Sources: []int{src}, H: h, Obs: obs})
 }
 
 // FullReverseSSSP computes distances TO dst from every node by running
 // forward SSSP on the reversed graph (the communication graph is identical,
-// so the round cost is the honest cost).
-func FullReverseSSSP(g *graph.Graph, dst int) (*Result, error) {
-	return FullSSSP(g.Reverse(), dst)
+// so the round cost is the honest cost). obs may be nil.
+func FullReverseSSSP(g *graph.Graph, dst int, obs congest.Observer) (*Result, error) {
+	return FullSSSP(g.Reverse(), dst, obs)
 }

@@ -257,8 +257,10 @@ func (nd *updateNode) Round(ctx *congest.Context, r int, inbox []congest.Message
 
 func (nd *updateNode) Quiescent() bool { return nd.empty() }
 
-// Compute runs the full blocker-set computation on the collection.
-func Compute(g *graph.Graph, coll *cssp.Collection) (*Result, error) {
+// Compute runs the full blocker-set computation on the collection. obs may
+// be nil; if set it receives the engine events of every internal phase
+// (claims, scores, the greedy selection loop and the score updates).
+func Compute(g *graph.Graph, coll *cssp.Collection, obs congest.Observer) (*Result, error) {
 	n := g.N()
 	k := len(coll.Sources)
 	res := &Result{PhaseRounds: make(map[string]int)}
@@ -268,7 +270,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection) (*Result, error) {
 	st, err := congest.Run(g, func(v int) congest.Node {
 		claims[v] = &claimNode{id: v, coll: coll}
 		return claims[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	res.Stats.Add(st)
 	res.PhaseRounds["claims"] = st.Rounds
 	if err != nil {
@@ -284,7 +286,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection) (*Result, error) {
 	st, err = congest.Run(g, func(v int) congest.Node {
 		scores[v] = &scoreNode{id: v, coll: coll, children: children[v]}
 		return scores[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	res.Stats.Add(st)
 	res.PhaseRounds["scores"] = st.Rounds
 	if err != nil {
@@ -296,7 +298,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection) (*Result, error) {
 	}
 
 	// BFS tree for the greedy aggregation.
-	tree, st, err := bcast.BuildTree(g, 0)
+	tree, st, err := bcast.BuildTree(g, 0, obs)
 	res.Stats.Add(st)
 	res.PhaseRounds["select"] += st.Rounds
 	if err != nil {
@@ -311,7 +313,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection) (*Result, error) {
 				totals[v] += score[v][i]
 			}
 		}
-		maxScore, arg, st, err := bcast.MaxArg(g, tree, totals)
+		maxScore, arg, st, err := bcast.MaxArg(g, tree, totals, obs)
 		res.Stats.Add(st)
 		res.PhaseRounds["select"] += st.Rounds
 		if err != nil {
@@ -323,7 +325,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection) (*Result, error) {
 		}
 		c := int(arg)
 		// Announce c (a one-value broadcast down the BFS tree).
-		_, st, err = bcast.Broadcast(g, tree, []bcast.Vec{{int64(c)}})
+		_, st, err = bcast.Broadcast(g, tree, []bcast.Vec{{int64(c)}}, obs)
 		res.Stats.Add(st)
 		res.PhaseRounds["select"] += st.Rounds
 		if err != nil {
@@ -336,7 +338,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection) (*Result, error) {
 		st, err = congest.Run(g, func(v int) congest.Node {
 			updates[v] = &updateNode{id: v, coll: coll, children: children[v], score: score[v], c: c}
 			return updates[v]
-		}, congest.Config{})
+		}, congest.Config{Observer: obs})
 		res.Stats.Add(st)
 		res.PhaseRounds["descendants"] += st.Rounds // both updates share the phase
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -120,9 +121,11 @@ type Config struct {
 	// BenchmarkEngineWorkers*), GOMAXPROCS above. Results are
 	// bit-identical regardless.
 	Workers int
-	// OnRound, if set, observes (round, messages sent that round) after
-	// each round; used by experiment harnesses for timelines.
-	OnRound func(round, msgs int)
+	// Observer, if set, receives engine events (round completions,
+	// per-node send counts, link-congestion peaks, wall clock per round).
+	// nil keeps the engine on its zero-overhead path. Adapt a legacy
+	// func(round, msgs int) hook with RoundFunc.
+	Observer Observer
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -182,6 +185,7 @@ var ErrMaxRounds = errors.New("congest: exceeded MaxRounds without quiescing")
 type engine struct {
 	g     *graph.Graph
 	cfg   Config
+	obs   Observer
 	nodes []Node
 	ctxs  []*Context
 
@@ -203,6 +207,7 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 	e := &engine{
 		g:         g,
 		cfg:       cfg,
+		obs:       cfg.Observer,
 		nodes:     make([]Node, n),
 		ctxs:      make([]*Context, n),
 		inbox:     make([][]Message, n),
@@ -218,6 +223,12 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 	for v := 0; v < n; v++ {
 		e.nodes[v] = mk(v)
 		e.ctxs[v] = &Context{id: v, g: g, eng: e}
+	}
+	if e.obs != nil {
+		e.obs.RunStart(n)
+		// RunDone fires on every exit path — normal quiescence, MaxRounds
+		// and algorithm failures alike — with the stats accumulated so far.
+		defer func() { e.obs.RunDone(e.stats) }()
 	}
 	for v := 0; v < n; v++ {
 		e.nodes[v].Init(e.ctxs[v])
@@ -236,15 +247,19 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 		if e.allQuiescent() && e.noInflight() {
 			return e.stats, nil
 		}
-		sent, err := e.step(r)
+		var start time.Time
+		if e.obs != nil {
+			start = time.Now()
+		}
+		sent, active, err := e.step(r)
 		if err != nil {
 			return e.stats, err
 		}
 		if sent > 0 {
 			e.stats.Rounds = r
 		}
-		if cfg.OnRound != nil {
-			cfg.OnRound(r, sent)
+		if e.obs != nil {
+			e.obs.RoundDone(RoundEvent{Round: r, Sent: sent, Active: active, Elapsed: time.Since(start)})
 		}
 	}
 }
@@ -269,8 +284,9 @@ func (e *engine) noInflight() bool {
 
 // step runs one synchronous round: every node consumes its inbox and stages
 // sends; the engine then validates and routes the sends into next-round
-// inboxes. Returns the number of messages sent this round.
-func (e *engine) step(r int) (int, error) {
+// inboxes. Returns the number of messages sent this round and the number of
+// nodes that sent.
+func (e *engine) step(r int) (int, int, error) {
 	n := len(e.nodes)
 	workers := e.cfg.Workers
 	if workers > n {
@@ -306,11 +322,11 @@ func (e *engine) step(r int) (int, error) {
 	// Routing visits senders in ascending node order, so each destination's
 	// next-round inbox is built already sorted by sender — the delivery
 	// order the Node contract promises — without a sort.
-	sent := 0
+	sent, active := 0, 0
 	for v := 0; v < n; v++ {
 		ctx := e.ctxs[v]
 		if ctx.err != nil {
-			return sent, fmt.Errorf("congest: node %d failed in round %d: %w", v, r, ctx.err)
+			return sent, active, fmt.Errorf("congest: node %d failed in round %d: %w", v, r, ctx.err)
 		}
 		if len(ctx.out) == 0 {
 			continue
@@ -321,15 +337,15 @@ func (e *engine) step(r int) (int, error) {
 		for _, m := range ctx.out {
 			li := e.g.CommIndex(m.From, m.To)
 			if li < 0 {
-				return sent, fmt.Errorf("congest: round %d: node %d sent to %d without a link", r, m.From, m.To)
+				return sent, active, fmt.Errorf("congest: round %d: node %d sent to %d without a link", r, m.From, m.To)
 			}
 			if e.seenStamp[m.To] == stamp {
-				return sent, fmt.Errorf("congest: round %d: node %d sent two messages on link to %d", r, m.From, m.To)
+				return sent, active, fmt.Errorf("congest: round %d: node %d sent two messages on link to %d", r, m.From, m.To)
 			}
 			e.seenStamp[m.To] = stamp
 			w := m.Payload.Words()
 			if w > e.cfg.MaxWordsPerMessage {
-				return sent, fmt.Errorf("congest: round %d: node %d sent %d-word message to %d (bound %d)",
+				return sent, active, fmt.Errorf("congest: round %d: node %d sent %d-word message to %d (bound %d)",
 					r, m.From, w, m.To, e.cfg.MaxWordsPerMessage)
 			}
 			if w > e.stats.MaxWords {
@@ -338,9 +354,16 @@ func (e *engine) step(r int) (int, error) {
 			e.linkLoad[m.From][li]++
 			if int(e.linkLoad[m.From][li]) > e.stats.MaxLinkCongestion {
 				e.stats.MaxLinkCongestion = int(e.linkLoad[m.From][li])
+				if e.obs != nil {
+					e.obs.LinkPeak(r, m.From, m.To, e.stats.MaxLinkCongestion)
+				}
 			}
 			e.nextIn[m.To] = append(e.nextIn[m.To], m)
 			sent++
+		}
+		active++
+		if e.obs != nil {
+			e.obs.NodeSends(r, v, len(ctx.out))
 		}
 		e.nodeSends[v] += len(ctx.out)
 		if e.nodeSends[v] > e.stats.MaxNodeSends {
@@ -355,5 +378,5 @@ func (e *engine) step(r int) (int, error) {
 		e.inbox[v] = e.inbox[v][:0]
 		e.inbox[v], e.nextIn[v] = e.nextIn[v], e.inbox[v]
 	}
-	return sent, nil
+	return sent, active, nil
 }

@@ -255,17 +255,112 @@ func TestInitMayNotSend(t *testing.T) {
 	}
 }
 
-func TestOnRoundObserved(t *testing.T) {
+func TestRoundFuncObserved(t *testing.T) {
 	g := graph.Path(4, graph.GenOpts{Seed: 1, MaxW: 1})
 	var timeline []int
-	_, err := Run(g, newFlood, Config{OnRound: func(r, msgs int) {
+	_, err := Run(g, newFlood, Config{Observer: RoundFunc(func(r, msgs int) {
 		timeline = append(timeline, msgs)
-	}})
+	})})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if len(timeline) == 0 || timeline[0] == 0 {
 		t.Fatalf("timeline = %v, want sends observed from round 1", timeline)
+	}
+}
+
+// recordingObserver captures the full event stream for assertions.
+type recordingObserver struct {
+	n         int
+	rounds    []RoundEvent
+	nodeSends map[int]int
+	peaks     []int
+	done      bool
+	doneStats Stats
+}
+
+func (o *recordingObserver) RunStart(n int)         { o.n = n }
+func (o *recordingObserver) RoundDone(e RoundEvent) { o.rounds = append(o.rounds, e) }
+func (o *recordingObserver) NodeSends(round, node, msgs int) {
+	if o.nodeSends == nil {
+		o.nodeSends = make(map[int]int)
+	}
+	o.nodeSends[node] += msgs
+}
+func (o *recordingObserver) LinkPeak(round, from, to, load int) { o.peaks = append(o.peaks, load) }
+func (o *recordingObserver) RunDone(s Stats)                    { o.done = true; o.doneStats = s }
+
+// TestObserverSeesEveryRound asserts that RoundDone fires for every executed
+// round — in particular the final quiescing round, which carries no traffic
+// and therefore lies beyond Stats.Rounds.
+func TestObserverSeesEveryRound(t *testing.T) {
+	g := graph.Path(6, graph.GenOpts{Seed: 1, MaxW: 1})
+	var o recordingObserver
+	stats, err := Run(g, newFlood, Config{Observer: &o})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if o.n != g.N() {
+		t.Fatalf("RunStart n = %d, want %d", o.n, g.N())
+	}
+	for i, e := range o.rounds {
+		if e.Round != i+1 {
+			t.Fatalf("round events not contiguous: event %d has Round %d", i, e.Round)
+		}
+	}
+	// Flooding quiesces one round after the last send: the engine must
+	// still report that quiet round.
+	if len(o.rounds) != stats.Rounds+1 {
+		t.Fatalf("observed %d rounds, want %d (Stats.Rounds %d + final quiescing round)",
+			len(o.rounds), stats.Rounds+1, stats.Rounds)
+	}
+	last := o.rounds[len(o.rounds)-1]
+	if last.Sent != 0 || last.Active != 0 {
+		t.Fatalf("final quiescing round reported traffic: %+v", last)
+	}
+	var total, active int
+	for _, e := range o.rounds {
+		total += e.Sent
+		if e.Active > 0 {
+			active++
+		}
+	}
+	if int64(total) != stats.Messages {
+		t.Fatalf("observer counted %d messages, stats %d", total, stats.Messages)
+	}
+	var nodeTotal int
+	for _, c := range o.nodeSends {
+		nodeTotal += c
+	}
+	if int64(nodeTotal) != stats.Messages {
+		t.Fatalf("NodeSends total %d != stats messages %d", nodeTotal, stats.Messages)
+	}
+	if len(o.peaks) == 0 || o.peaks[len(o.peaks)-1] != stats.MaxLinkCongestion {
+		t.Fatalf("LinkPeak samples %v, want last == MaxLinkCongestion %d", o.peaks, stats.MaxLinkCongestion)
+	}
+	if !o.done || o.doneStats != stats {
+		t.Fatalf("RunDone stats %+v, want %+v", o.doneStats, stats)
+	}
+}
+
+// TestObserverRunDoneOnError asserts RunDone fires even when the run aborts.
+func TestObserverRunDoneOnError(t *testing.T) {
+	g := graph.Path(2, graph.GenOpts{Seed: 1, MaxW: 1})
+	var o recordingObserver
+	_, err := Run(g, func(v int) Node {
+		return nodeFunc{
+			init: func(*Context) {},
+			round: func(ctx *Context, r int, _ []Message) {
+				ctx.Failf("boom")
+			},
+			quiescent: func() bool { return false },
+		}
+	}, Config{Observer: &o})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !o.done {
+		t.Fatal("RunDone did not fire on the error path")
 	}
 }
 

@@ -2,15 +2,19 @@ package congest
 
 import "strings"
 
-// Timeline records per-round message counts (attach Observe to
-// Config.OnRound) and renders them as a sparkline — a compact view of an
+// Timeline records per-round message counts (attach Observer() to
+// Config.Observer) and renders them as a sparkline — a compact view of an
 // algorithm's communication profile over time, used by cmd/apsprun and in
 // experiment write-ups.
 type Timeline struct {
 	Counts []int
 }
 
-// Observe implements the Config.OnRound signature.
+// Observer adapts the timeline to the engine's Observer interface.
+func (t *Timeline) Observer() Observer { return RoundFunc(t.Observe) }
+
+// Observe records one round's message count. Rounds arrive in order
+// starting at 1; skipped-ahead round indices zero-fill the gap.
 func (t *Timeline) Observe(round, msgs int) {
 	// Rounds arrive in order starting at 1.
 	for len(t.Counts) < round {

@@ -51,10 +51,48 @@ func TestSparklineAllZero(t *testing.T) {
 	}
 }
 
+func TestSparklineWidthExceedsCounts(t *testing.T) {
+	var tl Timeline
+	tl.Observe(1, 3)
+	tl.Observe(2, 9)
+	tl.Observe(3, 1)
+	// width > len(Counts) must clamp to one rune per round, not pad or
+	// divide by zero.
+	s := []rune(tl.Sparkline(50))
+	if len(s) != 3 {
+		t.Fatalf("sparkline %q has %d runes, want 3 (clamped to len(Counts))", string(s), len(s))
+	}
+	if s[1] != '█' {
+		t.Fatalf("peak round not rendered as full block in %q", string(s))
+	}
+}
+
+func TestTimelineObserveSkipsFarAhead(t *testing.T) {
+	var tl Timeline
+	tl.Observe(1, 2)
+	tl.Observe(10, 4) // rounds 2..9 skipped: the zero-fill loop covers them
+	if len(tl.Counts) != 10 {
+		t.Fatalf("len(Counts) = %d, want 10", len(tl.Counts))
+	}
+	for r := 2; r <= 9; r++ {
+		if tl.Counts[r-1] != 0 {
+			t.Fatalf("skipped round %d holds %d, want 0", r, tl.Counts[r-1])
+		}
+	}
+	if tl.Total() != 6 || tl.Peak() != 4 {
+		t.Fatalf("total %d peak %d", tl.Total(), tl.Peak())
+	}
+	// Observing an already-recorded round overwrites, not appends.
+	tl.Observe(10, 5)
+	if len(tl.Counts) != 10 || tl.Counts[9] != 5 {
+		t.Fatalf("re-observe: Counts = %v", tl.Counts)
+	}
+}
+
 func TestTimelineWithEngine(t *testing.T) {
 	g := graph.Path(6, graph.GenOpts{Seed: 1, MaxW: 1})
 	var tl Timeline
-	stats, err := Run(g, newFlood, Config{OnRound: tl.Observe})
+	stats, err := Run(g, newFlood, Config{Observer: tl.Observer()})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

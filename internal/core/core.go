@@ -127,9 +127,10 @@ type Opts struct {
 	// Trace, if set, receives a line per list event (insert, drop, evict,
 	// send); a debugging aid. Forces Workers=1 so lines are ordered.
 	Trace func(format string, args ...interface{})
-	// OnRound, if set, observes (round, messages sent that round); see
-	// congest.Timeline.
-	OnRound func(round, msgs int)
+	// Obs, if set, receives engine events (see congest.Observer); attach a
+	// congest.Timeline via Timeline.Observer(), or an obs.Recorder for
+	// phase-attributed traces and metrics.
+	Obs congest.Observer
 	// SnapshotRounds, if non-empty, records each node's best distances at
 	// the end of the given rounds (ascending), exposing the algorithm's
 	// anytime behaviour (experiment E-CONV). Rounds after quiescence
@@ -698,7 +699,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts, gamma: gamma}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, OnRound: opts.OnRound})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Observer: opts.Obs})
 	res.Stats = stats
 	if err != nil {
 		return nil, err

@@ -60,9 +60,11 @@ type Collection struct {
 // realizable within h hops) provably never drop: along a minimal-hop true
 // shortest path every prefix pair is recorded exactly.
 //
-// delta bounds 2h-hop shortest path distances (0 = derive).
-func Build(g *graph.Graph, sources []int, h int, delta int64) (*Collection, error) {
-	return build(g, sources, h, delta, false)
+// delta bounds 2h-hop shortest path distances (0 = derive). obs may be nil;
+// if set it receives the engine events of both the Algorithm 1 run and the
+// repair phase (see congest.Observer).
+func Build(g *graph.Graph, sources []int, h int, delta int64, obs congest.Observer) (*Collection, error) {
+	return build(g, sources, h, delta, false, obs)
 }
 
 // BuildBellmanFord constructs the same collection but computes the 2h-hop
@@ -70,11 +72,11 @@ func Build(g *graph.Graph, sources []int, h int, delta int64) (*Collection, erro
 // Θ(n·h)-round method of [3] that the paper's Sec. III replaces ("the
 // method in [3] takes Θ(n·h) rounds, which is too large for our
 // purposes"). Kept as the ablation baseline for experiment E-STEP1.
-func BuildBellmanFord(g *graph.Graph, sources []int, h int) (*Collection, error) {
-	return build(g, sources, h, 0, true)
+func BuildBellmanFord(g *graph.Graph, sources []int, h int, obs congest.Observer) (*Collection, error) {
+	return build(g, sources, h, 0, true, obs)
 }
 
-func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool) (*Collection, error) {
+func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool, obs congest.Observer) (*Collection, error) {
 	if h <= 0 {
 		return nil, fmt.Errorf("cssp: h=%d must be positive", h)
 	}
@@ -83,7 +85,7 @@ func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool) (*Coll
 		err error
 	)
 	if useBF {
-		bf, bfErr := bellman.Run(g, bellman.Opts{Sources: sources, H: 2 * h})
+		bf, bfErr := bellman.Run(g, bellman.Opts{Sources: sources, H: 2 * h, Obs: obs})
 		if bfErr != nil {
 			return nil, fmt.Errorf("cssp: Bellman-Ford run: %w", bfErr)
 		}
@@ -103,7 +105,7 @@ func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool) (*Coll
 		res.Stats.Rounds *= 2
 		res.Stats.Messages *= 2
 	} else {
-		res, err = core.Run(g, core.Opts{Sources: sources, H: 2 * h, Delta: delta})
+		res, err = core.Run(g, core.Opts{Sources: sources, H: 2 * h, Delta: delta, Obs: obs})
 		if err != nil {
 			return nil, fmt.Errorf("cssp: Algorithm 1 run: %w", err)
 		}
@@ -140,7 +142,7 @@ func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool) (*Coll
 			c.Depth[i][v] = -1
 		}
 	}
-	s2, err := c.reselect(g)
+	s2, err := c.reselect(g, obs)
 	c.Stats.Add(s2)
 	if err != nil {
 		return nil, err

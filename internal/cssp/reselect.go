@@ -141,12 +141,12 @@ func (nd *reselNode) Quiescent() bool {
 }
 
 // reselect runs the re-selection protocol and rewrites Parent/Dist/Hops.
-func (c *Collection) reselect(g *graph.Graph) (congest.Stats, error) {
+func (c *Collection) reselect(g *graph.Graph, obs congest.Observer) (congest.Stats, error) {
 	nodes := make([]*reselNode, g.N())
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &reselNode{id: v, coll: c}
 		return nodes[v]
-	}, congest.Config{})
+	}, congest.Config{Observer: obs})
 	if err != nil {
 		return stats, err
 	}

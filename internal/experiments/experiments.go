@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -23,11 +24,11 @@ type Config struct {
 
 // Table is a printable experiment result.
 type Table struct {
-	ID      string
-	Title   string
-	Headers []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a row of stringified cells.
@@ -147,6 +148,30 @@ func RunAll(cfg Config, w io.Writer, markdown bool) error {
 		}
 	}
 	return nil
+}
+
+// Collect executes every experiment in ID order and returns the tables
+// (the collecting counterpart of RunAll, for serialization).
+func Collect(cfg Config) ([]*Table, error) {
+	tables := make([]*Table, 0, len(registry))
+	for _, id := range IDs() {
+		t, err := Run(id, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// WriteJSON serializes tables as an indented JSON array — the
+// machine-readable counterpart of Format/Markdown, so a benchmark sweep's
+// per-phase numbers can be persisted and diffed across commits
+// (cmd/apspbench -json).
+func WriteJSON(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }
 
 // ratio formats a/b with two decimals, guarding division by zero.

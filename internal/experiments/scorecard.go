@@ -121,7 +121,7 @@ func scorecard(cfg Config) (*Table, error) {
 		fmt.Sprintf("measured %d for k=%d, h=%d", sr.Stats.MaxLinkCongestion, len(sources), h))
 
 	// --- Lemma III.4: CSSSP.
-	coll, err := cssp.Build(g, sources, h, 0)
+	coll, err := cssp.Build(g, sources, h, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ func scorecard(cfg Config) (*Table, error) {
 		"requires the repair phase of internal/cssp (finding F-3)")
 
 	// --- Definition III.1 / Lemma III.8: blocker.
-	blk, err := blocker.Compute(g, coll)
+	blk, err := blocker.Compute(g, coll, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -33,11 +33,11 @@ func eStep1(cfg Config) (*Table, error) {
 		sources[v] = v
 	}
 	for _, h := range []int{2, 4, 8} {
-		viaAlg1, err := cssp.Build(g, sources, h, 0)
+		viaAlg1, err := cssp.Build(g, sources, h, 0, nil)
 		if err != nil {
 			return nil, err
 		}
-		viaBF, err := cssp.BuildBellmanFord(g, sources, h)
+		viaBF, err := cssp.BuildBellmanFord(g, sources, h, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -54,7 +54,7 @@ func f1(cfg Config) (*Table, error) {
 				}
 			}
 		}
-		coll, err := cssp.Build(fam.g, fam.sources, fam.h, 0)
+		coll, err := cssp.Build(fam.g, fam.sources, fam.h, 0, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +111,7 @@ func eCSSSP(cfg Config) (*Table, error) {
 			if delta == 0 {
 				delta = 1
 			}
-			coll, err := cssp.Build(g, sources, h, delta)
+			coll, err := cssp.Build(g, sources, h, delta, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -155,11 +155,11 @@ func eBlk(cfg Config) (*Table, error) {
 		sources[v] = v
 	}
 	for _, h := range []int{2, 3, 5, 8} {
-		coll, err := cssp.Build(g, sources, h, 0)
+		coll, err := cssp.Build(g, sources, h, 0, nil)
 		if err != nil {
 			return nil, err
 		}
-		res, err := blocker.Compute(g, coll)
+		res, err := blocker.Compute(g, coll, nil)
 		if err != nil {
 			return nil, err
 		}

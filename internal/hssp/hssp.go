@@ -37,6 +37,13 @@ type Opts struct {
 	// Delta, if known, bounds the 2h-hop shortest-path distances for the
 	// CSSSP phase (0 = derive a safe bound).
 	Delta int64
+	// Obs, if set, receives the engine events of every phase
+	// (see congest.Observer). Run annotates the phase boundaries via
+	// congest.SetPhase with the names "cssp", "blocker", "sssp" and
+	// "broadcast" — the same keys as Result.PhaseRounds — so a
+	// phase-attributing observer (obs.Recorder) produces a breakdown that
+	// sums exactly to Result.Stats.
+	Obs congest.Observer
 }
 
 // Result reports exact (unrestricted) shortest-path distances.
@@ -108,7 +115,8 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	res := &Result{Sources: append([]int(nil), sources...), H: h, PhaseRounds: make(map[string]int)}
 
 	// Step 1: CSSSP.
-	coll, err := cssp.Build(g, sources, h, opts.Delta)
+	congest.SetPhase(opts.Obs, "cssp")
+	coll, err := cssp.Build(g, sources, h, opts.Delta, opts.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("hssp: step 1: %w", err)
 	}
@@ -116,7 +124,8 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	res.PhaseRounds["cssp"] = coll.Stats.Rounds
 
 	// Step 2: blocker set.
-	blk, err := blocker.Compute(g, coll)
+	congest.SetPhase(opts.Obs, "blocker")
+	blk, err := blocker.Compute(g, coll, opts.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("hssp: step 2: %w", err)
 	}
@@ -125,18 +134,19 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	res.Q = blk.Q
 
 	// Step 3: per-blocker forward and reverse SSSP, sequentially.
+	congest.SetPhase(opts.Obs, "sssp")
 	q := len(blk.Q)
 	fromC := make([][]int64, q) // fromC[j][v] = δ(c_j, v), known at v
 	toC := make([][]int64, q)   // toC[j][u] = δ(u, c_j), known at u
 	for j, c := range blk.Q {
-		fwd, err := bellman.FullSSSP(g, c)
+		fwd, err := bellman.FullSSSP(g, c, opts.Obs)
 		if err != nil {
 			return nil, fmt.Errorf("hssp: step 3 (from %d): %w", c, err)
 		}
 		res.Stats.Add(fwd.Stats)
 		res.PhaseRounds["sssp"] += fwd.Stats.Rounds
 		fromC[j] = fwd.Dist[0]
-		rev, err := bellman.FullReverseSSSP(g, c)
+		rev, err := bellman.FullReverseSSSP(g, c, opts.Obs)
 		if err != nil {
 			return nil, fmt.Errorf("hssp: step 3 (to %d): %w", c, err)
 		}
@@ -148,7 +158,8 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	// Step 4: broadcast δ(x, c) for every source x, blocker c. The value
 	// δ(x,c) lives at node x after the reverse run; gather all pairs to a
 	// BFS-tree root and broadcast them.
-	tree, st, err := bcast.BuildTree(g, 0)
+	congest.SetPhase(opts.Obs, "broadcast")
+	tree, st, err := bcast.BuildTree(g, 0, opts.Obs)
 	res.Stats.Add(st)
 	res.PhaseRounds["broadcast"] += st.Rounds
 	if err != nil {
@@ -162,13 +173,13 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 			}
 		}
 	}
-	gathered, st, err := bcast.Gather(g, tree, items)
+	gathered, st, err := bcast.Gather(g, tree, items, opts.Obs)
 	res.Stats.Add(st)
 	res.PhaseRounds["broadcast"] += st.Rounds
 	if err != nil {
 		return nil, fmt.Errorf("hssp: step 4 gather: %w", err)
 	}
-	_, st, err = bcast.Broadcast(g, tree, gathered)
+	_, st, err = bcast.Broadcast(g, tree, gathered, opts.Obs)
 	res.Stats.Add(st)
 	res.PhaseRounds["broadcast"] += st.Rounds
 	if err != nil {

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// consumed by chrome://tracing and Perfetto): "X" complete slices for
+// rounds, "M" metadata naming the tracks, "C" counters for hot nodes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Chrome buffers the event stream and, on Close, writes a
+// {"traceEvents":[...]} file: one thread track per phase carrying that
+// phase's rounds as duration slices, plus counter tracks for the HotNodes
+// busiest nodes (by total sends — known only once the run is over, which
+// is why the sink buffers).
+type Chrome struct {
+	w      io.Writer
+	closer io.Closer
+	events []Event
+	// HotNodes is how many top-sending nodes get counter tracks (default
+	// 8; set before Close).
+	HotNodes int
+}
+
+// NewChrome wraps an io.Writer. If w is also an io.Closer it is closed by
+// Close.
+func NewChrome(w io.Writer) *Chrome {
+	c := &Chrome{w: w, HotNodes: 8}
+	if cl, ok := w.(io.Closer); ok {
+		c.closer = cl
+	}
+	return c
+}
+
+// CreateChrome opens (truncating) path and returns a Chrome sink writing
+// to it.
+func CreateChrome(path string) (*Chrome, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create chrome trace: %w", err)
+	}
+	return NewChrome(f), nil
+}
+
+// Emit implements Sink.
+func (c *Chrome) Emit(e Event) error {
+	switch e.Kind {
+	case "round", "node_sends", "run_start":
+		c.events = append(c.events, e)
+	}
+	return nil
+}
+
+const chromePID = 1
+
+// Close implements Sink: assembles and writes the trace file.
+func (c *Chrome) Close() error {
+	out := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "congest engine"},
+	}}
+
+	// One thread track per phase, in first-appearance order.
+	tids := make(map[string]int)
+	for _, e := range c.events {
+		if _, ok := tids[e.Phase]; !ok {
+			tid := len(tids) + 1
+			tids[e.Phase] = tid
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+				Args: map[string]any{"name": "phase:" + e.Phase},
+			})
+		}
+	}
+
+	// Hot-node selection: total sends per node across the whole run.
+	totals := make(map[int]int)
+	for _, e := range c.events {
+		if e.Kind == "node_sends" {
+			totals[e.Node] += e.Msgs
+		}
+	}
+	nodes := make([]int, 0, len(totals))
+	for v := range totals {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if totals[nodes[i]] != totals[nodes[j]] {
+			return totals[nodes[i]] > totals[nodes[j]]
+		}
+		return nodes[i] < nodes[j]
+	})
+	if len(nodes) > c.HotNodes {
+		nodes = nodes[:c.HotNodes]
+	}
+	hot := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		hot[v] = true
+	}
+
+	for _, e := range c.events {
+		switch e.Kind {
+		case "round":
+			dur := e.RoundUS
+			if dur < 1 {
+				dur = 1
+			}
+			ts := e.TS - dur
+			if ts < 0 {
+				ts = 0
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("round %d", e.Round),
+				Ph:   "X", TS: ts, Dur: dur,
+				PID: chromePID, TID: tids[e.Phase],
+				Args: map[string]any{
+					"run": e.Run, "sent": e.Sent, "active": e.Active,
+					"globalRound": e.GlobalRound,
+				},
+			})
+		case "node_sends":
+			if !hot[e.Node] {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("node %d sends", e.Node),
+				Ph:   "C", TS: e.TS, PID: chromePID, TID: tids[e.Phase],
+				Args: map[string]any{"msgs": e.Msgs},
+			})
+		}
+	}
+
+	err := json.NewEncoder(c.w).Encode(map[string]any{"traceEvents": out})
+	if c.closer != nil {
+		if cerr := c.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	c.events = nil
+	return err
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSONL is a streaming structured-trace sink: one Event per line, encoded
+// as JSON — trivially greppable and loadable with any JSON-lines tooling.
+type JSONL struct {
+	enc   *json.Encoder
+	flush func() error
+	close func() error
+}
+
+// NewJSONL wraps an io.Writer. If w is also an io.Closer it is closed by
+// Close.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	j := &JSONL{enc: json.NewEncoder(bw), flush: bw.Flush}
+	if c, ok := w.(io.Closer); ok {
+		j.close = c.Close
+	}
+	return j
+}
+
+// CreateJSONL opens (truncating) path and returns a JSONL sink writing to
+// it.
+func CreateJSONL(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create jsonl trace: %w", err)
+	}
+	return NewJSONL(f), nil
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(e Event) error {
+	return j.enc.Encode(e)
+}
+
+// Close implements Sink.
+func (j *JSONL) Close() error {
+	err := j.flush()
+	if j.close != nil {
+		if cerr := j.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

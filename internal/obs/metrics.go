@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// metricsBuckets are the upper bounds of the per-round message-count
+// histogram (Prometheus "le" convention; +Inf is implicit).
+var metricsBuckets = []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+
+type phaseMetrics struct {
+	name     string
+	rounds   int
+	messages int64
+	wallUS   int64
+	maxLink  int
+	maxNode  int
+}
+
+// Metrics accumulates the event stream into phase-labelled aggregates and,
+// on Close, writes them in the Prometheus text exposition format — a plain
+// metrics dump that node_exporter-style tooling (or grep) can consume.
+type Metrics struct {
+	w      io.Writer
+	closer io.Closer
+
+	order  []*phaseMetrics
+	byName map[string]*phaseMetrics
+	runs   int
+
+	bucketCounts []int64
+	msgSum       int64
+	msgCount     int64
+}
+
+// NewMetrics wraps an io.Writer. If w is also an io.Closer it is closed by
+// Close.
+func NewMetrics(w io.Writer) *Metrics {
+	m := &Metrics{
+		w:            w,
+		byName:       make(map[string]*phaseMetrics),
+		bucketCounts: make([]int64, len(metricsBuckets)),
+	}
+	if cl, ok := w.(io.Closer); ok {
+		m.closer = cl
+	}
+	return m
+}
+
+// CreateMetrics opens (truncating) path and returns a Metrics sink writing
+// to it.
+func CreateMetrics(path string) (*Metrics, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create metrics file: %w", err)
+	}
+	return NewMetrics(f), nil
+}
+
+func (m *Metrics) phase(name string) *phaseMetrics {
+	p, ok := m.byName[name]
+	if !ok {
+		p = &phaseMetrics{name: name}
+		m.byName[name] = p
+		m.order = append(m.order, p)
+	}
+	return p
+}
+
+// Emit implements Sink.
+func (m *Metrics) Emit(e Event) error {
+	p := m.phase(e.Phase)
+	switch e.Kind {
+	case "run_start":
+		m.runs++
+	case "round":
+		p.rounds++
+		p.messages += int64(e.Sent)
+		p.wallUS += e.RoundUS
+		m.msgSum += int64(e.Sent)
+		m.msgCount++
+		for i, le := range metricsBuckets {
+			if e.Sent <= le {
+				m.bucketCounts[i]++
+			}
+		}
+	case "node_sends":
+		if e.Msgs > p.maxNode {
+			p.maxNode = e.Msgs
+		}
+	case "link_peak":
+		if e.Load > p.maxLink {
+			p.maxLink = e.Load
+		}
+	}
+	return nil
+}
+
+// Close implements Sink: writes the accumulated metrics.
+func (m *Metrics) Close() error {
+	var b strings.Builder
+	series := func(help, typ, name string, rows func()) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		rows()
+	}
+	series("engine runs observed", "counter", "congest_runs_total", func() {
+		fmt.Fprintf(&b, "congest_runs_total %d\n", m.runs)
+	})
+	series("rounds executed per phase (incl. quiescing rounds)", "counter",
+		"congest_phase_rounds_total", func() {
+			for _, p := range m.order {
+				fmt.Fprintf(&b, "congest_phase_rounds_total{phase=%q} %d\n", p.name, p.rounds)
+			}
+		})
+	series("messages sent per phase", "counter", "congest_phase_messages_total", func() {
+		for _, p := range m.order {
+			fmt.Fprintf(&b, "congest_phase_messages_total{phase=%q} %d\n", p.name, p.messages)
+		}
+	})
+	series("wall-clock round time per phase", "counter", "congest_phase_wall_seconds_total", func() {
+		for _, p := range m.order {
+			fmt.Fprintf(&b, "congest_phase_wall_seconds_total{phase=%q} %g\n", p.name, float64(p.wallUS)/1e6)
+		}
+	})
+	series("peak per-link congestion seen in a phase", "gauge",
+		"congest_phase_max_link_congestion", func() {
+			for _, p := range m.order {
+				fmt.Fprintf(&b, "congest_phase_max_link_congestion{phase=%q} %d\n", p.name, p.maxLink)
+			}
+		})
+	series("peak single-node sends in one round per phase", "gauge",
+		"congest_phase_max_node_sends", func() {
+			for _, p := range m.order {
+				fmt.Fprintf(&b, "congest_phase_max_node_sends{phase=%q} %d\n", p.name, p.maxNode)
+			}
+		})
+	series("per-round message counts", "histogram", "congest_round_messages", func() {
+		for i, le := range metricsBuckets {
+			fmt.Fprintf(&b, "congest_round_messages_bucket{le=%q} %d\n", fmt.Sprint(le), m.bucketCounts[i])
+		}
+		fmt.Fprintf(&b, "congest_round_messages_bucket{le=\"+Inf\"} %d\n", m.msgCount)
+		fmt.Fprintf(&b, "congest_round_messages_sum %d\n", m.msgSum)
+		fmt.Fprintf(&b, "congest_round_messages_count %d\n", m.msgCount)
+	})
+
+	_, err := io.WriteString(m.w, b.String())
+	if m.closer != nil {
+		if cerr := m.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

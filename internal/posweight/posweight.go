@@ -51,6 +51,8 @@ type Opts struct {
 	MaxRounds int
 	// Workers is passed to the engine.
 	Workers int
+	// Obs, if set, receives engine events (see congest.Observer).
+	Obs congest.Observer
 }
 
 // Result is the outcome of a run.
@@ -232,7 +234,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Observer: opts.Obs})
 	if err != nil {
 		return nil, err
 	}

@@ -51,6 +51,10 @@ type Opts struct {
 	// MaxRounds and Workers are passed to the engine (per phase).
 	MaxRounds int
 	Workers   int
+	// Obs, if set, receives the engine events of every bit phase (see
+	// congest.Observer); phases are annotated "bit<t>" via
+	// congest.SetPhase, most significant first.
+	Obs congest.Observer
 }
 
 // Result reports exact distances and per-phase costs.
@@ -371,6 +375,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	}
 
 	runPhase := func(t int) ([][]int64, error) {
+		congest.SetPhase(opts.Obs, fmt.Sprintf("bit%d", t))
 		nodes := make([]*phaseNode, n)
 		stats, err := congest.Run(g, func(v int) congest.Node {
 			nd := &phaseNode{id: v, sources: sources, gamma: gamma, h: h}
@@ -387,7 +392,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 			}
 			nodes[v] = nd
 			return nd
-		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers})
+		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers, Observer: opts.Obs})
 		res.Stats.Add(stats)
 		res.PhaseRounds = append(res.PhaseRounds, stats.Rounds)
 		if err != nil {

@@ -63,6 +63,8 @@ type Opts struct {
 	// MaxRounds and Workers are passed to the engine.
 	MaxRounds int
 	Workers   int
+	// Obs, if set, receives engine events (see congest.Observer).
+	Obs congest.Observer
 }
 
 // Result reports distances and measured behaviour.
@@ -289,7 +291,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts, gamma: gamma, snapAt: snapAt}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Observer: opts.Obs})
 	if err != nil {
 		return nil, err
 	}

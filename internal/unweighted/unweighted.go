@@ -10,16 +10,17 @@
 package unweighted
 
 import (
+	"repro/internal/congest"
 	"repro/internal/graph"
 	"repro/internal/posweight"
 )
 
 // KSource computes hop distances (every arc counted as 1) from the given
 // sources using the [12] pipelined schedule. The round complexity is at
-// most 2n (paper Sec. II, recap of [12]).
-func KSource(g *graph.Graph, sources []int) (*posweight.Result, error) {
+// most 2n (paper Sec. II, recap of [12]). obs may be nil.
+func KSource(g *graph.Graph, sources []int, obs congest.Observer) (*posweight.Result, error) {
 	unit := g.Transform(func(int64) int64 { return 1 })
-	return posweight.Run(unit, posweight.Opts{Sources: sources})
+	return posweight.Run(unit, posweight.Opts{Sources: sources, Obs: obs})
 }
 
 // APSP computes all-pairs hop distances.
@@ -28,7 +29,7 @@ func APSP(g *graph.Graph) (*posweight.Result, error) {
 	for v := range sources {
 		sources[v] = v
 	}
-	return KSource(g, sources)
+	return KSource(g, sources, nil)
 }
 
 // EstimateDelta computes a distributed upper bound on the h-hop
@@ -68,9 +69,9 @@ func EstimateDelta(g *graph.Graph, h int) (int64, *posweight.Result, error) {
 // connected by zero-weight paths ... considering only the zero weight
 // edges"). The subgraph's links are a subset of the network's links, so the
 // round cost is a legal CONGEST cost on the original network.
-func ZeroReach(g *graph.Graph, sources []int) ([][]bool, *posweight.Result, error) {
+func ZeroReach(g *graph.Graph, sources []int, obs congest.Observer) ([][]bool, *posweight.Result, error) {
 	zero := g.Subgraph(func(e graph.Edge) bool { return e.W == 0 })
-	res, err := KSource(zero, sources)
+	res, err := KSource(zero, sources, obs)
 	if err != nil {
 		return nil, nil, err
 	}
