@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz trace-demo clean
+.PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo clean
 
 all: build test
 
@@ -24,6 +24,11 @@ cover:
 # at reduced size and self-validates against the sequential oracles).
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# Engine micro-benchmarks: intra-round parallel speedup and the dense vs
+# active-set scheduler comparison on both activity extremes.
+bench-engine:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler' -benchtime 1x .
 
 # The full-size experiment sweep (writes the tables EXPERIMENTS.md records).
 experiments:

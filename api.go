@@ -154,7 +154,7 @@ type CSSSPCollection = cssp.Collection
 // BuildCSSSP constructs the h-hop CSSSP collection for the sources by the
 // paper's 2h-truncation (Lemma III.4) plus this repository's repair phase.
 func BuildCSSSP(g *Graph, sources []int, h int, delta int64) (*CSSSPCollection, error) {
-	return cssp.Build(g, sources, h, delta, nil)
+	return cssp.Build(g, sources, h, delta, congest.Config{})
 }
 
 // BlockerResult reports a blocker set and its computation cost.
@@ -163,7 +163,7 @@ type BlockerResult = blocker.Result
 // ComputeBlockerSet computes a blocker set for the collection
 // (Definition III.1, Sec. III-B, including Algorithm 4).
 func ComputeBlockerSet(g *Graph, coll *CSSSPCollection) (*BlockerResult, error) {
-	return blocker.Compute(g, coll, nil)
+	return blocker.Compute(g, coll, congest.Config{})
 }
 
 // VerifyBlockerCoverage checks Definition III.1 (every depth-h root-to-leaf

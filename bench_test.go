@@ -218,3 +218,67 @@ func BenchmarkEngineWorkers1Observed(b *testing.B) {
 func BenchmarkEngineWorkers8Observed(b *testing.B) {
 	benchEngineWorkers(b, 8, func() congest.Observer { return obs.NewRecorder() })
 }
+
+// ---------------------------------------------------------------------------
+// Scheduler benchmarks: dense (every node stepped every round) vs the
+// active-set scheduler, on the two activity extremes. Both produce
+// bit-identical results and Stats (see TestSchedulerEquivalence*); only wall
+// clock may differ.
+
+// benchSchedulerSparse runs Algorithm 1 (k-SSP instantiation, 4 sources) on
+// a 256-node bounded-weight graph with Δ = 4096. The γ-schedule stretches
+// over thousands of rounds proportional to the distance values while each
+// node only ever broadcasts ~k estimates, so in most rounds almost every
+// node is idle — the workload the active-set scheduler exists for. (With all
+// n sources the per-round Pareto-merge work dominates and both schedulers
+// cost the same; sparse activity, not source count, is what the scheduler
+// exploits.)
+func benchSchedulerSparse(b *testing.B, s congest.Scheduler) {
+	n := 256
+	g := graph.Random(n, 4*n, graph.GenOpts{Seed: 9, MaxW: 4096, MinW: 1, Directed: true})
+	delta := graph.Delta(g)
+	sources := []int{0, 64, 128, 192}
+	b.ResetTimer()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(g, core.Opts{Sources: sources, H: n - 1, Delta: delta, Scheduler: s})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+func BenchmarkEngineSchedulerSparseDense(b *testing.B) {
+	benchSchedulerSparse(b, congest.SchedulerDense)
+}
+func BenchmarkEngineSchedulerSparseActive(b *testing.B) {
+	benchSchedulerSparse(b, congest.SchedulerActive)
+}
+
+// benchSchedulerBusy runs unweighted flooding-style APSP where nearly every
+// node receives in nearly every round, so the active set is almost the whole
+// graph and the scheduler's bookkeeping is pure overhead. The active variant
+// must stay within a few percent of dense here.
+func benchSchedulerBusy(b *testing.B, s congest.Scheduler) {
+	n := 96
+	g := graph.Random(n, 4*n, graph.GenOpts{Seed: 9, MaxW: 1, MinW: 1})
+	sources := make([]int, n)
+	for v := range sources {
+		sources[v] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(g, core.Opts{Sources: sources, H: n - 1, Delta: 1, Scheduler: s}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSchedulerBusyDense(b *testing.B) {
+	benchSchedulerBusy(b, congest.SchedulerDense)
+}
+func BenchmarkEngineSchedulerBusyActive(b *testing.B) {
+	benchSchedulerBusy(b, congest.SchedulerActive)
+}

@@ -6,27 +6,37 @@
 //
 //	apspbench              # run every experiment at full size
 //	apspbench -small       # reduced sizes (what the benchmarks use)
-//	apspbench -exp E-BLK   # a single experiment
+//	apspbench -exp E-BIG   # a single experiment
 //	apspbench -list        # list experiment IDs
 //	apspbench -json out.json  # additionally persist the tables as JSON
+//	apspbench -exp E-BIG -workers 8 -cpuprofile cpu.pprof
+//
+// -workers bounds the engine goroutines per round in the scale-sensitive
+// experiments; -cpuprofile/-memprofile write pprof profiles covering the
+// experiment run (inspect with `go tool pprof`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		small    = flag.Bool("small", false, "run reduced-size experiments")
-		exp      = flag.String("exp", "", "run a single experiment by ID")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		seed     = flag.Int64("seed", 1, "deterministic seed")
-		md       = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
-		jsonPath = flag.String("json", "", "also write the result tables as JSON to this path")
+		small      = flag.Bool("small", false, "run reduced-size experiments")
+		exp        = flag.String("exp", "", "run a single experiment by ID")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		md         = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+		jsonPath   = flag.String("json", "", "also write the result tables as JSON to this path")
+		workers    = flag.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run here")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run here")
 	)
 	flag.Parse()
 
@@ -36,7 +46,24 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Small: *small, Seed: *seed}
+	cfg := experiments.Config{Small: *small, Seed: *seed, Workers: *workers}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile: %s\n", *cpuProfile)
+		}()
+	}
 
 	var tables []*experiments.Table
 	if *exp != "" {
@@ -71,6 +98,20 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "tables: %s\n", *jsonPath)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "heap profile: %s\n", *memProfile)
 	}
 }
 

@@ -17,6 +17,11 @@
 //	apsprun -alg approx -eps 0.25 -n 32 -m 96 -json
 //	apsprun -alg shortrange -graph g.txt -sources 0 -h 8
 //	apsprun -alg bellman -n 32 -m 96 -h 6 -sources 0,1,2 -check
+//	apsprun -alg pipeline -n 256 -m 1024 -sched dense -workers 4
+//
+// -sched selects the engine scheduler (active-set by default; dense steps
+// every node every round) and -workers the per-round goroutine count; both
+// leave results and CONGEST costs bit-identical.
 package main
 
 import (
@@ -61,8 +66,15 @@ func main() {
 		statsJSON = flag.String("stats-json", "", "write the aggregate + per-phase stats report (JSON) here")
 		jsonOut   = flag.Bool("json", false, "print the stats report as JSON on stdout (suppresses the human summary)")
 		phases    = flag.Bool("phases", false, "print the per-phase cost breakdown table")
+		workers   = flag.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
+		schedArg  = flag.String("sched", "active", "engine scheduler: active | dense")
 	)
 	flag.Parse()
+
+	sched, err := parseScheduler(*schedArg)
+	if err != nil {
+		fail(err)
+	}
 
 	g, err := loadGraph(*file, *grid, *n, *m, *maxW, *zero, *seed)
 	if err != nil {
@@ -123,7 +135,7 @@ func main() {
 		} else {
 			hopUsed = hopBound
 		}
-		copts := core.Opts{Sources: sources, H: hopBound, Obs: observer}
+		copts := core.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer}
 		if *listTrace {
 			copts.Trace = func(format string, args ...interface{}) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -139,14 +151,14 @@ func main() {
 			fmt.Printf("activity (peak %d msgs/round): %s\n", tl.Peak(), tl.Sparkline(72))
 		}
 	case "blocker":
-		res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h, Obs: observer})
+		res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h, Workers: *workers, Scheduler: sched, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
 		dist, stats = res.Dist, res.Stats
 		extra = fmt.Sprintf("h=%d |Q|=%d phases=%v", res.H, len(res.Q), res.PhaseRounds)
 	case "approx":
-		res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps, Obs: observer})
+		res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps, Workers: *workers, Scheduler: sched, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
@@ -166,7 +178,7 @@ func main() {
 		finish(rec, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
 		return
 	case "scaling":
-		res, err := scaling.Run(g, scaling.Opts{Sources: sources, Obs: observer})
+		res, err := scaling.Run(g, scaling.Opts{Sources: sources, Workers: *workers, Scheduler: sched, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
@@ -177,7 +189,7 @@ func main() {
 		if hopBound == 0 {
 			hopBound = 8
 		}
-		res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound, Obs: observer})
+		res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
@@ -190,7 +202,7 @@ func main() {
 		} else {
 			hopUsed = hopBound
 		}
-		res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound, Obs: observer})
+		res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer})
 		if err != nil {
 			fail(err)
 		}
@@ -318,6 +330,16 @@ func loadGraph(file, grid string, n, m int, maxW int64, zero float64, seed int64
 	}
 	defer f.Close()
 	return graph.Decode(f)
+}
+
+func parseScheduler(arg string) (congest.Scheduler, error) {
+	switch arg {
+	case "active":
+		return congest.SchedulerActive, nil
+	case "dense":
+		return congest.SchedulerDense, nil
+	}
+	return 0, fmt.Errorf("bad -sched %q (want active | dense)", arg)
 }
 
 func parseSources(arg string, n int) ([]int, error) {

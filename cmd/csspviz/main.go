@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/blocker"
+	"repro/internal/congest"
 	"repro/internal/cssp"
 	"repro/internal/dot"
 	"repro/internal/graph"
@@ -59,14 +60,14 @@ func main() {
 			sources[v] = v
 		}
 	}
-	coll, err := cssp.Build(g, sources, *h, 0, nil)
+	coll, err := cssp.Build(g, sources, *h, 0, congest.Config{})
 	if err != nil {
 		fail(err)
 	}
 	highlight := map[int]string{}
 	title := fmt.Sprintf("CSSSP tree of %d (h=%d)", *source, *h)
 	if *blockers {
-		blk, err := blocker.Compute(g, coll, nil)
+		blk, err := blocker.Compute(g, coll, congest.Config{})
 		if err != nil {
 			fail(err)
 		}

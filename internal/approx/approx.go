@@ -45,6 +45,9 @@ type Opts struct {
 	// congest.SetPhase with the names "zero" and "scale<i>" — the same
 	// keys as Result.PhaseRounds.
 	Obs congest.Observer
+	// Workers and Scheduler are passed to the engine of every phase.
+	Workers   int
+	Scheduler congest.Scheduler
 }
 
 // Result reports approximate distances.
@@ -100,7 +103,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 
 	// Step 1: zero-weight reachability.
 	congest.SetPhase(opts.Obs, "zero")
-	reach, zr, err := unweighted.ZeroReach(g, sources, opts.Obs)
+	reach, zr, err := unweighted.ZeroReach(g, sources, congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("approx: zero reachability: %w", err)
 	}
@@ -143,7 +146,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 		depth := (2*lim)/rho + int64(n)
 		gs := gp.Transform(func(w int64) int64 { return (w + rho - 1) / rho })
 		congest.SetPhase(opts.Obs, fmt.Sprintf("scale%d", scale))
-		pr, err := posweight.Run(gs, posweight.Opts{Sources: sources, MaxDist: depth, Obs: opts.Obs})
+		pr, err := posweight.Run(gs, posweight.Opts{Sources: sources, MaxDist: depth, Workers: opts.Workers, Scheduler: opts.Scheduler, Obs: opts.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("approx: scale %d: %w", scale, err)
 		}

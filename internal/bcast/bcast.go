@@ -70,6 +70,15 @@ func (t *treeNode) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 
 func (t *treeNode) Quiescent() bool { return !t.fresh }
 
+// NextWake implements congest.Waker: a freshly improved distance is
+// rebroadcast next round; otherwise only a better offer wakes the node.
+func (t *treeNode) NextWake() int {
+	if t.fresh {
+		return 1 // clamped to the next round
+	}
+	return congest.WakeOnReceive
+}
+
 // claimNode notifies each node's parent so parents learn their children.
 type claimNode struct {
 	id, parent int
@@ -91,10 +100,20 @@ func (c *claimNode) Round(ctx *congest.Context, r int, inbox []congest.Message) 
 }
 func (c *claimNode) Quiescent() bool { return c.sent }
 
+// NextWake implements congest.Waker: one spontaneous claim send, then the
+// node only collects its children's claims.
+func (c *claimNode) NextWake() int {
+	if !c.sent {
+		return 1
+	}
+	return congest.WakeOnReceive
+}
+
 // BuildTree constructs a BFS spanning tree rooted at root, distributed:
 // a flooding phase establishes distances and parents, a claim phase tells
-// parents their children. The communication graph must be connected.
-func BuildTree(g *graph.Graph, root int, obs congest.Observer) (*Tree, congest.Stats, error) {
+// parents their children. The communication graph must be connected. cfg
+// carries the engine knobs for both phases; the zero value is fine.
+func BuildTree(g *graph.Graph, root int, cfg congest.Config) (*Tree, congest.Stats, error) {
 	n := g.N()
 	if root < 0 || root >= n {
 		return nil, congest.Stats{}, fmt.Errorf("bcast: root %d out of range", root)
@@ -103,7 +122,7 @@ func BuildTree(g *graph.Graph, root int, obs congest.Observer) (*Tree, congest.S
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		tns[v] = &treeNode{id: v, root: root}
 		return tns[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	if err != nil {
 		return nil, stats, fmt.Errorf("bcast: BFS phase: %w", err)
 	}
@@ -111,7 +130,7 @@ func BuildTree(g *graph.Graph, root int, obs congest.Observer) (*Tree, congest.S
 	s2, err := congest.Run(g, func(v int) congest.Node {
 		cns[v] = &claimNode{id: v, parent: tns[v].parent}
 		return cns[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	stats.Add(s2)
 	if err != nil {
 		return nil, stats, fmt.Errorf("bcast: claim phase: %w", err)
@@ -159,11 +178,20 @@ func (a *aggNode) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 
 func (a *aggNode) Quiescent() bool { return a.sent || a.pending > 0 || a.id == a.tree.Root }
 
+// NextWake implements congest.Waker: a leaf (or a node whose last child
+// just reported) sends once, spontaneously; everyone else acts on receive.
+func (a *aggNode) NextWake() int {
+	if !a.sent && a.pending == 0 && a.id != a.tree.Root {
+		return 1
+	}
+	return congest.WakeOnReceive
+}
+
 // MaxArg aggregates the maximum of vals with the smallest arg attaining it
 // to the tree root. args default to the node ID. Returns the max, its arg,
 // and the run stats. Only the root's view is returned (a follow-up
 // Broadcast distributes it when needed).
-func MaxArg(g *graph.Graph, tr *Tree, vals []int64, obs congest.Observer) (int64, int64, congest.Stats, error) {
+func MaxArg(g *graph.Graph, tr *Tree, vals []int64, cfg congest.Config) (int64, int64, congest.Stats, error) {
 	combine := func(v1, a1, v2, a2 int64) (int64, int64) {
 		if v2 > v1 || (v2 == v1 && a2 < a1) {
 			return v2, a2
@@ -174,7 +202,7 @@ func MaxArg(g *graph.Graph, tr *Tree, vals []int64, obs congest.Observer) (int64
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &aggNode{id: v, tree: tr, val: vals[v], arg: int64(v), combine: combine}
 		return nodes[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	if err != nil {
 		return 0, 0, stats, fmt.Errorf("bcast: MaxArg: %w", err)
 	}
@@ -183,13 +211,13 @@ func MaxArg(g *graph.Graph, tr *Tree, vals []int64, obs congest.Observer) (int64
 }
 
 // Sum aggregates the sum of vals to the tree root.
-func Sum(g *graph.Graph, tr *Tree, vals []int64, obs congest.Observer) (int64, congest.Stats, error) {
+func Sum(g *graph.Graph, tr *Tree, vals []int64, cfg congest.Config) (int64, congest.Stats, error) {
 	combine := func(v1, a1, v2, a2 int64) (int64, int64) { return v1 + v2, 0 }
 	nodes := make([]*aggNode, g.N())
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &aggNode{id: v, tree: tr, val: vals[v], combine: combine}
 		return nodes[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	if err != nil {
 		return 0, stats, fmt.Errorf("bcast: Sum: %w", err)
 	}
@@ -238,10 +266,25 @@ func (p *pipeNode) Quiescent() bool {
 	return len(p.queue) == 0
 }
 
+// NextWake implements congest.Waker: the root streams one value per round
+// until its list is exhausted; relays act while their queue drains.
+func (p *pipeNode) NextWake() int {
+	if p.id == p.tree.Root {
+		if p.sentI < len(p.src) {
+			return 1
+		}
+		return congest.WakeOnReceive
+	}
+	if len(p.queue) > 0 {
+		return 1
+	}
+	return congest.WakeOnReceive
+}
+
 // Broadcast pipelines the given values from the tree root to every node.
 // Every node receives all values in order; rounds ≤ len(values) + tree
 // height. Returns each node's received list (the root's is the input).
-func Broadcast(g *graph.Graph, tr *Tree, values []Vec, obs congest.Observer) ([][]Vec, congest.Stats, error) {
+func Broadcast(g *graph.Graph, tr *Tree, values []Vec, cfg congest.Config) ([][]Vec, congest.Stats, error) {
 	nodes := make([]*pipeNode, g.N())
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &pipeNode{id: v, tree: tr}
@@ -249,7 +292,7 @@ func Broadcast(g *graph.Graph, tr *Tree, values []Vec, obs congest.Observer) ([]
 			nodes[v].src = values
 		}
 		return nodes[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	if err != nil {
 		return nil, stats, fmt.Errorf("bcast: Broadcast: %w", err)
 	}
@@ -292,14 +335,23 @@ func (gn *gatherNode) Round(ctx *congest.Context, r int, inbox []congest.Message
 
 func (gn *gatherNode) Quiescent() bool { return gn.id == gn.tree.Root || len(gn.queue) == 0 }
 
+// NextWake implements congest.Waker: a non-root node forwards one queued
+// item per round; the root only receives.
+func (gn *gatherNode) NextWake() int {
+	if gn.id != gn.tree.Root && len(gn.queue) > 0 {
+		return 1
+	}
+	return congest.WakeOnReceive
+}
+
 // Gather collects items[v] from every node v at the root. Returns the
 // root's received items (origin must be encoded in the Vec by the caller).
-func Gather(g *graph.Graph, tr *Tree, items [][]Vec, obs congest.Observer) ([]Vec, congest.Stats, error) {
+func Gather(g *graph.Graph, tr *Tree, items [][]Vec, cfg congest.Config) ([]Vec, congest.Stats, error) {
 	nodes := make([]*gatherNode, g.N())
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &gatherNode{id: v, tree: tr, queue: append([]Vec(nil), items[v]...)}
 		return nodes[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	if err != nil {
 		return nil, stats, fmt.Errorf("bcast: Gather: %w", err)
 	}

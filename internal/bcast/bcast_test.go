@@ -3,12 +3,13 @@ package bcast
 import (
 	"testing"
 
+	"repro/internal/congest"
 	"repro/internal/graph"
 )
 
 func buildTestTree(t *testing.T, g *graph.Graph, root int) *Tree {
 	t.Helper()
-	tr, _, err := BuildTree(g, root, nil)
+	tr, _, err := BuildTree(g, root, congest.Config{})
 	if err != nil {
 		t.Fatalf("BuildTree: %v", err)
 	}
@@ -76,7 +77,7 @@ func TestBuildTreeDisconnected(t *testing.T) {
 	g := graph.New(4, false)
 	g.MustAddEdge(0, 1, 1)
 	g.MustAddEdge(2, 3, 1)
-	if _, _, err := BuildTree(g, 0, nil); err == nil {
+	if _, _, err := BuildTree(g, 0, congest.Config{}); err == nil {
 		t.Fatal("BuildTree on disconnected graph succeeded")
 	}
 }
@@ -94,7 +95,7 @@ func TestMaxArg(t *testing.T) {
 			wantV, wantA = x, int64(v)
 		}
 	}
-	got, arg, _, err := MaxArg(g, tr, vals, nil)
+	got, arg, _, err := MaxArg(g, tr, vals, congest.Config{})
 	if err != nil {
 		t.Fatalf("MaxArg: %v", err)
 	}
@@ -109,7 +110,7 @@ func TestMaxArgTieBreaksSmallestNode(t *testing.T) {
 	vals := make([]int64, 8)
 	vals[6] = 5
 	vals[2] = 5
-	_, arg, _, err := MaxArg(g, tr, vals, nil)
+	_, arg, _, err := MaxArg(g, tr, vals, congest.Config{})
 	if err != nil {
 		t.Fatalf("MaxArg: %v", err)
 	}
@@ -127,7 +128,7 @@ func TestSum(t *testing.T) {
 		vals[v] = int64(v)
 		want += int64(v)
 	}
-	got, _, err := Sum(g, tr, vals, nil)
+	got, _, err := Sum(g, tr, vals, congest.Config{})
 	if err != nil {
 		t.Fatalf("Sum: %v", err)
 	}
@@ -140,7 +141,7 @@ func TestBroadcastPipelined(t *testing.T) {
 	g := graph.Path(6, graph.GenOpts{Seed: 1, MaxW: 1})
 	tr := buildTestTree(t, g, 0)
 	values := []Vec{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
-	got, stats, err := Broadcast(g, tr, values, nil)
+	got, stats, err := Broadcast(g, tr, values, congest.Config{})
 	if err != nil {
 		t.Fatalf("Broadcast: %v", err)
 	}
@@ -163,7 +164,7 @@ func TestBroadcastPipelined(t *testing.T) {
 func TestBroadcastEmptyList(t *testing.T) {
 	g := graph.Path(3, graph.GenOpts{Seed: 1, MaxW: 1})
 	tr := buildTestTree(t, g, 0)
-	got, stats, err := Broadcast(g, tr, nil, nil)
+	got, stats, err := Broadcast(g, tr, nil, congest.Config{})
 	if err != nil {
 		t.Fatalf("Broadcast: %v", err)
 	}
@@ -188,7 +189,7 @@ func TestGather(t *testing.T) {
 			total++
 		}
 	}
-	got, stats, err := Gather(g, tr, items, nil)
+	got, stats, err := Gather(g, tr, items, congest.Config{})
 	if err != nil {
 		t.Fatalf("Gather: %v", err)
 	}

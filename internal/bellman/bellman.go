@@ -39,9 +39,10 @@ type Opts struct {
 	// for source i instead of the default (0 at the source, Inf elsewhere).
 	// Used for extension-style computations.
 	Seed [][]int64
-	// MaxRounds and Workers are passed to the engine.
+	// MaxRounds, Workers and Scheduler are passed to the engine.
 	MaxRounds int
 	Workers   int
+	Scheduler congest.Scheduler
 	// Obs, if set, receives engine events (see congest.Observer).
 	Obs congest.Observer
 }
@@ -57,13 +58,14 @@ type node struct {
 	id   int
 	opts *Opts
 
-	dist     []int64 // live merged estimates
-	snap     []int64 // snapshot at the start of the current block: d^(t-1)
-	lastSent []int64 // last broadcast value per source (Inf = never)
-	parent   []int
-	srcIdx   map[int]int
-	inW      map[int]int64
-	cur      int // last round executed
+	dist      []int64 // live merged estimates
+	snap      []int64 // snapshot at the start of the current block: d^(t-1)
+	snapBlock int     // block whose start snap reflects
+	lastSent  []int64 // last broadcast value per source (Inf = never)
+	parent    []int
+	srcIdx    map[int]int
+	inW       map[int]int64
+	cur       int // last round executed
 }
 
 func (nd *node) Init(ctx *congest.Context) {
@@ -88,6 +90,9 @@ func (nd *node) Init(ctx *congest.Context) {
 		}
 	}
 	copy(nd.snap, nd.dist)
+	// Round 1's inbox is necessarily empty, so this copy IS block 1's
+	// snapshot.
+	nd.snapBlock = 1
 	nd.inW = make(map[int]int64)
 	for _, e := range ctx.InEdges() {
 		if w, ok := nd.inW[e.From]; !ok || e.W < w {
@@ -104,6 +109,18 @@ func (nd *node) Init(ctx *congest.Context) {
 // block and undershoot the h-hop semantics.
 func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 	nd.cur = r
+	k := len(nd.opts.Sources)
+	// The active-set scheduler may skip a block-start round (nothing to
+	// receive, nothing due to send). dist only changes on a receive, so the
+	// skipped start would have frozen exactly the values dist still holds —
+	// but this round's inbox was sent *after* that start, so when entering
+	// a block mid-way, freeze before merging. At a block-start round itself
+	// the inbox is last block's traffic and dense order is merge-then-
+	// freeze, handled below.
+	if t := (r-1)/k + 1; r <= nd.opts.H*k && t > nd.snapBlock && (r-1)%k != 0 {
+		copy(nd.snap, nd.dist)
+		nd.snapBlock = t
+	}
 	for _, m := range inbox {
 		est := m.Payload.(estimate)
 		w, ok := nd.inW[m.From]
@@ -120,12 +137,12 @@ func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 			nd.parent[i] = m.From
 		}
 	}
-	k := len(nd.opts.Sources)
 	if r > nd.opts.H*k {
 		return // all H relaxation waves dispatched; keep merging only
 	}
 	if (r-1)%k == 0 {
 		copy(nd.snap, nd.dist) // block start: freeze d^(t-1)
+		nd.snapBlock = (r-1)/k + 1
 	}
 	j := (r - 1) % k
 	if nd.snap[j] < graph.Inf && nd.snap[j] != nd.lastSent[j] {
@@ -144,6 +161,52 @@ func (nd *node) Quiescent() bool {
 		}
 	}
 	return true
+}
+
+// NextWake implements congest.Waker: the next slot round at which this node
+// will broadcast. Absent further receives, the value slot j carries in a
+// future block is today's dist[j] (that block's start freezes it), and in
+// the current block it is the frozen snap[j] — so the next send round is
+// exactly computable. A node whose only unsent values can no longer fire
+// (their slots in the final block have passed) wakes at round H·k, where it
+// turns quiescent just as it does under dense stepping.
+func (nd *node) NextWake() int {
+	k := len(nd.opts.Sources)
+	hk := nd.opts.H * k
+	if nd.cur >= hk {
+		return congest.WakeOnReceive
+	}
+	next := congest.WakeOnReceive
+	pending := false
+	for j := range nd.dist {
+		// Earliest round with slot j strictly after cur.
+		r0 := j + 1
+		if r0 <= nd.cur {
+			r0 += ((nd.cur-r0)/k + 1) * k
+		}
+		v := nd.dist[j]
+		if nd.snapBlock >= (r0-1)/k+1 {
+			v = nd.snap[j] // this block is already frozen
+		}
+		if v < graph.Inf && v != nd.lastSent[j] {
+			if r0 <= hk && (next == congest.WakeOnReceive || r0 < next) {
+				next = r0
+			}
+		} else if nd.dist[j] < graph.Inf && nd.dist[j] != nd.lastSent[j] {
+			// Not sendable this block (dist moved after the freeze); the
+			// next block's start picks it up.
+			if r1 := r0 + k; r1 <= hk && (next == congest.WakeOnReceive || r1 < next) {
+				next = r1
+			}
+		}
+		if nd.dist[j] < graph.Inf && nd.dist[j] != nd.lastSent[j] {
+			pending = true
+		}
+	}
+	if next == congest.WakeOnReceive && pending {
+		return hk // no slot left for the change: go formally quiescent there
+	}
+	return next
 }
 
 // Run executes distributed Bellman–Ford per Opts.
@@ -166,7 +229,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Observer: opts.Obs})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -187,18 +250,26 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 }
 
 // FullSSSP computes unrestricted single-source shortest paths from src
-// (hop bound n−1, sufficient for any simple path). obs may be nil.
-func FullSSSP(g *graph.Graph, src int, obs congest.Observer) (*Result, error) {
+// (hop bound n−1, sufficient for any simple path). cfg carries the engine
+// knobs (Workers, Scheduler, Observer); the zero value is fine.
+func FullSSSP(g *graph.Graph, src int, cfg congest.Config) (*Result, error) {
 	h := g.N() - 1
 	if h < 1 {
 		h = 1
 	}
-	return Run(g, Opts{Sources: []int{src}, H: h, Obs: obs})
+	return Run(g, Opts{
+		Sources:   []int{src},
+		H:         h,
+		MaxRounds: cfg.MaxRounds,
+		Workers:   cfg.Workers,
+		Scheduler: cfg.Scheduler,
+		Obs:       cfg.Observer,
+	})
 }
 
 // FullReverseSSSP computes distances TO dst from every node by running
 // forward SSSP on the reversed graph (the communication graph is identical,
-// so the round cost is the honest cost). obs may be nil.
-func FullReverseSSSP(g *graph.Graph, dst int, obs congest.Observer) (*Result, error) {
-	return FullSSSP(g.Reverse(), dst, obs)
+// so the round cost is the honest cost).
+func FullReverseSSSP(g *graph.Graph, dst int, cfg congest.Config) (*Result, error) {
+	return FullSSSP(g.Reverse(), dst, cfg)
 }

@@ -3,6 +3,7 @@ package bellman
 import (
 	"testing"
 
+	"repro/internal/congest"
 	"repro/internal/graph"
 )
 
@@ -83,7 +84,7 @@ func TestRoundBoundHK(t *testing.T) {
 func TestFullSSSPMatchesDijkstra(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		g := graph.Random(35, 100, graph.GenOpts{Seed: seed, MaxW: 9, ZeroFrac: 0.25, Directed: true})
-		res, err := FullSSSP(g, 2, nil)
+		res, err := FullSSSP(g, 2, congest.Config{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -98,7 +99,7 @@ func TestFullSSSPMatchesDijkstra(t *testing.T) {
 
 func TestFullReverseSSSP(t *testing.T) {
 	g := graph.Random(30, 90, graph.GenOpts{Seed: 8, MaxW: 7, ZeroFrac: 0.2, Directed: true})
-	res, err := FullReverseSSSP(g, 5, nil)
+	res, err := FullReverseSSSP(g, 5, congest.Config{})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

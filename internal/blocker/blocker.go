@@ -125,6 +125,15 @@ func (nd *claimNode) Round(ctx *congest.Context, r int, inbox []congest.Message)
 
 func (nd *claimNode) Quiescent() bool { return nd.empty() }
 
+// NextWake implements congest.Waker: queued claims drain one per neighbor
+// per round; after that, only incoming claims matter.
+func (nd *claimNode) NextWake() int {
+	if !nd.empty() {
+		return 1
+	}
+	return congest.WakeOnReceive
+}
+
 // scoreNode implements the per-tree descendant-leaf convergecast.
 type scoreNode struct {
 	queueNode
@@ -177,6 +186,21 @@ func (nd *scoreNode) Round(ctx *congest.Context, r int, inbox []congest.Message)
 		nd.report(i)
 	}
 	nd.flush(ctx)
+}
+
+// NextWake implements congest.Waker: the node acts spontaneously while its
+// queues drain or while a finished (pending-zero) count is still to be
+// reported; otherwise only a child's report wakes it.
+func (nd *scoreNode) NextWake() int {
+	if !nd.empty() {
+		return 1
+	}
+	for i := range nd.pending {
+		if nd.pending[i] == 0 && !nd.reported[i] {
+			return 1
+		}
+	}
+	return congest.WakeOnReceive
 }
 
 func (nd *scoreNode) Quiescent() bool {
@@ -257,10 +281,20 @@ func (nd *updateNode) Round(ctx *congest.Context, r int, inbox []congest.Message
 
 func (nd *updateNode) Quiescent() bool { return nd.empty() }
 
-// Compute runs the full blocker-set computation on the collection. obs may
-// be nil; if set it receives the engine events of every internal phase
-// (claims, scores, the greedy selection loop and the score updates).
-func Compute(g *graph.Graph, coll *cssp.Collection, obs congest.Observer) (*Result, error) {
+// NextWake implements congest.Waker: queued updates drain one per neighbor
+// per round.
+func (nd *updateNode) NextWake() int {
+	if !nd.empty() {
+		return 1
+	}
+	return congest.WakeOnReceive
+}
+
+// Compute runs the full blocker-set computation on the collection. cfg
+// carries the engine knobs for every internal phase (claims, scores, the
+// greedy selection loop and the score updates); its Observer receives all
+// of their events. The zero Config is fine.
+func Compute(g *graph.Graph, coll *cssp.Collection, cfg congest.Config) (*Result, error) {
 	n := g.N()
 	k := len(coll.Sources)
 	res := &Result{PhaseRounds: make(map[string]int)}
@@ -270,7 +304,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection, obs congest.Observer) (*Resu
 	st, err := congest.Run(g, func(v int) congest.Node {
 		claims[v] = &claimNode{id: v, coll: coll}
 		return claims[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	res.Stats.Add(st)
 	res.PhaseRounds["claims"] = st.Rounds
 	if err != nil {
@@ -286,7 +320,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection, obs congest.Observer) (*Resu
 	st, err = congest.Run(g, func(v int) congest.Node {
 		scores[v] = &scoreNode{id: v, coll: coll, children: children[v]}
 		return scores[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	res.Stats.Add(st)
 	res.PhaseRounds["scores"] = st.Rounds
 	if err != nil {
@@ -298,7 +332,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection, obs congest.Observer) (*Resu
 	}
 
 	// BFS tree for the greedy aggregation.
-	tree, st, err := bcast.BuildTree(g, 0, obs)
+	tree, st, err := bcast.BuildTree(g, 0, cfg)
 	res.Stats.Add(st)
 	res.PhaseRounds["select"] += st.Rounds
 	if err != nil {
@@ -313,7 +347,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection, obs congest.Observer) (*Resu
 				totals[v] += score[v][i]
 			}
 		}
-		maxScore, arg, st, err := bcast.MaxArg(g, tree, totals, obs)
+		maxScore, arg, st, err := bcast.MaxArg(g, tree, totals, cfg)
 		res.Stats.Add(st)
 		res.PhaseRounds["select"] += st.Rounds
 		if err != nil {
@@ -325,7 +359,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection, obs congest.Observer) (*Resu
 		}
 		c := int(arg)
 		// Announce c (a one-value broadcast down the BFS tree).
-		_, st, err = bcast.Broadcast(g, tree, []bcast.Vec{{int64(c)}}, obs)
+		_, st, err = bcast.Broadcast(g, tree, []bcast.Vec{{int64(c)}}, cfg)
 		res.Stats.Add(st)
 		res.PhaseRounds["select"] += st.Rounds
 		if err != nil {
@@ -338,7 +372,7 @@ func Compute(g *graph.Graph, coll *cssp.Collection, obs congest.Observer) (*Resu
 		st, err = congest.Run(g, func(v int) congest.Node {
 			updates[v] = &updateNode{id: v, coll: coll, children: children[v], score: score[v], c: c}
 			return updates[v]
-		}, congest.Config{Observer: obs})
+		}, cfg)
 		res.Stats.Add(st)
 		res.PhaseRounds["descendants"] += st.Rounds // both updates share the phase
 		if err != nil {

@@ -100,7 +100,7 @@ func buildCollection(t *testing.T, seed int64, n, m, h int, zeroFrac float64, kS
 	for i := 0; i < kSources; i++ {
 		sources = append(sources, (i*n)/kSources)
 	}
-	coll, err := cssp.Build(g, sources, h, 0, nil)
+	coll, err := cssp.Build(g, sources, h, 0, congest.Config{})
 	if err != nil {
 		t.Fatalf("cssp.Build: %v", err)
 	}
@@ -170,7 +170,7 @@ func TestChildrenClaimsMatchCollection(t *testing.T) {
 func TestComputeCoversAllPaths(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		g, coll := buildCollection(t, seed, 22, 66, 3, 0.3, 5)
-		res, err := Compute(g, coll, nil)
+		res, err := Compute(g, coll, congest.Config{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -190,7 +190,7 @@ func TestComputeCoversAllPaths(t *testing.T) {
 func TestComputeMatchesCentralGreedy(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		g, coll := buildCollection(t, seed, 20, 60, 2, 0.25, 4)
-		res, err := Compute(g, coll, nil)
+		res, err := Compute(g, coll, congest.Config{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -209,7 +209,7 @@ func TestComputeMatchesCentralGreedy(t *testing.T) {
 func TestBlockerSizeReasonable(t *testing.T) {
 	// The paper's greedy guarantee: |Q| = O((n ln n)/h) (from [3]).
 	g, coll := buildCollection(t, 9, 40, 160, 4, 0.3, 40)
-	res, err := Compute(g, coll, nil)
+	res, err := Compute(g, coll, congest.Config{})
 	if err != nil {
 		t.Fatalf("Compute: %v", err)
 	}
@@ -225,11 +225,11 @@ func TestEmptyBlockerWhenNoDeepPaths(t *testing.T) {
 	// A shallow graph with h larger than any hop distance: no depth-h
 	// leaves, so Q must be empty.
 	g := graph.Complete(6, graph.GenOpts{Seed: 1, MaxW: 5})
-	coll, err := cssp.Build(g, []int{0, 1, 2}, 4, 0, nil)
+	coll, err := cssp.Build(g, []int{0, 1, 2}, 4, 0, congest.Config{})
 	if err != nil {
 		t.Fatalf("cssp.Build: %v", err)
 	}
-	res, err := Compute(g, coll, nil)
+	res, err := Compute(g, coll, congest.Config{})
 	if err != nil {
 		t.Fatalf("Compute: %v", err)
 	}

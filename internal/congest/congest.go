@@ -11,12 +11,28 @@
 //
 // Communication always uses the underlying undirected graph of the input,
 // even for directed inputs, exactly as the paper assumes.
+//
+// # Scheduling
+//
+// The engine's cost model is rounds, but its wall-clock is host time, and
+// the two are decoupled: in most rounds of the paper's pipelined algorithms
+// only a handful of nodes have anything to do (the ⌈κ⌉+pos schedule tells
+// each node exactly when its next entry fires). The default active-set
+// scheduler therefore steps only the nodes that can act this round — nodes
+// with a non-empty inbox, nodes whose self-declared wake round (see Waker)
+// has arrived, and non-Waker nodes that are not quiescent — and
+// fast-forwards over rounds in which that set is empty. Stats, results and
+// the Observer event stream are bit-identical to the dense engine
+// (RoundEvent.Elapsed, wall clock, excepted); Config.Scheduler selects the
+// dense engine for differential testing.
 package congest
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,12 +59,54 @@ type Message struct {
 //
 // Quiescent must report true when the node will send no further messages
 // unless it first receives one; the engine halts when every node is
-// quiescent and no messages are in flight.
+// quiescent and no messages are in flight. Quiescent must be a pure
+// function of the node's state: the active-set scheduler caches its value
+// between steps.
 type Node interface {
 	Init(ctx *Context)
 	Round(ctx *Context, r int, inbox []Message)
 	Quiescent() bool
 }
+
+// WakeOnReceive is the Waker sentinel for "step me only when I receive a
+// message".
+const WakeOnReceive = -1
+
+// Waker is optionally implemented by Nodes whose send schedule is
+// predictable. After every step, the active-set scheduler asks the node for
+// the next round in which it may act spontaneously (send, or mutate state
+// in a round-dependent way, e.g. record a snapshot); until that round
+// arrives the node is stepped only when it receives a message. Returning
+// WakeOnReceive declares that only a receive can make the node act.
+//
+// The contract is strict, and a violation is a protocol error, not a
+// slowdown: if a node would have sent (or changed state) in a round earlier
+// than its declared wake, the active-set engine simply never steps it
+// there, and its results diverge from the dense engine's — which is exactly
+// what the scheduler-equivalence difftests detect. Returning a round that
+// is too early is always safe (the node is stepped, finds nothing due, and
+// is asked again). Returns ≤ the current round are clamped to the next
+// round. A node that is not Quiescent must not return WakeOnReceive unless
+// a message for it is already in flight.
+//
+// Nodes that do not implement Waker are stepped every round while
+// non-quiescent (and on every receive), which is always correct.
+type Waker interface {
+	NextWake() int
+}
+
+// Scheduler selects the engine's stepping strategy.
+type Scheduler int
+
+const (
+	// SchedulerActive (default) steps only the active set each round and
+	// fast-forwards over empty rounds. Stats, results and observer events
+	// are bit-identical to SchedulerDense (Elapsed excepted).
+	SchedulerActive Scheduler = iota
+	// SchedulerDense steps all n nodes every round — the reference
+	// semantics, kept for differential testing.
+	SchedulerDense
+)
 
 // Context gives a node its local view: its ID, its incident edges, and the
 // send primitives. Nodes must not retain references to inbox slices across
@@ -118,13 +176,18 @@ type Config struct {
 	// Workers bounds the goroutines stepping nodes within a round. The
 	// default is adaptive: 1 for networks under 128 nodes (the per-round
 	// barrier costs more than the tiny per-node work; see
-	// BenchmarkEngineWorkers*), GOMAXPROCS above. Results are
-	// bit-identical regardless.
+	// BenchmarkEngineWorkers*), GOMAXPROCS above. Work is sharded over the
+	// round's active list, so clustered activity parallelizes too. Results
+	// are bit-identical regardless.
 	Workers int
+	// Scheduler selects the stepping strategy (default SchedulerActive).
+	Scheduler Scheduler
 	// Observer, if set, receives engine events (round completions,
 	// per-node send counts, link-congestion peaks, wall clock per round).
 	// nil keeps the engine on its zero-overhead path. Adapt a legacy
-	// func(round, msgs int) hook with RoundFunc.
+	// func(round, msgs int) hook with RoundFunc. Fast-forwarded rounds
+	// emit their (empty) RoundDone events so the stream stays identical
+	// across schedulers.
 	Observer Observer
 }
 
@@ -182,6 +245,42 @@ func (s *Stats) Add(s2 Stats) {
 // ErrMaxRounds is returned when a run exceeds Config.MaxRounds.
 var ErrMaxRounds = errors.New("congest: exceeded MaxRounds without quiescing")
 
+// wakeItem is a pending wake request for a node. The heap is indexed (pos
+// tracks each node's entry), so a node has at most one live entry at any
+// time: re-arming moves it in place with heap.Fix instead of accumulating
+// stale entries, keeping the heap at ≤ n items with no lazy-deletion pops.
+type wakeItem struct {
+	round, node int
+}
+
+type wakeHeap struct {
+	items []wakeItem
+	pos   []int // node -> index in items; -1 when absent
+}
+
+func (h *wakeHeap) Len() int { return len(h.items) }
+func (h *wakeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	return a.round < b.round || (a.round == b.round && a.node < b.node)
+}
+func (h *wakeHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].node] = i
+	h.pos[h.items[j].node] = j
+}
+func (h *wakeHeap) Push(x interface{}) {
+	it := x.(wakeItem)
+	h.pos[it.node] = len(h.items)
+	h.items = append(h.items, it)
+}
+func (h *wakeHeap) Pop() interface{} {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	h.pos[it.node] = -1
+	return it
+}
+
 type engine struct {
 	g     *graph.Graph
 	cfg   Config
@@ -194,6 +293,29 @@ type engine struct {
 	linkLoad  [][]int32 // per (sender, neighbor-index) message counts
 	nodeSends []int
 	seenStamp []int // per-destination round stamp for duplicate-link checks
+
+	// Quiescence and inflight tracking, maintained incrementally: the
+	// per-round termination check is O(1) on both schedulers. quiescent[v]
+	// is the cached Quiescent() of v's last step (Quiescent is a pure
+	// function of node state, which only changes when the node is stepped);
+	// inflight counts undelivered+unconsumed messages, which equals the
+	// previous round's send count because every receiver is stepped.
+	quiescent []bool
+	quiCount  int
+	inflight  int
+
+	// Active-set scheduler state.
+	wakers     []Waker // nil for non-Waker nodes
+	wakeAt     []int   // currently requested wake round per node; 0 = none
+	wakes      wakeHeap
+	alwaysOn   []bool // non-Waker node is on the every-round list
+	alwaysList []int
+	recvList   []int // nodes whose inbox is non-empty this round
+	recvNext   []int // destinations receiving messages routed this round
+	work       []int // the round's active list (sorted ascending)
+	mark       []int // epoch stamps deduplicating work-list inserts
+	epoch      int
+	allNodes   []int // 0..n-1, the dense scheduler's work list
 
 	stats Stats
 }
@@ -215,6 +337,7 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 		linkLoad:  make([][]int32, n),
 		nodeSends: make([]int, n),
 		seenStamp: make([]int, n),
+		quiescent: make([]bool, n),
 	}
 	for v := 0; v < n; v++ {
 		e.linkLoad[v] = make([]int32, g.Degree(v))
@@ -239,19 +362,73 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 			return e.stats, fmt.Errorf("congest: node %d sent during Init (the model's round 0 has no sends)", v)
 		}
 	}
+	for v := 0; v < n; v++ {
+		if e.nodes[v].Quiescent() {
+			e.quiescent[v] = true
+			e.quiCount++
+		}
+	}
+
+	dense := cfg.Scheduler == SchedulerDense
+	e.allNodes = make([]int, n)
+	for v := range e.allNodes {
+		e.allNodes[v] = v
+	}
+	if !dense {
+		e.wakers = make([]Waker, n)
+		e.wakeAt = make([]int, n)
+		e.alwaysOn = make([]bool, n)
+		e.mark = make([]int, n)
+		e.wakes.pos = make([]int, n)
+		for v := range e.wakes.pos {
+			e.wakes.pos[v] = -1
+		}
+		for v := 0; v < n; v++ {
+			if w, ok := e.nodes[v].(Waker); ok {
+				e.wakers[v] = w
+				e.arm(v, 0)
+			} else if !e.quiescent[v] {
+				e.alwaysOn[v] = true
+				e.alwaysList = append(e.alwaysList, v)
+			}
+		}
+	}
 
 	for r := 1; ; r++ {
 		if r > cfg.MaxRounds {
 			return e.stats, fmt.Errorf("%w (MaxRounds=%d)", ErrMaxRounds, cfg.MaxRounds)
 		}
-		if e.allQuiescent() && e.noInflight() {
+		if e.quiCount == n && e.inflight == 0 {
 			return e.stats, nil
+		}
+		work := e.allNodes
+		if !dense {
+			work = e.collectActive(r)
+			if len(work) == 0 {
+				// Fast-forward: no inbox is pending (every receiver is in the
+				// work list), no wake is due, and every stragglers-free round
+				// up to the next wake would step nothing and send nothing —
+				// so no state changes and the termination conditions cannot
+				// flip mid-skip. Jump there, emitting the empty RoundDone
+				// events the dense engine would have produced.
+				target := cfg.MaxRounds + 1
+				if next := e.nextWake(); next > 0 && next <= cfg.MaxRounds {
+					target = next
+				}
+				if e.obs != nil {
+					for rr := r; rr < target; rr++ {
+						e.obs.RoundDone(RoundEvent{Round: rr})
+					}
+				}
+				r = target - 1
+				continue
+			}
 		}
 		var start time.Time
 		if e.obs != nil {
 			start = time.Now()
 		}
-		sent, active, err := e.step(r)
+		sent, active, err := e.step(r, work, dense)
 		if err != nil {
 			return e.stats, err
 		}
@@ -264,66 +441,135 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 	}
 }
 
-func (e *engine) allQuiescent() bool {
-	for _, nd := range e.nodes {
-		if !nd.Quiescent() {
-			return false
+// arm records node v's next self-declared wake round after a step in round
+// r (0 for the post-Init arm). Returns ≤ r are clamped to r+1; a previous
+// request is updated in place via the heap's node index.
+func (e *engine) arm(v, r int) {
+	w := e.wakers[v].NextWake()
+	if w < 0 {
+		// WakeOnReceive: only an incoming message steps v.
+		if p := e.wakes.pos[v]; p >= 0 {
+			heap.Remove(&e.wakes, p)
 		}
+		e.wakeAt[v] = 0
+		return
 	}
-	return true
+	if w <= r {
+		w = r + 1
+	}
+	if e.wakeAt[v] == w {
+		return
+	}
+	e.wakeAt[v] = w
+	if p := e.wakes.pos[v]; p >= 0 {
+		e.wakes.items[p].round = w
+		heap.Fix(&e.wakes, p)
+	} else {
+		heap.Push(&e.wakes, wakeItem{round: w, node: v})
+	}
 }
 
-func (e *engine) noInflight() bool {
-	for _, in := range e.inbox {
-		if len(in) > 0 {
-			return false
-		}
+// nextWake returns the smallest pending wake round; 0 when none is pending.
+func (e *engine) nextWake() int {
+	if len(e.wakes.items) > 0 {
+		return e.wakes.items[0].round
 	}
-	return true
+	return 0
 }
 
-// step runs one synchronous round: every node consumes its inbox and stages
-// sends; the engine then validates and routes the sends into next-round
-// inboxes. Returns the number of messages sent this round and the number of
-// nodes that sent.
-func (e *engine) step(r int) (int, int, error) {
-	n := len(e.nodes)
+// collectActive assembles round r's active list: every node with a
+// non-empty inbox, every non-Waker node that was non-quiescent after its
+// last step, and every node whose wake round has arrived. Sorted ascending
+// so the routing pass visits senders in node order (the inbox-sorted-by-
+// sender delivery contract).
+func (e *engine) collectActive(r int) []int {
+	e.epoch++
+	work := e.work[:0]
+	add := func(v int) {
+		if e.mark[v] != e.epoch {
+			e.mark[v] = e.epoch
+			work = append(work, v)
+		}
+	}
+	for _, v := range e.recvList {
+		add(v)
+	}
+	kept := e.alwaysList[:0]
+	for _, v := range e.alwaysList {
+		if e.alwaysOn[v] {
+			kept = append(kept, v)
+			add(v)
+		}
+	}
+	e.alwaysList = kept
+	for len(e.wakes.items) > 0 && e.wakes.items[0].round <= r {
+		it := heap.Pop(&e.wakes).(wakeItem)
+		e.wakeAt[it.node] = 0
+		add(it.node)
+	}
+	e.work = work
+	if len(work) == len(e.nodes) {
+		return e.allNodes // the whole graph is active; already sorted
+	}
+	sort.Ints(work)
+	return work
+}
+
+// step runs one synchronous round over the given work list (all nodes under
+// the dense scheduler, the active set otherwise): each listed node consumes
+// its inbox and stages sends; the engine then validates and routes the
+// sends into next-round inboxes. Returns the number of messages sent this
+// round and the number of nodes that sent.
+func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 	workers := e.cfg.Workers
-	if workers > n {
-		workers = n
+	if workers > len(work) {
+		workers = len(work)
+	}
+	// Shard the work list, not the ID space: active nodes cluster, and a
+	// static lo..hi split over 0..n would leave most workers idle. Tiny
+	// lists stay serial — the barrier costs more than the work.
+	const minChunk = 16
+	if workers > 1 {
+		if maxW := (len(work) + minChunk - 1) / minChunk; workers > maxW {
+			workers = maxW
+		}
 	}
 	if workers <= 1 {
-		for v := 0; v < n; v++ {
+		for _, v := range work {
 			e.nodes[v].Round(e.ctxs[v], r, e.inbox[v])
 		}
 	} else {
 		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
+		chunk := (len(work) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
+			if hi > len(work) {
+				hi = len(work)
 			}
 			if lo >= hi {
 				break
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(part []int) {
 				defer wg.Done()
-				for v := lo; v < hi; v++ {
+				for _, v := range part {
 					e.nodes[v].Round(e.ctxs[v], r, e.inbox[v])
 				}
-			}(lo, hi)
+			}(work[lo:hi])
 		}
 		wg.Wait()
 	}
 
 	// Validate and route. Single-threaded: it touches shared inboxes.
-	// Routing visits senders in ascending node order, so each destination's
-	// next-round inbox is built already sorted by sender — the delivery
-	// order the Node contract promises — without a sort.
+	// Routing visits senders in ascending node order (work is sorted), so
+	// each destination's next-round inbox is built already sorted by sender
+	// — the delivery order the Node contract promises — without a sort.
+	n := len(e.nodes)
 	sent, active := 0, 0
-	for v := 0; v < n; v++ {
+	if !dense {
+		e.recvNext = e.recvNext[:0]
+	}
+	for _, v := range work {
 		ctx := e.ctxs[v]
 		if ctx.err != nil {
 			return sent, active, fmt.Errorf("congest: node %d failed in round %d: %w", v, r, ctx.err)
@@ -358,6 +604,9 @@ func (e *engine) step(r int) (int, int, error) {
 					e.obs.LinkPeak(r, m.From, m.To, e.stats.MaxLinkCongestion)
 				}
 			}
+			if !dense && len(e.nextIn[m.To]) == 0 {
+				e.recvNext = append(e.recvNext, m.To)
+			}
 			e.nextIn[m.To] = append(e.nextIn[m.To], m)
 			sent++
 		}
@@ -373,10 +622,59 @@ func (e *engine) step(r int) (int, int, error) {
 	}
 	e.stats.Messages += int64(sent)
 
-	// Deliver: swap next-round inboxes in (already sorted by sender).
-	for v := 0; v < n; v++ {
-		e.inbox[v] = e.inbox[v][:0]
-		e.inbox[v], e.nextIn[v] = e.nextIn[v], e.inbox[v]
+	// Refresh the cached quiescence of every stepped node and, for the
+	// active scheduler, its next wake (Wakers) or always-on membership
+	// (non-Wakers; removal is lazy, see collectActive).
+	for _, v := range work {
+		q := e.nodes[v].Quiescent()
+		if q != e.quiescent[v] {
+			e.quiescent[v] = q
+			if q {
+				e.quiCount++
+			} else {
+				e.quiCount--
+			}
+		}
+		if dense {
+			continue
+		}
+		if e.wakers[v] != nil {
+			// A node with messages already routed to it is stepped next
+			// round regardless and re-armed after that step, so asking it
+			// for a wake now is pure overhead. Any wake left armed from an
+			// earlier step fires as a harmless extra step — the active set
+			// may exceed the dense set's busy nodes, never undershoot it.
+			if len(e.nextIn[v]) == 0 {
+				e.arm(v, r)
+			}
+		} else if q == e.alwaysOn[v] {
+			if q {
+				e.alwaysOn[v] = false
+			} else {
+				e.alwaysOn[v] = true
+				e.alwaysList = append(e.alwaysList, v)
+			}
+		}
 	}
+
+	// Deliver: every stepped inbox was consumed; swap in the next-round
+	// inboxes (already sorted by sender). Every message routed above is in
+	// some nextIn, and every destination will be stepped next round, so the
+	// inflight count is exactly this round's send count.
+	if dense {
+		for v := 0; v < n; v++ {
+			e.inbox[v] = e.inbox[v][:0]
+			e.inbox[v], e.nextIn[v] = e.nextIn[v], e.inbox[v]
+		}
+	} else {
+		for _, v := range work {
+			e.inbox[v] = e.inbox[v][:0]
+		}
+		for _, to := range e.recvNext {
+			e.inbox[to], e.nextIn[to] = e.nextIn[to], e.inbox[to]
+		}
+		e.recvList, e.recvNext = e.recvNext, e.recvList
+	}
+	e.inflight = sent
 	return sent, active, nil
 }

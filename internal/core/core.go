@@ -120,10 +120,11 @@ type Opts struct {
 	// Audit enables per-insert Invariant 1 and per-round Invariant 2
 	// verification (costs time; violations are counted in the Result).
 	Audit bool
-	// MaxRounds and Workers are passed to the engine. MaxRounds defaults to
-	// a slack multiple of the paper bound.
+	// MaxRounds, Workers and Scheduler are passed to the engine. MaxRounds
+	// defaults to a slack multiple of the paper bound.
 	MaxRounds int
 	Workers   int
+	Scheduler congest.Scheduler
 	// Trace, if set, receives a line per list event (insert, drop, evict,
 	// send); a debugging aid. Forces Workers=1 so lines are ordered.
 	Trace func(format string, args ...interface{})
@@ -637,6 +638,31 @@ func (nd *node) Quiescent() bool {
 	return true
 }
 
+// NextWake implements congest.Waker. The node acts spontaneously only when
+// its earliest heap item comes due — sends, late sends and requeued
+// collisions are all gated on heap-pop time, so the heap top is exact, and
+// waking on a stale item (dead or re-armed entry) is harmless — or when a
+// snapshot round arrives. Audit mode re-checks Invariant 2 every round, so
+// it keeps dense stepping.
+func (nd *node) NextWake() int {
+	if nd.opts.Audit {
+		return nd.cur + 1
+	}
+	next := congest.WakeOnReceive
+	if nd.h.Len() > 0 {
+		next = int(nd.h[0].time)
+	}
+	for _, sr := range nd.opts.SnapshotRounds { // ascending
+		if sr > nd.cur {
+			if next == congest.WakeOnReceive || sr < next {
+				next = sr
+			}
+			break
+		}
+	}
+	return next
+}
+
 // Run executes Algorithm 1 on g.
 func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	if len(opts.Sources) == 0 {
@@ -699,7 +725,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts, gamma: gamma}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Observer: opts.Obs})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
 	res.Stats = stats
 	if err != nil {
 		return nil, err

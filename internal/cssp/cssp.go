@@ -60,11 +60,11 @@ type Collection struct {
 // realizable within h hops) provably never drop: along a minimal-hop true
 // shortest path every prefix pair is recorded exactly.
 //
-// delta bounds 2h-hop shortest path distances (0 = derive). obs may be nil;
-// if set it receives the engine events of both the Algorithm 1 run and the
-// repair phase (see congest.Observer).
-func Build(g *graph.Graph, sources []int, h int, delta int64, obs congest.Observer) (*Collection, error) {
-	return build(g, sources, h, delta, false, obs)
+// delta bounds 2h-hop shortest path distances (0 = derive). cfg carries the
+// engine knobs for both the Algorithm 1 run and the repair phase; its
+// Observer (may be nil) receives both phases' events.
+func Build(g *graph.Graph, sources []int, h int, delta int64, cfg congest.Config) (*Collection, error) {
+	return build(g, sources, h, delta, false, cfg)
 }
 
 // BuildBellmanFord constructs the same collection but computes the 2h-hop
@@ -72,11 +72,11 @@ func Build(g *graph.Graph, sources []int, h int, delta int64, obs congest.Observ
 // Θ(n·h)-round method of [3] that the paper's Sec. III replaces ("the
 // method in [3] takes Θ(n·h) rounds, which is too large for our
 // purposes"). Kept as the ablation baseline for experiment E-STEP1.
-func BuildBellmanFord(g *graph.Graph, sources []int, h int, obs congest.Observer) (*Collection, error) {
-	return build(g, sources, h, 0, true, obs)
+func BuildBellmanFord(g *graph.Graph, sources []int, h int, cfg congest.Config) (*Collection, error) {
+	return build(g, sources, h, 0, true, cfg)
 }
 
-func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool, obs congest.Observer) (*Collection, error) {
+func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool, cfg congest.Config) (*Collection, error) {
 	if h <= 0 {
 		return nil, fmt.Errorf("cssp: h=%d must be positive", h)
 	}
@@ -85,7 +85,7 @@ func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool, obs co
 		err error
 	)
 	if useBF {
-		bf, bfErr := bellman.Run(g, bellman.Opts{Sources: sources, H: 2 * h, Obs: obs})
+		bf, bfErr := bellman.Run(g, bellman.Opts{Sources: sources, H: 2 * h, MaxRounds: cfg.MaxRounds, Workers: cfg.Workers, Scheduler: cfg.Scheduler, Obs: cfg.Observer})
 		if bfErr != nil {
 			return nil, fmt.Errorf("cssp: Bellman-Ford run: %w", bfErr)
 		}
@@ -105,7 +105,7 @@ func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool, obs co
 		res.Stats.Rounds *= 2
 		res.Stats.Messages *= 2
 	} else {
-		res, err = core.Run(g, core.Opts{Sources: sources, H: 2 * h, Delta: delta, Obs: obs})
+		res, err = core.Run(g, core.Opts{Sources: sources, H: 2 * h, Delta: delta, MaxRounds: cfg.MaxRounds, Workers: cfg.Workers, Scheduler: cfg.Scheduler, Obs: cfg.Observer})
 		if err != nil {
 			return nil, fmt.Errorf("cssp: Algorithm 1 run: %w", err)
 		}
@@ -142,7 +142,7 @@ func build(g *graph.Graph, sources []int, h int, delta int64, useBF bool, obs co
 			c.Depth[i][v] = -1
 		}
 	}
-	s2, err := c.reselect(g, obs)
+	s2, err := c.reselect(g, cfg)
 	c.Stats.Add(s2)
 	if err != nil {
 		return nil, err

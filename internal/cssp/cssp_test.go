@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/difftest"
 	"repro/internal/graph"
@@ -13,7 +14,7 @@ import (
 // every small random instance in the sweep space.
 func TestDifferentialSweep(t *testing.T) {
 	difftest.Search(t, difftest.Space{SeedsPerSize: 8, H: 3, ZeroFrac: 0.35}, func(in difftest.Instance) error {
-		coll, err := Build(in.G, in.Sources, in.H, 0, nil)
+		coll, err := Build(in.G, in.Sources, in.H, 0, congest.Config{})
 		if err != nil {
 			return err
 		}
@@ -32,7 +33,7 @@ func TestBuildAndVerifyRandom(t *testing.T) {
 		g := graph.Random(22, 66, graph.GenOpts{Seed: seed, MaxW: 6, ZeroFrac: 0.3, Directed: seed%2 == 0})
 		sources := []int{0, 7, 14}
 		for _, h := range []int{2, 4} {
-			c, err := Build(g, sources, h, 0, nil)
+			c, err := Build(g, sources, h, 0, congest.Config{})
 			if err != nil {
 				t.Fatalf("seed %d h %d: %v", seed, h, err)
 			}
@@ -50,7 +51,7 @@ func TestBuildZeroHeavy(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		g := graph.ZeroHeavy(20, 60, 0.5, graph.GenOpts{Seed: seed, MaxW: 5, Directed: true})
 		sources := []int{0, 5, 10, 15}
-		c, err := Build(g, sources, 3, 0, nil)
+		c, err := Build(g, sources, 3, 0, congest.Config{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -101,7 +102,7 @@ func TestFigureOnePhenomenon(t *testing.T) {
 	// The CSSSP construction must repair this: v's true distance (0, via
 	// 3 hops) is not 2-hop realizable, so v is simply not required — and
 	// whatever remains verifies as a consistent 2-hop collection.
-	c, err := Build(g, []int{0}, 2, 0, nil)
+	c, err := Build(g, []int{0}, 2, 0, congest.Config{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -121,7 +122,7 @@ func TestFigureOnePhenomenon(t *testing.T) {
 
 func TestChildrenAndDepthDerivation(t *testing.T) {
 	g := graph.Grid(4, 4, graph.GenOpts{Seed: 2, MaxW: 4})
-	c, err := Build(g, []int{0}, 6, 0, nil)
+	c, err := Build(g, []int{0}, 6, 0, congest.Config{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -148,10 +149,10 @@ func TestChildrenAndDepthDerivation(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	g := graph.Path(3, graph.GenOpts{Seed: 1, MaxW: 2})
-	if _, err := Build(g, []int{0}, 0, 0, nil); err == nil {
+	if _, err := Build(g, []int{0}, 0, 0, congest.Config{}); err == nil {
 		t.Fatal("h=0 accepted")
 	}
-	if _, err := Build(g, nil, 2, 0, nil); err == nil {
+	if _, err := Build(g, nil, 2, 0, congest.Config{}); err == nil {
 		t.Fatal("no sources accepted")
 	}
 }

@@ -3,6 +3,7 @@ package cssp
 import (
 	"testing"
 
+	"repro/internal/congest"
 	"repro/internal/graph"
 )
 
@@ -10,7 +11,7 @@ func TestLemmasIII6III7OnRandomFamilies(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		g := graph.Random(24, 80, graph.GenOpts{Seed: seed, MaxW: 6, ZeroFrac: 0.35, Directed: seed%2 == 0})
 		sources := []int{0, 6, 12, 18}
-		c, err := Build(g, sources, 3, 0, nil)
+		c, err := Build(g, sources, 3, 0, congest.Config{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -26,7 +27,7 @@ func TestLemmasOnZeroHeavy(t *testing.T) {
 	for i := range sources {
 		sources[i] = i * 4
 	}
-	c, err := Build(g, sources, 4, 0, nil)
+	c, err := Build(g, sources, 4, 0, congest.Config{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}

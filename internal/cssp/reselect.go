@@ -140,13 +140,23 @@ func (nd *reselNode) Quiescent() bool {
 	return nd.cur > nd.k && nd.checked && len(nd.invQ) == 0
 }
 
+// NextWake implements congest.Waker: the node acts in every round of the
+// announcement window 1..k and in round k+1 (the initial validity check),
+// then one round per queued invalidation broadcast.
+func (nd *reselNode) NextWake() int {
+	if nd.cur <= nd.k || len(nd.invQ) > 0 {
+		return nd.cur + 1
+	}
+	return congest.WakeOnReceive
+}
+
 // reselect runs the re-selection protocol and rewrites Parent/Dist/Hops.
-func (c *Collection) reselect(g *graph.Graph, obs congest.Observer) (congest.Stats, error) {
+func (c *Collection) reselect(g *graph.Graph, cfg congest.Config) (congest.Stats, error) {
 	nodes := make([]*reselNode, g.N())
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &reselNode{id: v, coll: c}
 		return nodes[v]
-	}, congest.Config{Observer: obs})
+	}, cfg)
 	if err != nil {
 		return stats, err
 	}

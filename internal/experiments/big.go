@@ -17,7 +17,7 @@ func init() {
 // quantity is the fitted exponent of rounds in n (the paper predicts ~1
 // when Δ is n-independent, since rounds ≈ 2√Δ·n).
 func eBig(cfg Config) (*Table, error) {
-	sizes := []int{64, 128, 192, 256}
+	sizes := []int{64, 128, 192, 256, 512}
 	if cfg.Small {
 		sizes = []int{32, 64}
 	}
@@ -31,7 +31,11 @@ func eBig(cfg Config) (*Table, error) {
 	for _, n := range sizes {
 		g := graph.Random(n, 4*n, graph.GenOpts{Seed: cfg.Seed, MaxW: 8, ZeroFrac: 0.25, Directed: true})
 		delta := graph.Delta(g)
-		res, err := core.APSP(g, delta, false)
+		sources := make([]int, n)
+		for v := range sources {
+			sources[v] = v
+		}
+		res, err := core.Run(g, core.Opts{Sources: sources, H: n - 1, Delta: delta, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,10 @@ type Config struct {
 	Small bool
 	// Seed makes every experiment deterministic.
 	Seed int64
+	// Workers bounds the engine goroutines per round in the scale-sensitive
+	// experiments (E-BIG); 0 keeps the engine default. Results and CONGEST
+	// costs are worker-count independent, only wall clock moves.
+	Workers int
 }
 
 // Table is a printable experiment result.

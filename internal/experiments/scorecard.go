@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/blocker"
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/cssp"
 	"repro/internal/graph"
@@ -121,7 +122,7 @@ func scorecard(cfg Config) (*Table, error) {
 		fmt.Sprintf("measured %d for k=%d, h=%d", sr.Stats.MaxLinkCongestion, len(sources), h))
 
 	// --- Lemma III.4: CSSSP.
-	coll, err := cssp.Build(g, sources, h, 0, nil)
+	coll, err := cssp.Build(g, sources, h, 0, congest.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +132,7 @@ func scorecard(cfg Config) (*Table, error) {
 		"requires the repair phase of internal/cssp (finding F-3)")
 
 	// --- Definition III.1 / Lemma III.8: blocker.
-	blk, err := blocker.Compute(g, coll, nil)
+	blk, err := blocker.Compute(g, coll, congest.Config{})
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/congest"
 	"repro/internal/cssp"
 	"repro/internal/graph"
 )
@@ -33,11 +34,11 @@ func eStep1(cfg Config) (*Table, error) {
 		sources[v] = v
 	}
 	for _, h := range []int{2, 4, 8} {
-		viaAlg1, err := cssp.Build(g, sources, h, 0, nil)
+		viaAlg1, err := cssp.Build(g, sources, h, 0, congest.Config{})
 		if err != nil {
 			return nil, err
 		}
-		viaBF, err := cssp.BuildBellmanFord(g, sources, h, nil)
+		viaBF, err := cssp.BuildBellmanFord(g, sources, h, congest.Config{})
 		if err != nil {
 			return nil, err
 		}

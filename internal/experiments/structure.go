@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/blocker"
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/cssp"
 	"repro/internal/graph"
@@ -54,7 +55,7 @@ func f1(cfg Config) (*Table, error) {
 				}
 			}
 		}
-		coll, err := cssp.Build(fam.g, fam.sources, fam.h, 0, nil)
+		coll, err := cssp.Build(fam.g, fam.sources, fam.h, 0, congest.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +112,7 @@ func eCSSSP(cfg Config) (*Table, error) {
 			if delta == 0 {
 				delta = 1
 			}
-			coll, err := cssp.Build(g, sources, h, delta, nil)
+			coll, err := cssp.Build(g, sources, h, delta, congest.Config{})
 			if err != nil {
 				return nil, err
 			}
@@ -155,11 +156,11 @@ func eBlk(cfg Config) (*Table, error) {
 		sources[v] = v
 	}
 	for _, h := range []int{2, 3, 5, 8} {
-		coll, err := cssp.Build(g, sources, h, 0, nil)
+		coll, err := cssp.Build(g, sources, h, 0, congest.Config{})
 		if err != nil {
 			return nil, err
 		}
-		res, err := blocker.Compute(g, coll, nil)
+		res, err := blocker.Compute(g, coll, congest.Config{})
 		if err != nil {
 			return nil, err
 		}

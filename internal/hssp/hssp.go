@@ -37,6 +37,9 @@ type Opts struct {
 	// Delta, if known, bounds the 2h-hop shortest-path distances for the
 	// CSSSP phase (0 = derive a safe bound).
 	Delta int64
+	// Workers and Scheduler are passed to the engine of every phase.
+	Workers   int
+	Scheduler congest.Scheduler
 	// Obs, if set, receives the engine events of every phase
 	// (see congest.Observer). Run annotates the phase boundaries via
 	// congest.SetPhase with the names "cssp", "blocker", "sssp" and
@@ -113,10 +116,11 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 		h = 1
 	}
 	res := &Result{Sources: append([]int(nil), sources...), H: h, PhaseRounds: make(map[string]int)}
+	engineCfg := congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs}
 
 	// Step 1: CSSSP.
 	congest.SetPhase(opts.Obs, "cssp")
-	coll, err := cssp.Build(g, sources, h, opts.Delta, opts.Obs)
+	coll, err := cssp.Build(g, sources, h, opts.Delta, engineCfg)
 	if err != nil {
 		return nil, fmt.Errorf("hssp: step 1: %w", err)
 	}
@@ -125,7 +129,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 
 	// Step 2: blocker set.
 	congest.SetPhase(opts.Obs, "blocker")
-	blk, err := blocker.Compute(g, coll, opts.Obs)
+	blk, err := blocker.Compute(g, coll, engineCfg)
 	if err != nil {
 		return nil, fmt.Errorf("hssp: step 2: %w", err)
 	}
@@ -139,14 +143,14 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	fromC := make([][]int64, q) // fromC[j][v] = δ(c_j, v), known at v
 	toC := make([][]int64, q)   // toC[j][u] = δ(u, c_j), known at u
 	for j, c := range blk.Q {
-		fwd, err := bellman.FullSSSP(g, c, opts.Obs)
+		fwd, err := bellman.FullSSSP(g, c, engineCfg)
 		if err != nil {
 			return nil, fmt.Errorf("hssp: step 3 (from %d): %w", c, err)
 		}
 		res.Stats.Add(fwd.Stats)
 		res.PhaseRounds["sssp"] += fwd.Stats.Rounds
 		fromC[j] = fwd.Dist[0]
-		rev, err := bellman.FullReverseSSSP(g, c, opts.Obs)
+		rev, err := bellman.FullReverseSSSP(g, c, engineCfg)
 		if err != nil {
 			return nil, fmt.Errorf("hssp: step 3 (to %d): %w", c, err)
 		}
@@ -159,7 +163,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	// δ(x,c) lives at node x after the reverse run; gather all pairs to a
 	// BFS-tree root and broadcast them.
 	congest.SetPhase(opts.Obs, "broadcast")
-	tree, st, err := bcast.BuildTree(g, 0, opts.Obs)
+	tree, st, err := bcast.BuildTree(g, 0, engineCfg)
 	res.Stats.Add(st)
 	res.PhaseRounds["broadcast"] += st.Rounds
 	if err != nil {
@@ -173,13 +177,13 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 			}
 		}
 	}
-	gathered, st, err := bcast.Gather(g, tree, items, opts.Obs)
+	gathered, st, err := bcast.Gather(g, tree, items, engineCfg)
 	res.Stats.Add(st)
 	res.PhaseRounds["broadcast"] += st.Rounds
 	if err != nil {
 		return nil, fmt.Errorf("hssp: step 4 gather: %w", err)
 	}
-	_, st, err = bcast.Broadcast(g, tree, gathered, opts.Obs)
+	_, st, err = bcast.Broadcast(g, tree, gathered, engineCfg)
 	res.Stats.Add(st)
 	res.PhaseRounds["broadcast"] += st.Rounds
 	if err != nil {

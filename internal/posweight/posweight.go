@@ -49,8 +49,9 @@ type Opts struct {
 	Strict bool
 	// MaxRounds bounds the engine (0 = a generous default).
 	MaxRounds int
-	// Workers is passed to the engine.
-	Workers int
+	// Workers and Scheduler are passed to the engine.
+	Workers   int
+	Scheduler congest.Scheduler
 	// Obs, if set, receives engine events (see congest.Observer).
 	Obs congest.Observer
 }
@@ -215,6 +216,23 @@ func (nd *node) Quiescent() bool {
 	return true
 }
 
+// NextWake implements congest.Waker: the earliest schedule among pending
+// entries. Overdue schedules are clamped to the next round by the engine,
+// so a strict-mode node with a missed entry is still stepped every round
+// and its per-round missed accounting matches the dense engine exactly.
+func (nd *node) NextWake() int {
+	next := congest.WakeOnReceive
+	for p, i := range nd.list {
+		if !nd.needSend[i] {
+			continue
+		}
+		if sched := nd.dist[i] + int64(p) + 1; next == congest.WakeOnReceive || sched < int64(next) {
+			next = int(sched)
+		}
+	}
+	return next
+}
+
 // Run executes the pipelined k-source computation on g.
 func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	if len(opts.Sources) == 0 {
@@ -234,7 +252,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Observer: opts.Obs})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
 	if err != nil {
 		return nil, err
 	}

@@ -48,9 +48,11 @@ import (
 type Opts struct {
 	// Sources is the source set (nil = all nodes).
 	Sources []int
-	// MaxRounds and Workers are passed to the engine (per phase).
+	// MaxRounds, Workers and Scheduler are passed to the engine (per
+	// phase).
 	MaxRounds int
 	Workers   int
+	Scheduler congest.Scheduler
 	// Obs, if set, receives the engine events of every bit phase (see
 	// congest.Observer); phases are annotated "bit<t>" via
 	// congest.SetPhase, most significant first.
@@ -308,6 +310,16 @@ func (nd *phaseNode) Round(ctx *congest.Context, r int, inbox []congest.Message)
 
 func (nd *phaseNode) Quiescent() bool { return nd.pending == 0 }
 
+// NextWake implements congest.Waker: sends (and requeued collisions) are
+// gated on heap-pop time exactly as in core, so the heap top is the next
+// spontaneous action; a stale top only costs a harmless early step.
+func (nd *phaseNode) NextWake() int {
+	if nd.hp.Len() > 0 {
+		return int(nd.hp[0].time)
+	}
+	return congest.WakeOnReceive
+}
+
 // Run computes exact APSP/k-SSP by bit scaling.
 func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	n := g.N()
@@ -392,7 +404,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 			}
 			nodes[v] = nd
 			return nd
-		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers, Observer: opts.Obs})
+		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
 		res.Stats.Add(stats)
 		res.PhaseRounds = append(res.PhaseRounds, stats.Rounds)
 		if err != nil {

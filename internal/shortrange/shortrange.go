@@ -60,9 +60,10 @@ type Opts struct {
 	Delays []int64
 	// Strict selects the literal equality-only send rule.
 	Strict bool
-	// MaxRounds and Workers are passed to the engine.
+	// MaxRounds, Workers and Scheduler are passed to the engine.
 	MaxRounds int
 	Workers   int
+	Scheduler congest.Scheduler
 	// Obs, if set, receives engine events (see congest.Observer).
 	Obs congest.Observer
 }
@@ -225,6 +226,26 @@ func (nd *node) order() []int {
 	return idx
 }
 
+// NextWake implements congest.Waker: the earliest pending-entry schedule
+// (clamped to the next round by the engine when overdue, so strict-mode
+// missed accounting is per-round, as in the dense engine), and the snapshot
+// round, which must be stepped exactly so the T_snap copy happens.
+func (nd *node) NextWake() int {
+	next := congest.WakeOnReceive
+	if int64(nd.cur) < nd.snapAt {
+		next = int(nd.snapAt)
+	}
+	for i, ns := range nd.needSend {
+		if !ns {
+			continue
+		}
+		if s := nd.sched(i); next == congest.WakeOnReceive || s < int64(next) {
+			next = int(s)
+		}
+	}
+	return next
+}
+
 func (nd *node) Quiescent() bool {
 	// The snapshot keeps the node formally busy until the snapshot round
 	// so the engine does not stop early on fast instances.
@@ -291,7 +312,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts, gamma: gamma, snapAt: snapAt}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Observer: opts.Obs})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
 	if err != nil {
 		return nil, err
 	}

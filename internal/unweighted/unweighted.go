@@ -17,10 +17,17 @@ import (
 
 // KSource computes hop distances (every arc counted as 1) from the given
 // sources using the [12] pipelined schedule. The round complexity is at
-// most 2n (paper Sec. II, recap of [12]). obs may be nil.
-func KSource(g *graph.Graph, sources []int, obs congest.Observer) (*posweight.Result, error) {
+// most 2n (paper Sec. II, recap of [12]). cfg carries the engine knobs;
+// the zero value is fine.
+func KSource(g *graph.Graph, sources []int, cfg congest.Config) (*posweight.Result, error) {
 	unit := g.Transform(func(int64) int64 { return 1 })
-	return posweight.Run(unit, posweight.Opts{Sources: sources, Obs: obs})
+	return posweight.Run(unit, posweight.Opts{
+		Sources:   sources,
+		MaxRounds: cfg.MaxRounds,
+		Workers:   cfg.Workers,
+		Scheduler: cfg.Scheduler,
+		Obs:       cfg.Observer,
+	})
 }
 
 // APSP computes all-pairs hop distances.
@@ -29,7 +36,7 @@ func APSP(g *graph.Graph) (*posweight.Result, error) {
 	for v := range sources {
 		sources[v] = v
 	}
-	return KSource(g, sources, nil)
+	return KSource(g, sources, congest.Config{})
 }
 
 // EstimateDelta computes a distributed upper bound on the h-hop
@@ -69,9 +76,9 @@ func EstimateDelta(g *graph.Graph, h int) (int64, *posweight.Result, error) {
 // connected by zero-weight paths ... considering only the zero weight
 // edges"). The subgraph's links are a subset of the network's links, so the
 // round cost is a legal CONGEST cost on the original network.
-func ZeroReach(g *graph.Graph, sources []int, obs congest.Observer) ([][]bool, *posweight.Result, error) {
+func ZeroReach(g *graph.Graph, sources []int, cfg congest.Config) ([][]bool, *posweight.Result, error) {
 	zero := g.Subgraph(func(e graph.Edge) bool { return e.W == 0 })
-	res, err := KSource(zero, sources, obs)
+	res, err := KSource(zero, sources, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,6 +3,7 @@ package unweighted
 import (
 	"testing"
 
+	"repro/internal/congest"
 	"repro/internal/graph"
 )
 
@@ -34,7 +35,7 @@ func TestAPSPMatchesHopDistances(t *testing.T) {
 func TestKSourceSubset(t *testing.T) {
 	g := graph.Grid(5, 5, graph.GenOpts{Seed: 3, MaxW: 4})
 	sources := []int{0, 12, 24}
-	res, err := KSource(g, sources, nil)
+	res, err := KSource(g, sources, congest.Config{})
 	if err != nil {
 		t.Fatalf("KSource: %v", err)
 	}
@@ -85,7 +86,7 @@ func TestZeroReachMatchesClosure(t *testing.T) {
 		for v := range sources {
 			sources[v] = v
 		}
-		reach, _, err := ZeroReach(g, sources, nil)
+		reach, _, err := ZeroReach(g, sources, congest.Config{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -102,7 +103,7 @@ func TestZeroReachMatchesClosure(t *testing.T) {
 
 func TestZeroReachNoZeroEdges(t *testing.T) {
 	g := graph.Random(15, 40, graph.GenOpts{Seed: 2, MinW: 1, MaxW: 5, Directed: true})
-	reach, res, err := ZeroReach(g, []int{0, 1}, nil)
+	reach, res, err := ZeroReach(g, []int{0, 1}, congest.Config{})
 	if err != nil {
 		t.Fatalf("ZeroReach: %v", err)
 	}
