@@ -2,6 +2,9 @@
 # tools required.
 
 GO ?= go
+# Per-target fuzzing budget; CI overrides this (short on PRs, long on the
+# scheduled job).
+FUZZTIME ?= 10s
 
 .PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo clean
 
@@ -28,7 +31,7 @@ bench:
 # Engine micro-benchmarks: intra-round parallel speedup and the dense vs
 # active-set scheduler comparison on both activity extremes.
 bench-engine:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults' -benchtime 1x .
 
 # The full-size experiment sweep (writes the tables EXPERIMENTS.md records).
 experiments:
@@ -57,8 +60,10 @@ trace-demo:
 
 # Short fuzzing bursts for the parser and the exact key arithmetic.
 fuzz:
-	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 10s ./internal/graph/
-	$(GO) test -run xxx -fuzz FuzzCmpCeil -fuzztime 10s ./internal/key/
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run xxx -fuzz FuzzCmpCeil -fuzztime $(FUZZTIME) ./internal/key/
+	$(GO) test -run xxx -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME) ./internal/faults/
+	$(GO) test -run xxx -fuzz FuzzReliableLink -fuzztime $(FUZZTIME) ./internal/faults/
 
 clean:
 	$(GO) clean ./...

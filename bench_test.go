@@ -6,6 +6,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/key"
 	"repro/internal/obs"
@@ -281,4 +282,43 @@ func BenchmarkEngineSchedulerBusyDense(b *testing.B) {
 }
 func BenchmarkEngineSchedulerBusyActive(b *testing.B) {
 	benchSchedulerBusy(b, congest.SchedulerActive)
+}
+
+// ---------------------------------------------------------------------------
+// Fault-layer benchmarks: what the adversarial-delivery shim costs. Disabled
+// (Network == nil) is the production configuration and must match the plain
+// scheduler benchmarks — the nil path adds no work per round. Perfect runs
+// the reliability barrier with no faults (pure shim bookkeeping); All pays
+// for retransmits, duplicate suppression and delay queues under the standard
+// chaos plan. Results are asserted bit-identical to the fault-free run, so
+// these double as a conformance gate.
+
+func benchEngineFaults(b *testing.B, mk func() congest.Network) {
+	n := 96
+	g := graph.Random(n, 4*n, graph.GenOpts{Seed: 9, MaxW: 1, MinW: 1})
+	sources := []int{0, 24, 48, 72}
+	base, err := core.Run(g, core.Opts{Sources: sources, H: n - 1, Delta: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(g, core.Opts{Sources: sources, H: n - 1, Delta: 1, Network: mk()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats != base.Stats {
+			b.Fatalf("logical stats diverged under faults: %+v vs %+v", res.Stats, base.Stats)
+		}
+	}
+}
+
+func BenchmarkEngineFaultsDisabled(b *testing.B) {
+	benchEngineFaults(b, func() congest.Network { return nil })
+}
+func BenchmarkEngineFaultsPerfect(b *testing.B) {
+	benchEngineFaults(b, func() congest.Network { return faults.New(faults.Plan{}) })
+}
+func BenchmarkEngineFaultsAll(b *testing.B) {
+	benchEngineFaults(b, func() congest.Network { return faults.New(faults.All(11)) })
 }

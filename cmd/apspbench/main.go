@@ -35,6 +35,8 @@ func main() {
 		md         = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
 		jsonPath   = flag.String("json", "", "also write the result tables as JSON to this path")
 		workers    = flag.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
+		faultsArg  = flag.String("faults", "", `restrict E-FAULTS to one adversarial plan (e.g. "all" or "delay=4,drop=0.2")`)
+		faultSeed  = flag.Int64("fault-seed", 0, "fault PRF seed for E-FAULTS (when the plan has no seed term)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run here")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run here")
 	)
@@ -46,7 +48,7 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Small: *small, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Small: *small, Seed: *seed, Workers: *workers, Faults: *faultsArg, FaultSeed: *faultSeed}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -18,10 +18,19 @@
 //	apsprun -alg shortrange -graph g.txt -sources 0 -h 8
 //	apsprun -alg bellman -n 32 -m 96 -h 6 -sources 0,1,2 -check
 //	apsprun -alg pipeline -n 256 -m 1024 -sched dense -workers 4
+//	apsprun -alg blocker -n 48 -m 160 -faults all -fault-seed 7 -check
 //
 // -sched selects the engine scheduler (active-set by default; dense steps
 // every node every round) and -workers the per-round goroutine count; both
 // leave results and CONGEST costs bit-identical.
+//
+// -faults runs the engine over an adversarial physical network (see
+// internal/faults): "all" for the standard chaos plan, or a custom plan
+// like "delay=4,drop=0.2,dup=0.1,reorder". The reliability shim keeps
+// distances, parents and the logical CONGEST costs bit-identical to the
+// fault-free run; the extra physical-delivery work is reported separately
+// (and lands in -trace / -metrics / -json when enabled). -fault-seed keys
+// the fault PRF when the plan itself doesn't carry a seed term.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"repro/internal/bellman"
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/hssp"
 	"repro/internal/obs"
@@ -68,6 +78,8 @@ func main() {
 		phases    = flag.Bool("phases", false, "print the per-phase cost breakdown table")
 		workers   = flag.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
 		schedArg  = flag.String("sched", "active", "engine scheduler: active | dense")
+		faultsArg = flag.String("faults", "", `adversarial network plan: "all", or terms like "delay=4,drop=0.2,dup=0.1,reorder" (empty = perfect delivery)`)
+		faultSeed = flag.Int64("fault-seed", 0, "fault PRF seed (used when the -faults plan has no seed term)")
 	)
 	flag.Parse()
 
@@ -121,6 +133,27 @@ func main() {
 		observer = congest.Tee(observer, tl.Observer())
 	}
 
+	// Adversarial delivery: a non-empty -faults plan swaps the engine's
+	// perfect delivery for the faults.Network reliability shim.
+	var (
+		fnet    *faults.Network
+		network congest.Network
+	)
+	if *faultsArg != "" && *faultsArg != "none" {
+		plan, err := faults.Parse(*faultsArg)
+		if err != nil {
+			fail(err)
+		}
+		if plan.Seed == 0 {
+			plan.Seed = *faultSeed
+		}
+		fnet = faults.New(plan)
+		if rec != nil {
+			fnet.Sink = rec
+		}
+		network = fnet
+	}
+
 	var (
 		dist    [][]int64
 		stats   congest.Stats
@@ -135,7 +168,7 @@ func main() {
 		} else {
 			hopUsed = hopBound
 		}
-		copts := core.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer}
+		copts := core.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network}
 		if *listTrace {
 			copts.Trace = func(format string, args ...interface{}) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -151,14 +184,14 @@ func main() {
 			fmt.Printf("activity (peak %d msgs/round): %s\n", tl.Peak(), tl.Sparkline(72))
 		}
 	case "blocker":
-		res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h, Workers: *workers, Scheduler: sched, Obs: observer})
+		res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
 		if err != nil {
 			fail(err)
 		}
 		dist, stats = res.Dist, res.Stats
 		extra = fmt.Sprintf("h=%d |Q|=%d phases=%v", res.H, len(res.Q), res.PhaseRounds)
 	case "approx":
-		res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps, Workers: *workers, Scheduler: sched, Obs: observer})
+		res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
 		if err != nil {
 			fail(err)
 		}
@@ -175,10 +208,10 @@ func main() {
 				}
 			}
 		}
-		finish(rec, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
+		finish(rec, fnet, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
 		return
 	case "scaling":
-		res, err := scaling.Run(g, scaling.Opts{Sources: sources, Workers: *workers, Scheduler: sched, Obs: observer})
+		res, err := scaling.Run(g, scaling.Opts{Sources: sources, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
 		if err != nil {
 			fail(err)
 		}
@@ -189,7 +222,7 @@ func main() {
 		if hopBound == 0 {
 			hopBound = 8
 		}
-		res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer})
+		res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
 		if err != nil {
 			fail(err)
 		}
@@ -202,7 +235,7 @@ func main() {
 		} else {
 			hopUsed = hopBound
 		}
-		res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer})
+		res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
 		if err != nil {
 			fail(err)
 		}
@@ -241,16 +274,21 @@ func main() {
 			}
 		}
 	}
-	finish(rec, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
+	finish(rec, fnet, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
 }
 
 // finish prints the cost summary, the optional per-phase table and JSON
 // report, and flushes the trace/metrics sinks.
-func finish(rec *obs.Recorder, alg string, g *graph.Graph, k int, stats congest.Stats, extra string,
+func finish(rec *obs.Recorder, fnet *faults.Network, alg string, g *graph.Graph, k int, stats congest.Stats, extra string,
 	jsonOut, phases bool, statsJSON, tracePath, chromePath, metricsPath string) {
 	if !jsonOut {
 		fmt.Printf("rounds=%d messages=%d maxCongestion=%d %s\n",
 			stats.Rounds, stats.Messages, stats.MaxLinkCongestion, extra)
+		if fnet != nil {
+			p := fnet.Phys()
+			fmt.Printf("phys: plan=%s sends=%d retransmits=%d dataDrops=%d ackDrops=%d dupDeliveries=%d subRounds=%d\n",
+				fnet.Plan, p.DataSends, p.Retransmits, p.DataDrops, p.AckDrops, p.DupDeliveries, p.SubRounds)
+		}
 	}
 	if rec == nil {
 		return

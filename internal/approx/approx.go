@@ -48,6 +48,10 @@ type Opts struct {
 	// Workers and Scheduler are passed to the engine of every phase.
 	Workers   int
 	Scheduler congest.Scheduler
+	// Network, if set, replaces the engine's perfect delivery with a
+	// pluggable substrate in every phase (see congest.Config.Network);
+	// internal/faults provides the adversarial one.
+	Network congest.Network
 }
 
 // Result reports approximate distances.
@@ -103,7 +107,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 
 	// Step 1: zero-weight reachability.
 	congest.SetPhase(opts.Obs, "zero")
-	reach, zr, err := unweighted.ZeroReach(g, sources, congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
+	reach, zr, err := unweighted.ZeroReach(g, sources, congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
 	if err != nil {
 		return nil, fmt.Errorf("approx: zero reachability: %w", err)
 	}
@@ -146,7 +150,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 		depth := (2*lim)/rho + int64(n)
 		gs := gp.Transform(func(w int64) int64 { return (w + rho - 1) / rho })
 		congest.SetPhase(opts.Obs, fmt.Sprintf("scale%d", scale))
-		pr, err := posweight.Run(gs, posweight.Opts{Sources: sources, MaxDist: depth, Workers: opts.Workers, Scheduler: opts.Scheduler, Obs: opts.Obs})
+		pr, err := posweight.Run(gs, posweight.Opts{Sources: sources, MaxDist: depth, Workers: opts.Workers, Scheduler: opts.Scheduler, Obs: opts.Obs, Network: opts.Network})
 		if err != nil {
 			return nil, fmt.Errorf("approx: scale %d: %w", scale, err)
 		}

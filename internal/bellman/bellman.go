@@ -45,6 +45,10 @@ type Opts struct {
 	Scheduler congest.Scheduler
 	// Obs, if set, receives engine events (see congest.Observer).
 	Obs congest.Observer
+	// Network, if set, replaces the engine's perfect delivery with a
+	// pluggable substrate (see congest.Config.Network); internal/faults
+	// provides the adversarial one.
+	Network congest.Network
 }
 
 // Result is the outcome of a run.
@@ -229,7 +233,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +268,7 @@ func FullSSSP(g *graph.Graph, src int, cfg congest.Config) (*Result, error) {
 		Workers:   cfg.Workers,
 		Scheduler: cfg.Scheduler,
 		Obs:       cfg.Observer,
+		Network:   cfg.Network,
 	})
 }
 

@@ -57,6 +57,13 @@ type Message struct {
 // per communication round with the messages sent to this node in the
 // previous round, sorted by sender.
 //
+// Inbox order is an explicit engine invariant, not an accident of
+// routing: messages are presented in ascending sender order, with each
+// link's messages in the order they were sent. Under a Network (see
+// network.go) that order is reconstructed from per-link sequence numbers
+// by the reliability shim — physical arrival order carries no meaning,
+// and protocols must not be exposed to it.
+//
 // Quiescent must report true when the node will send no further messages
 // unless it first receives one; the engine halts when every node is
 // quiescent and no messages are in flight. Quiescent must be a pure
@@ -182,6 +189,12 @@ type Config struct {
 	Workers int
 	// Scheduler selects the stepping strategy (default SchedulerActive).
 	Scheduler Scheduler
+	// Network, if set, replaces the engine's built-in perfect delivery
+	// with a pluggable delivery substrate (see Network; internal/faults
+	// provides the adversarial one plus the reliability shim that keeps
+	// results and logical Stats bit-identical). nil keeps the zero-cost
+	// built-in path.
+	Network Network
 	// Observer, if set, receives engine events (round completions,
 	// per-node send counts, link-congestion peaks, wall clock per round).
 	// nil keeps the engine on its zero-overhead path. Adapt a legacy
@@ -285,8 +298,13 @@ type engine struct {
 	g     *graph.Graph
 	cfg   Config
 	obs   Observer
+	net   Network
 	nodes []Node
 	ctxs  []*Context
+
+	// netBatch stages the round's validated sends when a Network is
+	// installed (the built-in path routes into nextIn instead).
+	netBatch []Message
 
 	inbox     [][]Message
 	nextIn    [][]Message
@@ -330,6 +348,7 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 		g:         g,
 		cfg:       cfg,
 		obs:       cfg.Observer,
+		net:       cfg.Network,
 		nodes:     make([]Node, n),
 		ctxs:      make([]*Context, n),
 		inbox:     make([][]Message, n),
@@ -346,6 +365,9 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 	for v := 0; v < n; v++ {
 		e.nodes[v] = mk(v)
 		e.ctxs[v] = &Context{id: v, g: g, eng: e}
+	}
+	if e.net != nil {
+		e.net.Reset(n)
 	}
 	if e.obs != nil {
 		e.obs.RunStart(n)
@@ -401,19 +423,36 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 		if e.quiCount == n && e.inflight == 0 {
 			return e.stats, nil
 		}
+		if e.net != nil {
+			// Deliver the traffic the network holds for this round. Every
+			// receiver lands on recvList, so the active scheduler steps it
+			// exactly as it would a built-in delivery.
+			for _, m := range e.net.Collect(r) {
+				if !dense && len(e.inbox[m.To]) == 0 {
+					e.recvList = append(e.recvList, m.To)
+				}
+				e.inbox[m.To] = append(e.inbox[m.To], m)
+			}
+		}
 		work := e.allNodes
 		if !dense {
 			work = e.collectActive(r)
 			if len(work) == 0 {
 				// Fast-forward: no inbox is pending (every receiver is in the
 				// work list), no wake is due, and every stragglers-free round
-				// up to the next wake would step nothing and send nothing —
-				// so no state changes and the termination conditions cannot
-				// flip mid-skip. Jump there, emitting the empty RoundDone
-				// events the dense engine would have produced.
+				// up to the next wake (or the network's next due delivery)
+				// would step nothing and send nothing — so no state changes
+				// and the termination conditions cannot flip mid-skip. Jump
+				// there, emitting the empty RoundDone events the dense
+				// engine would have produced.
 				target := cfg.MaxRounds + 1
 				if next := e.nextWake(); next > 0 && next <= cfg.MaxRounds {
 					target = next
+				}
+				if e.net != nil {
+					if due := e.net.NextDue(r + 1); due > 0 && due < target {
+						target = due
+					}
 				}
 				if e.obs != nil {
 					for rr := r; rr < target; rr++ {
@@ -604,10 +643,17 @@ func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 					e.obs.LinkPeak(r, m.From, m.To, e.stats.MaxLinkCongestion)
 				}
 			}
-			if !dense && len(e.nextIn[m.To]) == 0 {
-				e.recvNext = append(e.recvNext, m.To)
+			if e.net != nil {
+				// Hand the message to the delivery substrate instead of the
+				// built-in next-round inbox; the batch stays in canonical
+				// order because work is sorted and ctx.out is send-ordered.
+				e.netBatch = append(e.netBatch, m)
+			} else {
+				if !dense && len(e.nextIn[m.To]) == 0 {
+					e.recvNext = append(e.recvNext, m.To)
+				}
+				e.nextIn[m.To] = append(e.nextIn[m.To], m)
 			}
-			e.nextIn[m.To] = append(e.nextIn[m.To], m)
 			sent++
 		}
 		active++
@@ -621,6 +667,12 @@ func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 		ctx.out = ctx.out[:0]
 	}
 	e.stats.Messages += int64(sent)
+	if e.net != nil && len(e.netBatch) > 0 {
+		if err := e.net.Send(r, e.netBatch); err != nil {
+			return sent, active, fmt.Errorf("congest: network delivery failed in round %d: %w", r, err)
+		}
+		e.netBatch = e.netBatch[:0]
+	}
 
 	// Refresh the cached quiescence of every stepped node and, for the
 	// active scheduler, its next wake (Wakers) or always-on membership
@@ -675,6 +727,13 @@ func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 		}
 		e.recvList, e.recvNext = e.recvNext, e.recvList
 	}
-	e.inflight = sent
+	// With a Network installed, in-flight traffic is whatever it has
+	// accepted but not yet delivered: drops shrink it, delayed and
+	// duplicated deliveries extend it beyond the next round.
+	if e.net != nil {
+		e.inflight = e.net.Pending()
+	} else {
+		e.inflight = sent
+	}
 	return sent, active, nil
 }

@@ -132,6 +132,10 @@ type Opts struct {
 	// congest.Timeline via Timeline.Observer(), or an obs.Recorder for
 	// phase-attributed traces and metrics.
 	Obs congest.Observer
+	// Network, if set, replaces the engine's perfect delivery with a
+	// pluggable substrate (see congest.Config.Network); internal/faults
+	// provides the adversarial one.
+	Network congest.Network
 	// SnapshotRounds, if non-empty, records each node's best distances at
 	// the end of the given rounds (ascending), exposing the algorithm's
 	// anytime behaviour (experiment E-CONV). Rounds after quiescence
@@ -725,7 +729,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts, gamma: gamma}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
 	res.Stats = stats
 	if err != nil {
 		return nil, err

@@ -1,0 +1,375 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+// FaultInput is a (graph, sources, fault-script) triple — the unit the
+// shrinker minimizes. The fault script is explicit (faults.Event), so a
+// probabilistic chaos run is first frozen via faults.Network.Recorded and
+// then handed here.
+type FaultInput struct {
+	G       *graph.Graph
+	Sources []int
+	H       int
+	Events  []faults.Event
+}
+
+// Clone deep-copies the input (graphs are rebuilt edge by edge).
+func (in FaultInput) Clone() FaultInput {
+	out := FaultInput{
+		G:       in.G.Clone(),
+		Sources: append([]int(nil), in.Sources...),
+		H:       in.H,
+		Events:  append([]faults.Event(nil), in.Events...),
+	}
+	return out
+}
+
+// Dump renders the input in the committed-fixture form ParseFaultInput
+// reads back: a header line, one "e from to w" line per edge, one
+// "f <event>" line per fault event.
+func (in FaultInput) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d directed=%v sources=%s h=%d\n",
+		in.G.N(), in.G.Directed(), intList(in.Sources), in.H)
+	for _, e := range in.G.Edges() {
+		fmt.Fprintf(&sb, "e %d %d %d\n", e.From, e.To, e.W)
+	}
+	for _, ev := range in.Events {
+		fmt.Fprintf(&sb, "f %s\n", ev)
+	}
+	return sb.String()
+}
+
+func intList(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultInput is the inverse of Dump; it accepts the committed
+// regression fixtures under testdata/.
+func ParseFaultInput(s string) (FaultInput, error) {
+	var in FaultInput
+	var n int
+	directed := true
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for len(lines) > 0 { // skip leading comments and blanks before the header
+		l := strings.TrimSpace(lines[0])
+		if l != "" && !strings.HasPrefix(l, "#") {
+			break
+		}
+		lines = lines[1:]
+	}
+	if len(lines) == 0 || lines[0] == "" {
+		return in, fmt.Errorf("difftest: empty fixture")
+	}
+	for _, f := range strings.Fields(lines[0]) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return in, fmt.Errorf("difftest: bad header field %q", f)
+		}
+		var err error
+		switch k {
+		case "n":
+			n, err = strconv.Atoi(v)
+		case "directed":
+			directed, err = strconv.ParseBool(v)
+		case "h":
+			in.H, err = strconv.Atoi(v)
+		case "sources":
+			for _, p := range strings.Split(v, ",") {
+				src, serr := strconv.Atoi(p)
+				if serr != nil {
+					return in, fmt.Errorf("difftest: bad source %q", p)
+				}
+				in.Sources = append(in.Sources, src)
+			}
+		default:
+			return in, fmt.Errorf("difftest: unknown header field %q", k)
+		}
+		if err != nil {
+			return in, fmt.Errorf("difftest: bad header field %q: %v", f, err)
+		}
+	}
+	if n <= 0 {
+		return in, fmt.Errorf("difftest: fixture has no n")
+	}
+	in.G = graph.New(n, directed)
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "e "):
+			var u, v int
+			var w int64
+			if _, err := fmt.Sscanf(line, "e %d %d %d", &u, &v, &w); err != nil {
+				return in, fmt.Errorf("difftest: bad edge line %q: %v", line, err)
+			}
+			if err := in.G.AddEdge(u, v, w); err != nil {
+				return in, fmt.Errorf("difftest: %v", err)
+			}
+		case strings.HasPrefix(line, "f "):
+			ev, err := faults.ParseEvent(strings.TrimPrefix(line, "f "))
+			if err != nil {
+				return in, fmt.Errorf("difftest: %v", err)
+			}
+			in.Events = append(in.Events, ev)
+		default:
+			return in, fmt.Errorf("difftest: unrecognized fixture line %q", line)
+		}
+	}
+	return in, nil
+}
+
+// ShrinkCheck reports whether the candidate input still reproduces the
+// failure under investigation. It must be deterministic: Shrink revisits
+// inputs and assumes stable answers.
+type ShrinkCheck func(FaultInput) bool
+
+// Shrink minimizes a failing (graph, sources, fault-script) triple to a
+// locally minimal input that still fails, in the delta-debugging style:
+// event-list reduction (halves, then singles), node removal with
+// relabeling, edge removal, source removal, then weight and delay-arg
+// shrinking — repeated to a fixpoint. fails(in) must be true on entry;
+// every accepted step preserves it, so the result is always a failing
+// input no larger than the original.
+func Shrink(in FaultInput, fails ShrinkCheck) FaultInput {
+	cur := in.Clone()
+	if !fails(cur) {
+		return cur // not a failure; nothing meaningful to shrink
+	}
+	for {
+		next := shrinkPass(cur, fails)
+		if !smaller(next, cur) {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// size orders inputs for the fixpoint test: nodes dominate, then edges,
+// events, sources, and finally total weight + delay magnitude as a
+// tiebreaker so weight shrinking counts as progress.
+func size(in FaultInput) [5]int64 {
+	var w int64
+	for _, e := range in.G.Edges() {
+		w += e.W
+	}
+	var args int64
+	for _, ev := range in.Events {
+		args += int64(ev.Arg)
+	}
+	return [5]int64{int64(in.G.N()), int64(in.G.M()), int64(len(in.Events)), int64(len(in.Sources)), w + args}
+}
+
+func smaller(a, b FaultInput) bool {
+	sa, sb := size(a), size(b)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return sa[i] < sb[i]
+		}
+	}
+	return false
+}
+
+func shrinkPass(cur FaultInput, fails ShrinkCheck) FaultInput {
+	cur = shrinkEvents(cur, fails)
+	cur = shrinkNodes(cur, fails)
+	cur = shrinkEdges(cur, fails)
+	cur = shrinkSources(cur, fails)
+	cur = shrinkMagnitudes(cur, fails)
+	return cur
+}
+
+// shrinkEvents is ddmin over the fault script: drop halves while that
+// still fails, then drop single events to a fixpoint.
+func shrinkEvents(cur FaultInput, fails ShrinkCheck) FaultInput {
+	for chunk := len(cur.Events) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur.Events); {
+			cand := cur.Clone()
+			cand.Events = append(cand.Events[:start], cand.Events[start+chunk:]...)
+			if fails(cand) {
+				cur = cand // keep start: the tail shifted into place
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}
+
+// shrinkNodes removes one node at a time (highest id first), relabeling
+// the survivors densely and rewriting sources and events. Source nodes
+// are kept.
+func shrinkNodes(cur FaultInput, fails ShrinkCheck) FaultInput {
+	for v := cur.G.N() - 1; v >= 0; v-- {
+		if cur.G.N() <= 2 {
+			break
+		}
+		if containsInt(cur.Sources, v) {
+			continue
+		}
+		cand, ok := removeNode(cur, v)
+		if ok && fails(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// removeNode drops v (and its incident edges and events), relabeling ids
+// above v down by one. ok is false if nothing remains.
+func removeNode(in FaultInput, v int) (FaultInput, bool) {
+	n := in.G.N()
+	if n <= 2 {
+		return in, false
+	}
+	relabel := func(u int) int {
+		if u > v {
+			return u - 1
+		}
+		return u
+	}
+	out := FaultInput{G: graph.New(n-1, in.G.Directed()), H: in.H}
+	for _, e := range in.G.Edges() {
+		if e.From == v || e.To == v {
+			continue
+		}
+		out.G.MustAddEdge(relabel(e.From), relabel(e.To), e.W)
+	}
+	for _, s := range in.Sources {
+		if s == v {
+			continue
+		}
+		out.Sources = append(out.Sources, relabel(s))
+	}
+	if len(out.Sources) == 0 {
+		return in, false
+	}
+	for _, ev := range in.Events {
+		if ev.From == v || ev.To == v {
+			continue
+		}
+		ev.From, ev.To = relabel(ev.From), relabel(ev.To)
+		out.Events = append(out.Events, ev)
+	}
+	return out, true
+}
+
+func shrinkEdges(cur FaultInput, fails ShrinkCheck) FaultInput {
+	for i := cur.G.M() - 1; i >= 0; i-- {
+		edges := cur.G.Edges()
+		if i >= len(edges) {
+			continue
+		}
+		cand := cur.Clone()
+		cand.G = graph.New(cur.G.N(), cur.G.Directed())
+		for j, e := range edges {
+			if j == i {
+				continue
+			}
+			cand.G.MustAddEdge(e.From, e.To, e.W)
+		}
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}
+
+func shrinkSources(cur FaultInput, fails ShrinkCheck) FaultInput {
+	for i := len(cur.Sources) - 1; i >= 0 && len(cur.Sources) > 1; i-- {
+		cand := cur.Clone()
+		cand.Sources = append(cand.Sources[:i], cand.Sources[i+1:]...)
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// shrinkMagnitudes lowers edge weights (toward 0) and event delay args
+// (toward 1), greedily per element.
+func shrinkMagnitudes(cur FaultInput, fails ShrinkCheck) FaultInput {
+	for i, e := range cur.G.Edges() {
+		for _, w := range []int64{0, 1, e.W / 2} {
+			if w >= e.W {
+				continue
+			}
+			cand := cur.Clone()
+			cand.G = reweight(cur.G, i, w)
+			if fails(cand) {
+				cur = cand
+				break
+			}
+		}
+	}
+	for i := range cur.Events {
+		ev := cur.Events[i]
+		if ev.Arg <= 1 {
+			continue
+		}
+		for _, a := range []int{1, ev.Arg / 2} {
+			if a >= ev.Arg {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Events[i].Arg = a
+			if fails(cand) {
+				cur = cand
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// reweight rebuilds g with edge index i set to weight w.
+func reweight(g *graph.Graph, i int, w int64) *graph.Graph {
+	out := graph.New(g.N(), g.Directed())
+	for j, e := range g.Edges() {
+		if j == i {
+			out.MustAddEdge(e.From, e.To, w)
+		} else {
+			out.MustAddEdge(e.From, e.To, e.W)
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SortEvents orders a fault script canonically (round, from, to, kind) so
+// dumped fixtures are stable across shrink runs.
+func SortEvents(evs []faults.Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Kind < b.Kind
+	})
+}

@@ -24,6 +24,12 @@ type Config struct {
 	// experiments (E-BIG); 0 keeps the engine default. Results and CONGEST
 	// costs are worker-count independent, only wall clock moves.
 	Workers int
+	// Faults, if non-empty, restricts E-FAULTS to the given plan (the
+	// faults.Parse syntax, e.g. "all" or "delay=4,drop=0.2").
+	Faults string
+	// FaultSeed keys the fault PRF in E-FAULTS when the plan carries no
+	// seed term.
+	FaultSeed int64
 }
 
 // Table is a printable experiment result.

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a single explicit fault event.
+type Kind int
+
+const (
+	// DropEvent destroys the transmission.
+	DropEvent Kind = iota
+	// DelayEvent defers it by Arg sub-rounds (logical rounds in
+	// unreliable mode).
+	DelayEvent
+	// DupEvent injects one extra copy, deferred by Arg sub-rounds
+	// (logical rounds in unreliable mode).
+	DupEvent
+)
+
+var kindNames = [...]string{"drop", "delay", "dup"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown event kind %q", s)
+}
+
+// Event is one explicit fault: it applies to the first transmission
+// attempt of the message sent on link From→To in logical round Round (in
+// CONGEST a link direction carries at most one message per round, so the
+// triple identifies the message). A Network with a non-nil Script injects
+// exactly the scripted events and nothing else — the replayable,
+// shrinkable form of a fault plan (internal/difftest.Shrink minimizes
+// event lists; the probabilistic Network records one Event per fault it
+// injects so any chaos run can be turned into a script).
+type Event struct {
+	Round    int
+	From, To int
+	Kind     Kind
+	// Arg is the delay amount for DelayEvent and the extra copy's delay
+	// for DupEvent; unused for DropEvent.
+	Arg int
+}
+
+// String renders the event in the fixture form ParseEvent accepts:
+// "round=R from=U to=V kind=K" with " arg=N" appended when non-zero.
+func (e Event) String() string {
+	s := fmt.Sprintf("round=%d from=%d to=%d kind=%s", e.Round, e.From, e.To, e.Kind)
+	if e.Arg != 0 {
+		s += fmt.Sprintf(" arg=%d", e.Arg)
+	}
+	return s
+}
+
+// ParseEvent is the inverse of Event.String.
+func ParseEvent(s string) (Event, error) {
+	var e Event
+	seen := map[string]bool{}
+	for _, f := range strings.Fields(s) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || seen[k] {
+			return Event{}, fmt.Errorf("faults: bad event field %q in %q", f, s)
+		}
+		seen[k] = true
+		var err error
+		switch k {
+		case "round":
+			e.Round, err = strconv.Atoi(v)
+		case "from":
+			e.From, err = strconv.Atoi(v)
+		case "to":
+			e.To, err = strconv.Atoi(v)
+		case "arg":
+			e.Arg, err = strconv.Atoi(v)
+		case "kind":
+			e.Kind, err = ParseKind(v)
+		default:
+			return Event{}, fmt.Errorf("faults: unknown event field %q in %q", k, s)
+		}
+		if err != nil {
+			return Event{}, err
+		}
+	}
+	if !seen["round"] || !seen["from"] || !seen["to"] || !seen["kind"] {
+		return Event{}, fmt.Errorf("faults: event %q missing round/from/to/kind", s)
+	}
+	return e, nil
+}
+
+// scriptFate aggregates the scripted events matching one message.
+type scriptFate struct {
+	drop     bool
+	delay    int
+	dup      bool
+	dupDelay int
+}
+
+// fateOf collects the scripted fate of the message sent on From→To in
+// round r. Multiple events for one message compose (e.g. Delay + Dup).
+func scriptFateOf(script []Event, r, from, to int) scriptFate {
+	var f scriptFate
+	for _, e := range script {
+		if e.Round != r || e.From != from || e.To != to {
+			continue
+		}
+		switch e.Kind {
+		case DropEvent:
+			f.drop = true
+		case DelayEvent:
+			if e.Arg > f.delay {
+				f.delay = e.Arg
+			}
+		case DupEvent:
+			f.dup = true
+			if e.Arg > f.dupDelay {
+				f.dupDelay = e.Arg
+			}
+		}
+	}
+	return f
+}

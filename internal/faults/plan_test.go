@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanStringParseRoundTrip(t *testing.T) {
+	plans := []Plan{
+		{},
+		{Seed: 42},
+		{MaxDelay: 4},
+		{Drop: 0.2},
+		{Dup: 0.1},
+		{Reorder: true},
+		All(0),
+		All(99),
+		{Seed: -3, MaxDelay: 64, Drop: 0.999, Dup: 1, Reorder: true},
+		{Drop: 0.0625, Dup: 0.333},
+	}
+	for _, p := range plans {
+		s := p.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got != p {
+			t.Errorf("Parse(%q) = %+v, want %+v", s, got, p)
+		}
+	}
+}
+
+func TestPlanParsePresets(t *testing.T) {
+	for _, s := range []string{"", "none", "  none  "} {
+		p, err := Parse(s)
+		if err != nil || p != (Plan{}) {
+			t.Errorf("Parse(%q) = %+v, %v; want zero plan", s, p, err)
+		}
+	}
+	p, err := Parse("all")
+	if err != nil || p != All(0) {
+		t.Errorf("Parse(all) = %+v, %v; want %+v", p, err, All(0))
+	}
+	if (Plan{}).String() != "none" {
+		t.Errorf("zero plan renders %q, want none", (Plan{}).String())
+	}
+}
+
+func TestPlanParseErrors(t *testing.T) {
+	bad := []string{
+		"delay", "delay=x", "drop=z", "frobnicate=1", "drop=1", "drop=1.5",
+		"drop=-0.1", "dup=2", "delay=-1", "delay=65", "seed=abc", "drop=NaN",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Round: 0, From: 0, To: 0, Kind: DropEvent},
+		{Round: 7, From: 2, To: 5, Kind: DelayEvent, Arg: 3},
+		{Round: 123, From: 9, To: 1, Kind: DupEvent},
+	}
+	for _, e := range evs {
+		s := e.String()
+		got, err := ParseEvent(s)
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", s, err)
+		}
+		if got != e {
+			t.Errorf("ParseEvent(%q) = %+v, want %+v", s, got, e)
+		}
+	}
+	for _, s := range []string{
+		"", "round=1", "round=1 from=0 to=2 kind=zap",
+		"round=1 round=2 from=0 to=1 kind=drop", "bogus",
+	} {
+		if _, err := ParseEvent(s); err == nil {
+			t.Errorf("ParseEvent(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPRFDeterministicAndKeyed(t *testing.T) {
+	p := Plan{Seed: 11}
+	a := p.prf(kindDataDrop, 3, 1, 2, 5, 0)
+	if b := p.prf(kindDataDrop, 3, 1, 2, 5, 0); a != b {
+		t.Fatalf("prf not deterministic: %x vs %x", a, b)
+	}
+	// Distinct keys must give distinct words (full-avalanche mixer; equal
+	// words here would mean a key is being ignored).
+	variants := []uint64{
+		p.prf(kindDataDelay, 3, 1, 2, 5, 0),
+		p.prf(kindDataDrop, 4, 1, 2, 5, 0),
+		p.prf(kindDataDrop, 3, 2, 1, 5, 0),
+		p.prf(kindDataDrop, 3, 1, 2, 6, 0),
+		p.prf(kindDataDrop, 3, 1, 2, 5, 1),
+		Plan{Seed: 12}.prf(kindDataDrop, 3, 1, 2, 5, 0),
+	}
+	for i, v := range variants {
+		if v == a {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+}
+
+func TestScriptFateComposes(t *testing.T) {
+	script := []Event{
+		{Round: 2, From: 0, To: 1, Kind: DelayEvent, Arg: 2},
+		{Round: 2, From: 0, To: 1, Kind: DupEvent},
+		{Round: 2, From: 0, To: 1, Kind: DelayEvent, Arg: 1}, // max wins
+		{Round: 3, From: 0, To: 1, Kind: DropEvent},
+	}
+	f := scriptFateOf(script, 2, 0, 1)
+	if f.drop || f.delay != 2 || !f.dup {
+		t.Errorf("round 2 fate = %+v, want delay=2 dup", f)
+	}
+	f = scriptFateOf(script, 3, 0, 1)
+	if !f.drop {
+		t.Errorf("round 3 fate = %+v, want drop", f)
+	}
+	if f = scriptFateOf(script, 4, 0, 1); f != (scriptFate{}) {
+		t.Errorf("round 4 fate = %+v, want none", f)
+	}
+}
+
+func TestPlanStringOrderIsCanonical(t *testing.T) {
+	s := All(5).String()
+	want := "delay=4,drop=0.2,dup=0.1,reorder,seed=5"
+	if s != want {
+		t.Errorf("All(5).String() = %q, want %q", s, want)
+	}
+	if i := strings.Index(s, "delay"); i != 0 {
+		t.Errorf("canonical form must lead with delay: %q", s)
+	}
+}

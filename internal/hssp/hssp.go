@@ -47,6 +47,10 @@ type Opts struct {
 	// phase-attributing observer (obs.Recorder) produces a breakdown that
 	// sums exactly to Result.Stats.
 	Obs congest.Observer
+	// Network, if set, replaces the engine's perfect delivery with a
+	// pluggable substrate in every phase (see congest.Config.Network);
+	// internal/faults provides the adversarial one.
+	Network congest.Network
 }
 
 // Result reports exact (unrestricted) shortest-path distances.
@@ -116,7 +120,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 		h = 1
 	}
 	res := &Result{Sources: append([]int(nil), sources...), H: h, PhaseRounds: make(map[string]int)}
-	engineCfg := congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs}
+	engineCfg := congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network}
 
 	// Step 1: CSSSP.
 	congest.SetPhase(opts.Obs, "cssp")

@@ -18,6 +18,12 @@ type phaseMetrics struct {
 	wallUS   int64
 	maxLink  int
 	maxNode  int
+
+	// Physical-delivery counters (adversarial network runs only).
+	physSends   int64 // data sends incl. retransmits and dup copies
+	physRetrans int64
+	physDrops   int64 // data + ack drops
+	physSubs    int64 // simulated physical sub-rounds
 }
 
 // Metrics accumulates the event stream into phase-labelled aggregates and,
@@ -60,6 +66,17 @@ func CreateMetrics(path string) (*Metrics, error) {
 	return NewMetrics(f), nil
 }
 
+// physAny reports whether any phase saw physical-delivery traffic (the
+// phys series are omitted entirely on fault-free runs).
+func physAny(order []*phaseMetrics) bool {
+	for _, p := range order {
+		if p.physSends > 0 || p.physSubs > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (m *Metrics) phase(name string) *phaseMetrics {
 	p, ok := m.byName[name]
 	if !ok {
@@ -94,6 +111,13 @@ func (m *Metrics) Emit(e Event) error {
 	case "link_peak":
 		if e.Load > p.maxLink {
 			p.maxLink = e.Load
+		}
+	case "phys_round":
+		if e.Phys != nil {
+			p.physSends += e.Phys.DataSends + e.Phys.Retransmits + e.Phys.DupCopies
+			p.physRetrans += e.Phys.Retransmits
+			p.physDrops += e.Phys.DataDrops + e.Phys.AckDrops
+			p.physSubs += e.Phys.SubRounds
 		}
 	}
 	return nil
@@ -137,6 +161,31 @@ func (m *Metrics) Close() error {
 				fmt.Fprintf(&b, "congest_phase_max_node_sends{phase=%q} %d\n", p.name, p.maxNode)
 			}
 		})
+	if physAny(m.order) {
+		series("physical transmissions per phase (incl. retransmits and duplicates)",
+			"counter", "congest_phase_phys_sends_total", func() {
+				for _, p := range m.order {
+					fmt.Fprintf(&b, "congest_phase_phys_sends_total{phase=%q} %d\n", p.name, p.physSends)
+				}
+			})
+		series("retransmissions per phase", "counter", "congest_phase_phys_retransmits_total", func() {
+			for _, p := range m.order {
+				fmt.Fprintf(&b, "congest_phase_phys_retransmits_total{phase=%q} %d\n", p.name, p.physRetrans)
+			}
+		})
+		series("adversary-dropped transmissions per phase (data + ack)", "counter",
+			"congest_phase_phys_drops_total", func() {
+				for _, p := range m.order {
+					fmt.Fprintf(&b, "congest_phase_phys_drops_total{phase=%q} %d\n", p.name, p.physDrops)
+				}
+			})
+		series("simulated physical sub-rounds per phase", "counter",
+			"congest_phase_phys_subrounds_total", func() {
+				for _, p := range m.order {
+					fmt.Fprintf(&b, "congest_phase_phys_subrounds_total{phase=%q} %d\n", p.name, p.physSubs)
+				}
+			})
+	}
 	series("per-round message counts", "histogram", "congest_round_messages", func() {
 		for i, le := range metricsBuckets {
 			fmt.Fprintf(&b, "congest_round_messages_bucket{le=%q} %d\n", fmt.Sprint(le), m.bucketCounts[i])

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/congest"
+	"repro/internal/faults"
 )
 
 // Event is one observability record, already phase-attributed. All sinks
@@ -31,7 +32,7 @@ type Event struct {
 	// microseconds.
 	TS int64 `json:"ts"`
 	// Kind is one of "phase", "run_start", "round", "node_sends",
-	// "link_peak", "run_done".
+	// "link_peak", "phys_round", "run_done".
 	Kind string `json:"kind"`
 	// Phase is the algorithm phase the event is attributed to.
 	Phase string `json:"phase"`
@@ -61,6 +62,9 @@ type Event struct {
 	Load int `json:"load,omitempty"`
 	// Stats is the finished run's cost report (run_done).
 	Stats *congest.Stats `json:"stats,omitempty"`
+	// Phys is one logical round's physical-delivery cost under an
+	// adversarial network (phys_round; see faults.PhysStats).
+	Phys *faults.PhysStats `json:"phys,omitempty"`
 }
 
 // Sink consumes the phase-attributed event stream. Emit is called
@@ -85,6 +89,9 @@ type PhaseBreakdown struct {
 	RoundsExecuted int `json:"roundsExecuted"`
 	// Wall is the phase's accumulated wall-clock round time.
 	Wall time.Duration `json:"wallNs"`
+	// Phys accumulates the phase's physical-delivery cost when the engine
+	// runs over an adversarial network (all-zero otherwise).
+	Phys faults.PhysStats `json:"phys,omitempty"`
 }
 
 // Recorder implements congest.Observer and congest.Phaser: it attributes
@@ -104,6 +111,8 @@ type Recorder struct {
 	order       []*PhaseBreakdown
 	cur         *PhaseBreakdown
 	total       congest.Stats
+	phys        faults.PhysStats
+	physSeen    bool
 	runs        int
 	globalRound int // executed rounds across finished and current runs
 	runBase     int // globalRound at the start of the current run
@@ -208,6 +217,30 @@ func (r *Recorder) LinkPeak(round, from, to, load int) {
 	r.emit(Event{Kind: "link_peak", Round: round, GlobalRound: r.runBase + round, From: from, To: to, Load: load})
 }
 
+// PhysRound implements faults.Sink: one logical round's physical-delivery
+// cost is attributed to the current phase, accumulated, and emitted as a
+// "phys_round" event. Wire the same Recorder as both the engine Observer
+// and the faults.Network's Sink to get phase-attributed chaos accounting.
+func (r *Recorder) PhysRound(round int, delta faults.PhysStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.ensurePhase()
+	p.Phys.Add(delta)
+	r.phys.Add(delta)
+	r.physSeen = true
+	r.emit(Event{Kind: "phys_round", Round: round, GlobalRound: r.runBase + round, Phys: &delta})
+}
+
+// TotalPhys returns the aggregate physical-delivery cost across all
+// observed engine runs, and whether any was recorded at all.
+func (r *Recorder) TotalPhys() (faults.PhysStats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.phys
+	s.DelayHist = append([]int64(nil), r.phys.DelayHist...)
+	return s, r.physSeen
+}
+
 // RunDone implements congest.Observer: the finished run's Stats are folded
 // into the current phase and the total with congest.Stats.Add semantics,
 // which is what makes Breakdown sum exactly to the aggregate.
@@ -291,11 +324,14 @@ type Report struct {
 	Runs int `json:"runs"`
 	// Phases is the per-phase breakdown, first-use order.
 	Phases []PhaseBreakdown `json:"phases"`
+	// Phys is the aggregate physical-delivery cost, present only when the
+	// run went through an adversarial network (faults.Network).
+	Phys *faults.PhysStats `json:"phys,omitempty"`
 }
 
 // ReportOf assembles a Report from the recorder's current state.
 func (r *Recorder) ReportOf(alg string, n, m, k int) Report {
-	return Report{
+	rep := Report{
 		Alg:    alg,
 		N:      n,
 		M:      m,
@@ -305,4 +341,8 @@ func (r *Recorder) ReportOf(alg string, n, m, k int) Report {
 		Runs:   r.Runs(),
 		Phases: r.Breakdown(),
 	}
+	if phys, ok := r.TotalPhys(); ok {
+		rep.Phys = &phys
+	}
+	return rep
 }

@@ -57,6 +57,10 @@ type Opts struct {
 	// congest.Observer); phases are annotated "bit<t>" via
 	// congest.SetPhase, most significant first.
 	Obs congest.Observer
+	// Network, if set, replaces the engine's perfect delivery with a
+	// pluggable substrate in every bit phase (see congest.Config.Network);
+	// internal/faults provides the adversarial one.
+	Network congest.Network
 }
 
 // Result reports exact distances and per-phase costs.
@@ -404,7 +408,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 			}
 			nodes[v] = nd
 			return nd
-		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
+		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
 		res.Stats.Add(stats)
 		res.PhaseRounds = append(res.PhaseRounds, stats.Rounds)
 		if err != nil {

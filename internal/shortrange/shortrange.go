@@ -66,6 +66,10 @@ type Opts struct {
 	Scheduler congest.Scheduler
 	// Obs, if set, receives engine events (see congest.Observer).
 	Obs congest.Observer
+	// Network, if set, replaces the engine's perfect delivery with a
+	// pluggable substrate (see congest.Config.Network); internal/faults
+	// provides the adversarial one.
+	Network congest.Network
 }
 
 // Result reports distances and measured behaviour.
@@ -312,7 +316,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts, gamma: gamma, snapAt: snapAt}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
 	if err != nil {
 		return nil, err
 	}

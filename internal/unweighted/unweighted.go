@@ -27,6 +27,7 @@ func KSource(g *graph.Graph, sources []int, cfg congest.Config) (*posweight.Resu
 		Workers:   cfg.Workers,
 		Scheduler: cfg.Scheduler,
 		Obs:       cfg.Observer,
+		Network:   cfg.Network,
 	})
 }
 
