@@ -6,7 +6,7 @@ GO ?= go
 # scheduled job).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo clean
+.PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo crash-demo race-crash clean
 
 all: build test
 
@@ -20,6 +20,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The crash/restore conformance sweep under the race detector: checkpoint,
+# kill, restore and supervised-restart paths across every protocol family.
+race-crash:
+	$(GO) test -race -count=1 -run 'TestCheckpoint|FuzzCheckpointRoundTrip' .
+
 cover:
 	$(GO) test -cover ./...
 
@@ -28,10 +33,11 @@ cover:
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
 
-# Engine micro-benchmarks: intra-round parallel speedup and the dense vs
-# active-set scheduler comparison on both activity extremes.
+# Engine micro-benchmarks: intra-round parallel speedup, the dense vs
+# active-set scheduler comparison on both activity extremes, the fault
+# shim's cost, and the checkpoint hook's overhead.
 bench-engine:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint' -benchtime 1x .
 
 # The full-size experiment sweep (writes the tables EXPERIMENTS.md records).
 experiments:
@@ -58,12 +64,23 @@ trace-demo:
 		-phases -trace out/trace.jsonl -metrics out/metrics.prom \
 		-stats-json out/stats.json
 
-# Short fuzzing bursts for the parser and the exact key arithmetic.
+# Crash-recovery demo: a scripted crash-stop fault on node 3 at round 10
+# (restarting one round later) under periodic checkpointing. The supervisor
+# restores the latest snapshot and the run completes bit-identically to a
+# fault-free run; the final checkpoint lands in out/crash.ckpt.
+crash-demo:
+	mkdir -p out
+	$(GO) run ./cmd/apsprun -alg pipeline -n 48 -m 160 -quiet \
+		-crash 3@10+1 -checkpoint-every 8 -checkpoint out/crash.ckpt
+
+# Short fuzzing bursts for the parser, the exact key arithmetic, the
+# reliability shim and the checkpoint kill/serialize/resume cycle.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run xxx -fuzz FuzzCmpCeil -fuzztime $(FUZZTIME) ./internal/key/
 	$(GO) test -run xxx -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run xxx -fuzz FuzzReliableLink -fuzztime $(FUZZTIME) ./internal/faults/
+	$(GO) test -run xxx -fuzz FuzzCheckpointRoundTrip -fuzztime $(FUZZTIME) .
 
 clean:
 	$(GO) clean ./...

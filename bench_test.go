@@ -109,6 +109,10 @@ func BenchmarkScalingStudy(b *testing.B) { benchExperiment(b, "E-BIG") }
 // (experiment E-DELTA).
 func BenchmarkDeltaSensitivity(b *testing.B) { benchExperiment(b, "E-DELTA") }
 
+// BenchmarkCrashRecovery measures checkpoint cost and crash-restart
+// recovery (experiment E-CRASH).
+func BenchmarkCrashRecovery(b *testing.B) { benchExperiment(b, "E-CRASH") }
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the substrate's raw cost, with rounds reported as a
 // custom metric so scaling is visible in benchmark output.
@@ -321,4 +325,63 @@ func BenchmarkEngineFaultsPerfect(b *testing.B) {
 }
 func BenchmarkEngineFaultsAll(b *testing.B) {
 	benchEngineFaults(b, func() congest.Network { return faults.New(faults.All(11)) })
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint benchmarks: what the engine's snapshot hook costs. Off is the
+// production configuration (Checkpoint == nil, no per-round work beyond a
+// nil check) and must match the plain engine benchmarks. OnSignal carries
+// an armed policy that never fires — the steady-state cost of being
+// resumable. EveryRound serializes a full engine snapshot at every
+// barrier, the worst case.
+
+func benchEngineCheckpoint(b *testing.B, mkPol func() *congest.CheckpointPolicy) {
+	n := 96
+	g := graph.Random(n, 4*n, graph.GenOpts{Seed: 9, MaxW: 1, MinW: 1})
+	sources := []int{0, 24, 48, 72}
+	base, err := core.Run(g, core.Opts{Sources: sources, H: n - 1, Delta: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var snapBytes int
+	for i := 0; i < b.N; i++ {
+		pol := mkPol()
+		res, err := core.Run(g, core.Opts{Sources: sources, H: n - 1, Delta: 1, Checkpoint: pol})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats != base.Stats {
+			b.Fatalf("stats diverged under checkpointing: %+v vs %+v", res.Stats, base.Stats)
+		}
+		if pol != nil && pol.Every > 0 {
+			snapBytes = benchLastSnapBytes
+		}
+	}
+	if snapBytes > 0 {
+		b.ReportMetric(float64(snapBytes), "snapB")
+	}
+}
+
+var benchLastSnapBytes int
+
+func BenchmarkEngineCheckpointOff(b *testing.B) {
+	benchEngineCheckpoint(b, func() *congest.CheckpointPolicy { return nil })
+}
+func BenchmarkEngineCheckpointOnSignal(b *testing.B) {
+	benchEngineCheckpoint(b, func() *congest.CheckpointPolicy {
+		return &congest.CheckpointPolicy{Sink: func(*congest.Snapshot) error { return nil }}
+	})
+}
+func BenchmarkEngineCheckpointEveryRound(b *testing.B) {
+	benchEngineCheckpoint(b, func() *congest.CheckpointPolicy {
+		return &congest.CheckpointPolicy{Every: 1, Sink: func(s *congest.Snapshot) error {
+			raw, err := s.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			benchLastSnapBytes = len(raw)
+			return nil
+		}}
+	})
 }

@@ -1,0 +1,507 @@
+package apsp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/bellman"
+	"repro/internal/checkpoint"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/hssp"
+	"repro/internal/posweight"
+	"repro/internal/scaling"
+	"repro/internal/shortrange"
+	"repro/internal/unweighted"
+)
+
+// These tests are the crash/restore conformance gate: killing a run at an
+// arbitrary round barrier, serializing the snapshot, and resuming it in a
+// fresh engine must reproduce the uninterrupted run bit-exactly —
+// distances, parents, logical Stats and the observer stream — for every
+// protocol family, on both schedulers, with and without an adversarial
+// delivery substrate underneath.
+
+// ckptRun executes one protocol invocation: sched and net configure the
+// engine, pol is the checkpoint policy under test (nil = none). It returns
+// a deep-comparable result payload plus the logical Stats.
+type ckptRun func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error)
+
+// difftestInstance is the fixed instance a conformance sweep runs on.
+type difftestInstance struct {
+	G       *graph.Graph
+	Sources []int
+	H       int
+}
+
+func ckptInstance(seed int64) difftestInstance {
+	return difftestInstance{
+		G:       graph.Random(20, 60, graph.GenOpts{Seed: seed, MaxW: 6, ZeroFrac: 0.2, Directed: true}),
+		Sources: []int{0, 7, 13},
+		H:       6,
+	}
+}
+
+// ckptProbe is one (engine run index, checkpoint round) cell.
+type ckptProbe struct{ run, round int }
+
+var (
+	// singleRunProbes cover protocols with one engine run; multiRunProbes
+	// add later engine runs of multi-phase pipelines (the resume
+	// re-executes the earlier phases deterministically first).
+	singleRunProbes = []ckptProbe{{0, 1}, {0, 2}, {0, 5}}
+	multiRunProbes  = []ckptProbe{{0, 1}, {0, 2}, {0, 5}, {2, 1}, {2, 2}}
+)
+
+// sweepCheckpointConformance runs the kill/restore matrix for one protocol:
+// scheduler × {no substrate, all-faults substrate} × probe cells, each cell
+// compared bit-exactly against the fault-free dense baseline. Cells whose
+// checkpoint never fires (the probed engine run terminates before the
+// probed round) are skipped, but at least three cells must fire.
+func sweepCheckpointConformance(t *testing.T, in difftestInstance, probes []ckptProbe, run ckptRun) {
+	t.Helper()
+	base, baseStats, err := run(in, congest.SchedulerDense, nil, nil)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	plans := []*faults.Plan{nil, faultPlanAll(41)}
+	netOf := func(p *faults.Plan) congest.Network {
+		if p == nil {
+			return nil
+		}
+		return faults.New(*p)
+	}
+	fired := 0
+	for _, sched := range []congest.Scheduler{congest.SchedulerDense, congest.SchedulerActive} {
+		for _, plan := range plans {
+			for _, pr := range probes {
+				cell := fmt.Sprintf("sched=%v plan=%s run=%d round=%d", sched, planName(plan), pr.run, pr.round)
+				k := &checkpoint.Keeper{}
+				pol := &congest.CheckpointPolicy{AtRound: pr.round, Run: pr.run, Stop: true, Sink: k.Sink}
+				_, _, err := run(in, sched, netOf(plan), pol)
+				if err == nil {
+					continue // probed run never reached the probed round
+				}
+				if !errors.Is(err, congest.ErrCheckpointStop) {
+					t.Fatalf("%s: kill: want ErrCheckpointStop, got %v", cell, err)
+				}
+				snap, saves := k.Latest()
+				if snap == nil || saves != 1 {
+					t.Fatalf("%s: %d snapshots delivered", cell, saves)
+				}
+				if snap.Round != pr.round || snap.RunIdx != pr.run {
+					t.Fatalf("%s: snapshot at run=%d round=%d", cell, snap.RunIdx, snap.Round)
+				}
+				fired++
+				// The resumed engine must accept the snapshot only through
+				// its serialized form: the disk format is the contract.
+				b, err := snap.MarshalBinary()
+				if err != nil {
+					t.Fatalf("%s: marshal: %v", cell, err)
+				}
+				snap2 := &congest.Snapshot{}
+				if err := snap2.UnmarshalBinary(b); err != nil {
+					t.Fatalf("%s: unmarshal: %v", cell, err)
+				}
+				res, stats, err := run(in, sched, netOf(plan), &congest.CheckpointPolicy{Resume: snap2})
+				if err != nil {
+					t.Fatalf("%s: resume: %v", cell, err)
+				}
+				if stats != baseStats {
+					t.Fatalf("%s: resumed stats diverge: %+v vs baseline %+v", cell, stats, baseStats)
+				}
+				if !reflect.DeepEqual(res, base) {
+					t.Fatalf("%s: resumed results diverge from uninterrupted run", cell)
+				}
+			}
+		}
+	}
+	if fired < 3 {
+		t.Fatalf("only %d checkpoint cells fired; the probe rounds no longer exercise this protocol", fired)
+	}
+}
+
+func TestCheckpointConformanceCore(t *testing.T) {
+	sweepCheckpointConformance(t, ckptInstance(3), singleRunProbes,
+		func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error) {
+			res, err := core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H, Scheduler: sched, Network: net, Checkpoint: pol})
+			if err != nil {
+				return nil, congest.Stats{}, err
+			}
+			return []interface{}{res.Dist, res.Hops, res.Parent, res.LateSends, res.Collisions, res.Missed}, res.Stats, nil
+		})
+}
+
+func TestCheckpointConformancePosweight(t *testing.T) {
+	in := ckptInstance(4)
+	in.G = graph.Random(20, 60, graph.GenOpts{Seed: 4, MaxW: 6, MinW: 1, Directed: true})
+	sweepCheckpointConformance(t, in, singleRunProbes,
+		func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error) {
+			res, err := posweight.Run(in.G, posweight.Opts{Sources: in.Sources, Scheduler: sched, Network: net, Checkpoint: pol})
+			if err != nil {
+				return nil, congest.Stats{}, err
+			}
+			return []interface{}{res.Dist, res.Parent, res.LateSends, res.MissedSends}, res.Stats, nil
+		})
+}
+
+func TestCheckpointConformanceUnweighted(t *testing.T) {
+	sweepCheckpointConformance(t, ckptInstance(5), singleRunProbes,
+		func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error) {
+			res, err := unweighted.KSource(in.G, in.Sources, congest.Config{Scheduler: sched, Network: net, Checkpoint: pol})
+			if err != nil {
+				return nil, congest.Stats{}, err
+			}
+			return []interface{}{res.Dist, res.Parent}, res.Stats, nil
+		})
+}
+
+func TestCheckpointConformanceBellman(t *testing.T) {
+	sweepCheckpointConformance(t, ckptInstance(6), singleRunProbes,
+		func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error) {
+			res, err := bellman.Run(in.G, bellman.Opts{Sources: in.Sources, H: in.H, Scheduler: sched, Network: net, Checkpoint: pol})
+			if err != nil {
+				return nil, congest.Stats{}, err
+			}
+			return []interface{}{res.Dist, res.Parent}, res.Stats, nil
+		})
+}
+
+func TestCheckpointConformanceShortRange(t *testing.T) {
+	sweepCheckpointConformance(t, ckptInstance(7), singleRunProbes,
+		func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error) {
+			res, err := shortrange.Run(in.G, shortrange.Opts{Sources: in.Sources, H: in.H, Scheduler: sched, Network: net, Checkpoint: pol})
+			if err != nil {
+				return nil, congest.Stats{}, err
+			}
+			return []interface{}{res.Dist, res.Hops, res.Snap}, res.Stats, nil
+		})
+}
+
+func TestCheckpointConformanceScaling(t *testing.T) {
+	sweepCheckpointConformance(t, ckptInstance(8), multiRunProbes,
+		func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error) {
+			res, err := scaling.Run(in.G, scaling.Opts{Sources: in.Sources, Scheduler: sched, Network: net, Checkpoint: pol})
+			if err != nil {
+				return nil, congest.Stats{}, err
+			}
+			return []interface{}{res.Dist, res.PhaseRounds}, res.Stats, nil
+		})
+}
+
+// TestCheckpointConformanceBlockerAPSP covers the full multi-phase
+// pipeline (cssp → blocker → per-blocker SSSP → broadcast): a checkpoint
+// in a later engine run resumes by re-executing the earlier phases
+// deterministically, then restoring mid-phase.
+func TestCheckpointConformanceBlockerAPSP(t *testing.T) {
+	in := ckptInstance(9)
+	in.G = graph.Random(14, 42, graph.GenOpts{Seed: 9, MaxW: 6, ZeroFrac: 0.2, Directed: true})
+	sweepCheckpointConformance(t, in, multiRunProbes,
+		func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error) {
+			res, err := hssp.Run(in.G, hssp.Opts{Sources: in.Sources, Scheduler: sched, Network: net, Checkpoint: pol})
+			if err != nil {
+				return nil, congest.Stats{}, err
+			}
+			return []interface{}{res.Dist, res.Q, res.H, res.PhaseRounds}, res.Stats, nil
+		})
+}
+
+func TestCheckpointConformanceApprox(t *testing.T) {
+	in := ckptInstance(10)
+	in.G = graph.Random(14, 42, graph.GenOpts{Seed: 10, MaxW: 6, ZeroFrac: 0.2, Directed: true})
+	sweepCheckpointConformance(t, in, multiRunProbes,
+		func(in difftestInstance, sched congest.Scheduler, net congest.Network, pol *congest.CheckpointPolicy) (interface{}, congest.Stats, error) {
+			res, err := approx.Run(in.G, approx.Opts{Sources: in.Sources, Eps: 0.5, Scheduler: sched, Network: net, Checkpoint: pol})
+			if err != nil {
+				return nil, congest.Stats{}, err
+			}
+			return []interface{}{res.Scaled, res.Scales, res.PhaseRounds}, res.Stats, nil
+		})
+}
+
+// TestCheckpointObserverSplice asserts the strongest stream invariant: the
+// killed run's observer stream concatenated with the resumed run's stream
+// equals the uninterrupted run's stream event-for-event — the restore
+// really does continue at the exact barrier, on both schedulers.
+func TestCheckpointObserverSplice(t *testing.T) {
+	in := ckptInstance(11)
+	for _, sched := range []congest.Scheduler{congest.SchedulerDense, congest.SchedulerActive} {
+		run := func(pol *congest.CheckpointPolicy) *streamRecorder {
+			rec := &streamRecorder{}
+			_, err := core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H, Scheduler: sched, Obs: rec, Checkpoint: pol})
+			if pol != nil && pol.Stop {
+				if !errors.Is(err, congest.ErrCheckpointStop) {
+					t.Fatalf("sched=%v: want ErrCheckpointStop, got %v", sched, err)
+				}
+			} else if err != nil {
+				t.Fatalf("sched=%v: %v", sched, err)
+			}
+			return rec
+		}
+		baseRec := run(nil)
+		const R = 4
+		k := &checkpoint.Keeper{}
+		killRec := run(&congest.CheckpointPolicy{AtRound: R, Stop: true, Sink: k.Sink})
+		snap, _ := k.Latest()
+		if snap == nil {
+			t.Fatalf("sched=%v: no snapshot", sched)
+		}
+		resRec := run(&congest.CheckpointPolicy{Resume: snap})
+		spliced := append(append([]congest.RoundEvent(nil), killRec.rounds...), resRec.rounds...)
+		if !reflect.DeepEqual(spliced, baseRec.rounds) {
+			t.Fatalf("sched=%v: RoundDone splice diverges: %d+%d events vs %d",
+				sched, len(killRec.rounds), len(resRec.rounds), len(baseRec.rounds))
+		}
+		sends := append(append([][3]int(nil), killRec.sends...), resRec.sends...)
+		if !reflect.DeepEqual(sends, baseRec.sends) {
+			t.Fatalf("sched=%v: NodeSends splice diverges", sched)
+		}
+	}
+}
+
+// TestCheckpointResumeUnderChaos round-trips the delivery substrate's
+// state through a snapshot: under the all-faults plan, a checkpoint taken
+// at round 6 by a run resumed from round 3 must be byte-identical —
+// in-flight packets, per-link sequence and ACK cursors included — to the
+// round-6 checkpoint of an uninterrupted run.
+func TestCheckpointResumeUnderChaos(t *testing.T) {
+	in := ckptInstance(12)
+	plan := faults.All(5)
+	snapAt := func(pol *congest.CheckpointPolicy, k *checkpoint.Keeper) *congest.Snapshot {
+		_, err := core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H, Network: faults.New(plan), Checkpoint: pol})
+		if !errors.Is(err, congest.ErrCheckpointStop) {
+			t.Fatalf("want ErrCheckpointStop, got %v", err)
+		}
+		snap, _ := k.Latest()
+		if snap == nil {
+			t.Fatal("no snapshot delivered")
+		}
+		return snap
+	}
+	k6 := &checkpoint.Keeper{}
+	direct := snapAt(&congest.CheckpointPolicy{AtRound: 6, Stop: true, Sink: k6.Sink}, k6)
+	k3 := &checkpoint.Keeper{}
+	snap3 := snapAt(&congest.CheckpointPolicy{AtRound: 3, Stop: true, Sink: k3.Sink}, k3)
+	if len(snap3.Net) == 0 {
+		t.Fatal("round-3 snapshot carries no substrate state; the chaos plan is not exercising the network")
+	}
+	k63 := &checkpoint.Keeper{}
+	via := snapAt(&congest.CheckpointPolicy{Resume: snap3, AtRound: 6, Stop: true, Sink: k63.Sink}, k63)
+	db, err := direct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := via.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(db, vb) {
+		t.Fatal("round-6 snapshot differs between the uninterrupted run and the run resumed from round 3")
+	}
+}
+
+// panicNode injects a node-local fault: node `id` panics in round `at`.
+type panicNode struct{ id, at int }
+
+func (p *panicNode) Init(*congest.Context) {}
+func (p *panicNode) Round(_ *congest.Context, r int, _ []congest.Message) {
+	if p.id == 2 && r == p.at {
+		panic("injected node fault")
+	}
+}
+func (p *panicNode) Quiescent() bool { return false }
+
+// TestCheckpointPanicBecomesCrashError: a panicking node must not take the
+// engine (or the process) down — it surfaces as a structured CrashError
+// naming the node and round, with Restart 0 (panics are not schedulable
+// restarts).
+func TestCheckpointPanicBecomesCrashError(t *testing.T) {
+	g := graph.Random(8, 16, graph.GenOpts{Seed: 2, MaxW: 3})
+	for _, workers := range []int{1, 4} {
+		_, err := congest.Run(g, func(v int) congest.Node { return &panicNode{id: v, at: 3} },
+			congest.Config{Workers: workers, MaxRounds: 10})
+		var ce *congest.CrashError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: want CrashError, got %v", workers, err)
+		}
+		if ce.Node != 2 || ce.Round != 3 || ce.Restart != 0 || ce.Panic == nil {
+			t.Fatalf("workers=%d: CrashError fields %+v", workers, ce)
+		}
+	}
+}
+
+// TestCheckpointSupervisedRestart drives the full crash-stop story: a
+// scripted crash kills node 1 at round 4 with a restart offset, the
+// supervisor re-arms from the latest per-round checkpoint, and the
+// restarted computation completes with the fault-free answer. The
+// faults.Network is shared across attempts, so the fired crash stays
+// disarmed.
+func TestCheckpointSupervisedRestart(t *testing.T) {
+	in := ckptInstance(13)
+	base, err := core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := faults.New(faults.Plan{})
+	net.Script = []faults.Event{{Round: 4, From: 1, Kind: faults.CrashEvent, Arg: 1}}
+	k := &checkpoint.Keeper{}
+	pol := &congest.CheckpointPolicy{Every: 1, Sink: k.Sink}
+	var res *core.Result
+	restarts, err := checkpoint.Supervise(pol, k, 3, func() error {
+		r, ferr := core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H, Network: net, Checkpoint: pol})
+		if ferr == nil {
+			res = r
+		}
+		return ferr
+	})
+	if err != nil {
+		t.Fatalf("supervised run failed after %d restarts: %v", restarts, err)
+	}
+	if restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", restarts)
+	}
+	if disarmed := net.DisarmedCrashes(); len(disarmed) != 1 || disarmed[0] != 0 {
+		t.Fatalf("DisarmedCrashes = %v, want [0]", disarmed)
+	}
+	if res.Stats != base.Stats || !reflect.DeepEqual(res.Dist, base.Dist) || !reflect.DeepEqual(res.Parent, base.Parent) {
+		t.Fatal("supervised result diverges from the fault-free run")
+	}
+}
+
+// TestCheckpointUnrecoverableCrash: a crash event with no restart offset
+// must surface as an unrecoverable error, not loop the supervisor.
+func TestCheckpointUnrecoverableCrash(t *testing.T) {
+	in := ckptInstance(14)
+	net := faults.New(faults.Plan{})
+	net.Script = []faults.Event{{Round: 2, From: 3, Kind: faults.CrashEvent}}
+	k := &checkpoint.Keeper{}
+	pol := &congest.CheckpointPolicy{Every: 1, Sink: k.Sink}
+	restarts, err := checkpoint.Supervise(pol, k, 3, func() error {
+		_, ferr := core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H, Network: net, Checkpoint: pol})
+		return ferr
+	})
+	var ce *congest.CrashError
+	if !errors.As(err, &ce) || ce.Node != 3 || ce.Round != 2 {
+		t.Fatalf("want unrecoverable CrashError for node 3 round 2, got %v", err)
+	}
+	if restarts != 0 {
+		t.Fatalf("restarts = %d, want 0", restarts)
+	}
+}
+
+// TestCheckpointFileRoundTrip covers the disk container: Save → Load →
+// resume, plus metadata validation against the wrong computation.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	in := ckptInstance(15)
+	base, err := core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/run.ckpt"
+	meta := &checkpoint.Meta{
+		Alg: "core", N: in.G.N(), M: in.G.M(), Graph: checkpoint.Fingerprint(in.G),
+		Sources: in.Sources, H: in.H,
+	}
+	k := &checkpoint.Keeper{Path: path, Meta: meta}
+	_, err = core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H,
+		Checkpoint: &congest.CheckpointPolicy{AtRound: 3, Stop: true, Sink: k.Sink}})
+	if !errors.Is(err, congest.ErrCheckpointStop) {
+		t.Fatalf("want ErrCheckpointStop, got %v", err)
+	}
+	gotMeta, snap, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gotMeta.ValidateAgainst(in.G, in.Sources, in.H, "", snap.Sched); err != nil {
+		t.Fatalf("metadata should validate against its own run: %v", err)
+	}
+	other := graph.Random(20, 60, graph.GenOpts{Seed: 99, MaxW: 6, Directed: true})
+	if err := gotMeta.ValidateAgainst(other, in.Sources, in.H, "", snap.Sched); err == nil {
+		t.Fatal("metadata validated against a different graph")
+	}
+	if err := gotMeta.ValidateAgainst(in.G, in.Sources, in.H, "drop=0.2", snap.Sched); err == nil {
+		t.Fatal("metadata validated against a different fault plan")
+	}
+	probe, err := checkpoint.ReadMetaOnly(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Graph != meta.Graph || probe.Alg != "core" {
+		t.Fatalf("ReadMetaOnly returned %+v", probe)
+	}
+	res, err := core.Run(in.G, core.Opts{Sources: in.Sources, H: in.H,
+		Checkpoint: &congest.CheckpointPolicy{Resume: snap}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != base.Stats || !reflect.DeepEqual(res.Dist, base.Dist) {
+		t.Fatal("resume from disk diverges from the uninterrupted run")
+	}
+}
+
+// FuzzCheckpointRoundTrip fuzzes the kill/serialize/resume cycle over
+// seeds, checkpoint rounds, schedulers and fault plans, asserting the
+// resumed run is always bit-identical to the uninterrupted one.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(3), false, uint8(0))
+	f.Add(int64(7), uint8(1), true, uint8(2))
+	f.Add(int64(42), uint8(6), true, uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, round uint8, active bool, planSel uint8) {
+		g := graph.Random(12, 30, graph.GenOpts{Seed: seed, MaxW: 5, ZeroFrac: 0.2, Directed: true})
+		sources := []int{0, 5}
+		R := int(round%8) + 1
+		sched := congest.SchedulerDense
+		if active {
+			sched = congest.SchedulerActive
+		}
+		var plan *faults.Plan
+		switch planSel % 3 {
+		case 1:
+			plan = &faults.Plan{Seed: seed}
+		case 2:
+			plan = faultPlanAll(seed)
+		}
+		netOf := func() congest.Network {
+			if plan == nil {
+				return nil
+			}
+			return faults.New(*plan)
+		}
+		run := func(net congest.Network, pol *congest.CheckpointPolicy) (*bellman.Result, error) {
+			return bellman.Run(g, bellman.Opts{Sources: sources, H: 5, Scheduler: sched, Network: net, Checkpoint: pol})
+		}
+		base, err := run(netOf(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := &checkpoint.Keeper{}
+		_, err = run(netOf(), &congest.CheckpointPolicy{AtRound: R, Stop: true, Sink: k.Sink})
+		if err == nil {
+			return // run finished before round R; nothing to resume
+		}
+		if !errors.Is(err, congest.ErrCheckpointStop) {
+			t.Fatalf("R=%d: %v", R, err)
+		}
+		snap, _ := k.Latest()
+		b, err := snap.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap2 := &congest.Snapshot{}
+		if err := snap2.UnmarshalBinary(b); err != nil {
+			t.Fatal(err)
+		}
+		res, err := run(netOf(), &congest.CheckpointPolicy{Resume: snap2})
+		if err != nil {
+			t.Fatalf("R=%d: resume: %v", R, err)
+		}
+		if res.Stats != base.Stats || !reflect.DeepEqual(res.Dist, base.Dist) || !reflect.DeepEqual(res.Parent, base.Parent) {
+			t.Fatalf("R=%d sched=%v plan=%s: resumed run diverges", R, sched, planName(plan))
+		}
+	})
+}

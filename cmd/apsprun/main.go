@@ -31,19 +31,42 @@
 // fault-free run; the extra physical-delivery work is reported separately
 // (and lands in -trace / -metrics / -json when enabled). -fault-seed keys
 // the fault PRF when the plan itself doesn't carry a seed term.
+//
+// Crash faults and checkpointing:
+//
+//	apsprun -alg pipeline -n 48 -m 160 -checkpoint run.ckpt -checkpoint-every 8
+//	apsprun -alg pipeline -n 48 -m 160 -resume run.ckpt
+//	apsprun -alg pipeline -n 48 -m 160 -crash 3@10+1 -checkpoint-every 1 -checkpoint run.ckpt
+//
+// -checkpoint writes versioned engine snapshots to a file (atomically,
+// each overwriting the last); -checkpoint-every takes one every N rounds,
+// and SIGINT/SIGTERM write a final snapshot before exiting cleanly, so an
+// interrupted run is always resumable. -resume restores a snapshot — the
+// resumed run is bit-identical to an uninterrupted one — after validating
+// the checkpoint's metadata (graph fingerprint, sources, fault plan,
+// scheduler) against the flags. -crash injects scripted crash-stop node
+// faults ("v@r" kills node v at round r; "v@r+k" allows a restart k rounds
+// later); recoverable crashes are supervised, restarting from the latest
+// checkpoint up to -restarts times. -checkpoint-stop snapshots at an exact
+// round and stops, for drills and demos.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/approx"
 	"repro/internal/bellman"
+	"repro/internal/checkpoint"
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -80,6 +103,12 @@ func main() {
 		schedArg  = flag.String("sched", "active", "engine scheduler: active | dense")
 		faultsArg = flag.String("faults", "", `adversarial network plan: "all", or terms like "delay=4,drop=0.2,dup=0.1,reorder" (empty = perfect delivery)`)
 		faultSeed = flag.Int64("fault-seed", 0, "fault PRF seed (used when the -faults plan has no seed term)")
+		ckptPath  = flag.String("checkpoint", "", "write engine checkpoints to this file (atomic; SIGINT/SIGTERM write a final one)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "snapshot every N rounds (0 = only on signal)")
+		ckptStop  = flag.Int("checkpoint-stop", 0, "snapshot at exactly this round of the first engine run, then stop")
+		resumeArg = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+		crashArg  = flag.String("crash", "", `scripted crash-stop faults: "v@r" (node v crashes at round r, unrecoverable) or "v@r+k" (restart allowed k rounds later), comma-separated`)
+		restarts  = flag.Int("restarts", 3, "restart budget for recoverable crashes")
 	)
 	flag.Parse()
 
@@ -154,94 +183,195 @@ func main() {
 		network = fnet
 	}
 
-	var (
-		dist    [][]int64
-		stats   congest.Stats
-		extra   string
-		hopUsed int // 0 = unrestricted semantics (validate vs Dijkstra)
-	)
-	switch *alg {
-	case "pipeline":
-		hopBound := *h
-		if hopBound == 0 {
-			hopBound = g.N() - 1
-		} else {
-			hopUsed = hopBound
-		}
-		copts := core.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network}
-		if *listTrace {
-			copts.Trace = func(format string, args ...interface{}) {
-				fmt.Fprintf(os.Stderr, format+"\n", args...)
+	// Scripted crash-stop faults ride on the faults.Network; injecting
+	// crashes without a -faults plan engages the shim with a perfect wire.
+	crashes, err := parseCrashes(*crashArg)
+	if err != nil {
+		fail(err)
+	}
+	if len(crashes) > 0 {
+		if fnet == nil {
+			fnet = faults.New(faults.Plan{Seed: *faultSeed})
+			if rec != nil {
+				fnet.Sink = rec
 			}
+			network = fnet
 		}
-		res, err := core.Run(g, copts)
+		fnet.Script = append(fnet.Script, crashes...)
+	}
+
+	// Checkpoint policy: a Keeper retains the latest snapshot in memory
+	// (the supervisor's restart point) and persists each one to -checkpoint
+	// when set. With Every == 0 the only snapshots are the final one a
+	// signal triggers and the -checkpoint-stop drill.
+	planStr := ""
+	if fnet != nil {
+		planStr = fnet.Plan.String()
+	}
+	var (
+		keeper *checkpoint.Keeper
+		pol    *congest.CheckpointPolicy
+	)
+	if *ckptPath != "" || *ckptEvery > 0 || *ckptStop > 0 || *resumeArg != "" {
+		meta := &checkpoint.Meta{
+			Alg: *alg, N: g.N(), M: g.M(), Graph: checkpoint.Fingerprint(g),
+			Sources: sources, H: *h, Plan: planStr, Sched: sched, Workers: *workers,
+		}
+		keeper = &checkpoint.Keeper{Path: *ckptPath, Meta: meta}
+		if fnet != nil {
+			keeper.MetaFn = func(m *checkpoint.Meta) { m.Disarmed = fnet.DisarmedCrashes() }
+		}
+		pol = &congest.CheckpointPolicy{Every: *ckptEvery, AtRound: *ckptStop, Stop: *ckptStop > 0, Sink: keeper.Sink}
+	}
+	if *resumeArg != "" {
+		meta, snap, err := checkpoint.Load(*resumeArg)
 		if err != nil {
 			fail(err)
 		}
-		dist, stats = res.Dist, res.Stats
-		extra = fmt.Sprintf("bound=%d late=%d maxList=%d", res.Bound, res.LateSends, res.MaxListLen)
-		if *timeline {
-			fmt.Printf("activity (peak %d msgs/round): %s\n", tl.Peak(), tl.Sparkline(72))
+		if meta.Alg != "" && meta.Alg != *alg {
+			fail(fmt.Errorf("checkpoint %s was taken by -alg %s, not %s", *resumeArg, meta.Alg, *alg))
 		}
-	case "blocker":
-		res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
-		if err != nil {
+		if err := meta.ValidateAgainst(g, sources, *h, planStr, sched); err != nil {
 			fail(err)
 		}
-		dist, stats = res.Dist, res.Stats
-		extra = fmt.Sprintf("h=%d |Q|=%d phases=%v", res.H, len(res.Q), res.PhaseRounds)
-	case "approx":
-		res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
-		if err != nil {
-			fail(err)
+		if fnet != nil {
+			fnet.DisarmCrashes(meta.Disarmed)
 		}
-		stats = res.Stats
-		extra = fmt.Sprintf("scales=%d", res.Scales)
+		pol.Resume = snap
+	}
+
+	// SIGINT/SIGTERM cancel the context; the engine notices at the next
+	// round barrier, writes a final snapshot to the policy sink, and
+	// returns an error wrapping context.Canceled.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var (
+		dist      [][]int64
+		stats     congest.Stats
+		extra     string
+		hopUsed   int // 0 = unrestricted semantics (validate vs Dijkstra)
+		approxRes *approx.Result
+	)
+	// runAlg executes one full attempt of the selected algorithm. The
+	// supervisor re-invokes it after a recoverable crash: the policy's
+	// resume point then replays the computation up to the latest snapshot.
+	runAlg := func() error {
+		switch *alg {
+		case "pipeline":
+			hopBound := *h
+			if hopBound == 0 {
+				hopBound = g.N() - 1
+			} else {
+				hopUsed = hopBound
+			}
+			copts := core.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network, Checkpoint: pol, Ctx: ctx}
+			if *listTrace {
+				copts.Trace = func(format string, args ...interface{}) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				}
+			}
+			res, err := core.Run(g, copts)
+			if err != nil {
+				return err
+			}
+			dist, stats = res.Dist, res.Stats
+			extra = fmt.Sprintf("bound=%d late=%d maxList=%d", res.Bound, res.LateSends, res.MaxListLen)
+		case "blocker":
+			res, err := hssp.Run(g, hssp.Opts{Sources: sources, H: *h, Workers: *workers, Scheduler: sched, Obs: observer, Network: network, Checkpoint: pol, Ctx: ctx})
+			if err != nil {
+				return err
+			}
+			dist, stats = res.Dist, res.Stats
+			extra = fmt.Sprintf("h=%d |Q|=%d phases=%v", res.H, len(res.Q), res.PhaseRounds)
+		case "approx":
+			res, err := approx.Run(g, approx.Opts{Sources: sources, Eps: *eps, Workers: *workers, Scheduler: sched, Obs: observer, Network: network, Checkpoint: pol, Ctx: ctx})
+			if err != nil {
+				return err
+			}
+			approxRes, stats = res, res.Stats
+			extra = fmt.Sprintf("scales=%d", res.Scales)
+		case "scaling":
+			res, err := scaling.Run(g, scaling.Opts{Sources: sources, Workers: *workers, Scheduler: sched, Obs: observer, Network: network, Checkpoint: pol, Ctx: ctx})
+			if err != nil {
+				return err
+			}
+			dist, stats = res.Dist, res.Stats
+			extra = fmt.Sprintf("phases=%d", res.Bits+1)
+		case "shortrange":
+			hopBound := *h
+			if hopBound == 0 {
+				hopBound = 8
+			}
+			res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network, Checkpoint: pol, Ctx: ctx})
+			if err != nil {
+				return err
+			}
+			dist, stats = res.Dist, res.Stats
+			extra = fmt.Sprintf("snapRound=%d congestion=%d", res.SnapRound, stats.MaxLinkCongestion)
+		case "bellman":
+			hopBound := *h
+			if hopBound == 0 {
+				hopBound = g.N() - 1
+			} else {
+				hopUsed = hopBound
+			}
+			res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network, Checkpoint: pol, Ctx: ctx})
+			if err != nil {
+				return err
+			}
+			dist, stats = res.Dist, res.Stats
+		default:
+			return fmt.Errorf("unknown algorithm %q", *alg)
+		}
+		return nil
+	}
+
+	var runErr error
+	if keeper != nil {
+		// Recoverable crashes restart from the latest snapshot; anything
+		// else falls through to the error handling below.
+		var n int
+		n, runErr = checkpoint.Supervise(pol, keeper, *restarts, runAlg)
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "recovered from %d crash(es) via checkpoint restart\n", n)
+		}
+	} else {
+		runErr = runAlg()
+	}
+	if runErr != nil {
+		switch {
+		case errors.Is(runErr, congest.ErrCheckpointStop):
+			// The -checkpoint-stop drill: the snapshot is on disk, exit
+			// cleanly so scripts can resume it.
+			reportCheckpoint(keeper, *ckptPath, "stopped at checkpoint")
+			return
+		case ctx.Err() != nil:
+			// SIGINT/SIGTERM: the engine wrote a final snapshot on its way
+			// out; report the partial cost from it and exit cleanly.
+			reportCheckpoint(keeper, *ckptPath, "interrupted")
+			return
+		default:
+			fail(runErr)
+		}
+	}
+	if *timeline && *alg == "pipeline" {
+		fmt.Printf("activity (peak %d msgs/round): %s\n", tl.Peak(), tl.Sparkline(72))
+	}
+	if approxRes != nil {
 		if *check {
-			stretch, mism := approx.CheckStretch(g, res)
+			stretch, mism := approx.CheckStretch(g, approxRes)
 			fmt.Fprintf(os.Stderr, "check: max stretch %.4f (claim ≤ %.2f), mismatches %d\n", stretch, 1+*eps, mism)
 		}
 		if !*quiet && !*jsonOut {
 			for i := range sources {
 				for v := 0; v < g.N(); v++ {
-					fmt.Printf("approx(%d,%d) = %.3f\n", sources[i], v, res.Value(i, v))
+					fmt.Printf("approx(%d,%d) = %.3f\n", sources[i], v, approxRes.Value(i, v))
 				}
 			}
 		}
 		finish(rec, fnet, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
 		return
-	case "scaling":
-		res, err := scaling.Run(g, scaling.Opts{Sources: sources, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
-		if err != nil {
-			fail(err)
-		}
-		dist, stats = res.Dist, res.Stats
-		extra = fmt.Sprintf("phases=%d", res.Bits+1)
-	case "shortrange":
-		hopBound := *h
-		if hopBound == 0 {
-			hopBound = 8
-		}
-		res, err := shortrange.Run(g, shortrange.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
-		if err != nil {
-			fail(err)
-		}
-		dist, stats = res.Dist, res.Stats
-		extra = fmt.Sprintf("snapRound=%d congestion=%d", res.SnapRound, stats.MaxLinkCongestion)
-	case "bellman":
-		hopBound := *h
-		if hopBound == 0 {
-			hopBound = g.N() - 1
-		} else {
-			hopUsed = hopBound
-		}
-		res, err := bellman.Run(g, bellman.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network})
-		if err != nil {
-			fail(err)
-		}
-		dist, stats = res.Dist, res.Stats
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *alg))
 	}
 
 	if *check {
@@ -368,6 +498,59 @@ func loadGraph(file, grid string, n, m int, maxW int64, zero float64, seed int64
 	}
 	defer f.Close()
 	return graph.Decode(f)
+}
+
+// parseCrashes decodes the -crash flag: comma-separated "v@r" (node v
+// crashes at round r, unrecoverable) or "v@r+k" (restart allowed at round
+// r+k) terms.
+func parseCrashes(arg string) ([]faults.Event, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, nil
+	}
+	var out []faults.Event
+	for _, term := range strings.Split(arg, ",") {
+		term = strings.TrimSpace(term)
+		node, rest, ok := strings.Cut(term, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -crash term %q (want v@r or v@r+k)", term)
+		}
+		round, offset := rest, ""
+		if at := strings.IndexByte(rest, '+'); at >= 0 {
+			round, offset = rest[:at], rest[at+1:]
+		}
+		v, err1 := strconv.Atoi(node)
+		r, err2 := strconv.Atoi(round)
+		k := 0
+		var err3 error
+		if offset != "" {
+			k, err3 = strconv.Atoi(offset)
+		}
+		if err1 != nil || err2 != nil || err3 != nil || v < 0 || r < 1 || k < 0 {
+			return nil, fmt.Errorf("bad -crash term %q (want v@r or v@r+k, r ≥ 1, k ≥ 0)", term)
+		}
+		out = append(out, faults.Event{Round: r, From: v, Kind: faults.CrashEvent, Arg: k})
+	}
+	return out, nil
+}
+
+// reportCheckpoint prints the partial cost carried by the latest snapshot
+// and where it was persisted, for runs that ended at a checkpoint (the
+// -checkpoint-stop drill or a SIGINT/SIGTERM).
+func reportCheckpoint(keeper *checkpoint.Keeper, path, what string) {
+	if keeper == nil {
+		fmt.Fprintf(os.Stderr, "%s (no checkpoint policy; nothing saved)\n", what)
+		return
+	}
+	snap, _ := keeper.Latest()
+	if snap == nil {
+		fmt.Fprintf(os.Stderr, "%s before the first snapshot; nothing saved\n", what)
+		return
+	}
+	fmt.Printf("%s at run %d round %d: partial rounds=%d messages=%d maxCongestion=%d\n",
+		what, snap.RunIdx, snap.Round, snap.Stats.Rounds, snap.Stats.Messages, snap.Stats.MaxLinkCongestion)
+	if path != "" {
+		fmt.Printf("checkpoint: %s (resume with -resume %s)\n", path, path)
+	}
 }
 
 func parseScheduler(arg string) (congest.Scheduler, error) {

@@ -4,7 +4,31 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/faults"
 )
+
+func TestParseCrashes(t *testing.T) {
+	got, err := parseCrashes(" 3@10+2 , 1@4 ")
+	if err != nil {
+		t.Fatalf("parseCrashes: %v", err)
+	}
+	want := []faults.Event{
+		{Round: 10, From: 3, Kind: faults.CrashEvent, Arg: 2},
+		{Round: 4, From: 1, Kind: faults.CrashEvent},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if evs, err := parseCrashes(""); err != nil || evs != nil {
+		t.Fatalf("empty arg: %v %v", evs, err)
+	}
+	for _, bad := range []string{"3", "@4", "3@", "3@0", "-1@4", "3@4+-1", "3@4+x", "a@b"} {
+		if _, err := parseCrashes(bad); err == nil {
+			t.Fatalf("bad -crash term %q accepted", bad)
+		}
+	}
+}
 
 func TestParseSources(t *testing.T) {
 	got, err := parseSources("0, 3,7", 10)

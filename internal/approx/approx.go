@@ -24,6 +24,7 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -52,6 +53,10 @@ type Opts struct {
 	// pluggable substrate in every phase (see congest.Config.Network);
 	// internal/faults provides the adversarial one.
 	Network congest.Network
+	// Checkpoint and Ctx are passed to the engine of every phase (see
+	// congest.Config.Checkpoint and congest.Config.Ctx).
+	Checkpoint *congest.CheckpointPolicy
+	Ctx        context.Context
 }
 
 // Result reports approximate distances.
@@ -107,7 +112,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 
 	// Step 1: zero-weight reachability.
 	congest.SetPhase(opts.Obs, "zero")
-	reach, zr, err := unweighted.ZeroReach(g, sources, congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
+	reach, zr, err := unweighted.ZeroReach(g, sources, congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx})
 	if err != nil {
 		return nil, fmt.Errorf("approx: zero reachability: %w", err)
 	}
@@ -150,7 +155,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 		depth := (2*lim)/rho + int64(n)
 		gs := gp.Transform(func(w int64) int64 { return (w + rho - 1) / rho })
 		congest.SetPhase(opts.Obs, fmt.Sprintf("scale%d", scale))
-		pr, err := posweight.Run(gs, posweight.Opts{Sources: sources, MaxDist: depth, Workers: opts.Workers, Scheduler: opts.Scheduler, Obs: opts.Obs, Network: opts.Network})
+		pr, err := posweight.Run(gs, posweight.Opts{Sources: sources, MaxDist: depth, Workers: opts.Workers, Scheduler: opts.Scheduler, Obs: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx})
 		if err != nil {
 			return nil, fmt.Errorf("approx: scale %d: %w", scale, err)
 		}

@@ -13,6 +13,7 @@
 package bellman
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/congest"
@@ -49,6 +50,10 @@ type Opts struct {
 	// pluggable substrate (see congest.Config.Network); internal/faults
 	// provides the adversarial one.
 	Network congest.Network
+	// Checkpoint and Ctx are passed to the engine (see
+	// congest.Config.Checkpoint and congest.Config.Ctx).
+	Checkpoint *congest.CheckpointPolicy
+	Ctx        context.Context
 }
 
 // Result is the outcome of a run.
@@ -233,7 +238,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -262,13 +267,15 @@ func FullSSSP(g *graph.Graph, src int, cfg congest.Config) (*Result, error) {
 		h = 1
 	}
 	return Run(g, Opts{
-		Sources:   []int{src},
-		H:         h,
-		MaxRounds: cfg.MaxRounds,
-		Workers:   cfg.Workers,
-		Scheduler: cfg.Scheduler,
-		Obs:       cfg.Observer,
-		Network:   cfg.Network,
+		Sources:    []int{src},
+		H:          h,
+		MaxRounds:  cfg.MaxRounds,
+		Workers:    cfg.Workers,
+		Scheduler:  cfg.Scheduler,
+		Obs:        cfg.Observer,
+		Network:    cfg.Network,
+		Checkpoint: cfg.Checkpoint,
+		Ctx:        cfg.Ctx,
 	})
 }
 

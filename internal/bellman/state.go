@@ -1,0 +1,52 @@
+// Checkpoint support: congest.Stateful for the round-robin Bellman–Ford
+// node. The block snapshot (snap, snapBlock) is part of the protocol
+// state — a restored node must keep broadcasting the frozen d^(t-1)
+// values of its current block, not its live estimates.
+package bellman
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+)
+
+func init() {
+	congest.RegisterPayloadCodec("bellman.estimate", estimate{},
+		func(enc *congest.StateEncoder, p congest.Payload) {
+			m := p.(estimate)
+			enc.Int(m.src)
+			enc.Int64(m.d)
+		},
+		func(dec *congest.StateDecoder) (congest.Payload, error) {
+			m := estimate{src: dec.Int(), d: dec.Int64()}
+			return m, dec.Err()
+		})
+}
+
+// EncodeState implements congest.Stateful.
+func (nd *node) EncodeState(enc *congest.StateEncoder) {
+	enc.Int(nd.cur)
+	enc.Int(nd.snapBlock)
+	enc.Int64s(nd.dist)
+	enc.Int64s(nd.snap)
+	enc.Int64s(nd.lastSent)
+	enc.Ints(nd.parent)
+}
+
+// DecodeState implements congest.Stateful.
+func (nd *node) DecodeState(dec *congest.StateDecoder) error {
+	nd.cur = dec.Int()
+	nd.snapBlock = dec.Int()
+	nd.dist = dec.Int64s()
+	nd.snap = dec.Int64s()
+	nd.lastSent = dec.Int64s()
+	nd.parent = dec.Ints()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	k := len(nd.opts.Sources)
+	if len(nd.dist) != k || len(nd.snap) != k || len(nd.lastSent) != k || len(nd.parent) != k {
+		return fmt.Errorf("bellman: snapshot arity mismatch (want %d sources)", k)
+	}
+	return nil
+}

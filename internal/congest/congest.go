@@ -29,6 +29,7 @@ package congest
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -202,6 +203,15 @@ type Config struct {
 	// emit their (empty) RoundDone events so the stream stays identical
 	// across schedulers.
 	Observer Observer
+	// Checkpoint, if set, snapshots the engine at round barriers and/or
+	// resumes from a prior Snapshot (see CheckpointPolicy). The policy is
+	// shared across all engine runs of a multi-phase algorithm.
+	Checkpoint *CheckpointPolicy
+	// Ctx, if set, cancels the run at the next round barrier: Run returns
+	// an error wrapping context.Cause, after writing a final snapshot to
+	// the checkpoint Sink when one is configured. nil means no
+	// cancellation (checked once per round, never mid-step).
+	Ctx context.Context
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -335,7 +345,22 @@ type engine struct {
 	epoch      int
 	allNodes   []int // 0..n-1, the dense scheduler's work list
 
+	// Crash isolation: panics inside a node's Round are recovered into
+	// CrashErrors (crashMu serializes worker-goroutine reports; the
+	// lowest-node crash wins so the outcome is worker-count independent).
+	crashMu sync.Mutex
+	crash   *CrashError
+
 	stats Stats
+}
+
+// phaseName asks the observer for the current algorithm phase, for crash
+// attribution; "" when no observer tracks phases.
+func (e *engine) phaseName() string {
+	if pt, ok := e.obs.(PhaseTracker); ok {
+		return pt.CurrentPhase()
+	}
+	return ""
 }
 
 // Run executes the algorithm created by mk (called once per node, in node
@@ -344,6 +369,11 @@ type engine struct {
 func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 	n := g.N()
 	cfg = cfg.withDefaults(n)
+	pol := cfg.Checkpoint
+	runIdx := 0
+	if pol != nil {
+		runIdx = pol.beginRun()
+	}
 	e := &engine{
 		g:         g,
 		cfg:       cfg,
@@ -416,12 +446,55 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 		}
 	}
 
-	for r := 1; ; r++ {
+	startR := 1
+	if pol != nil && pol.Resume != nil && pol.Resume.RunIdx == runIdx {
+		if err := e.restore(pol.Resume); err != nil {
+			return e.stats, fmt.Errorf("congest: resume: %w", err)
+		}
+		startR = pol.Resume.Round
+	}
+	crasher, _ := e.net.(Crasher)
+
+	for r := startR; ; r++ {
 		if r > cfg.MaxRounds {
 			return e.stats, fmt.Errorf("%w (MaxRounds=%d)", ErrMaxRounds, cfg.MaxRounds)
 		}
 		if e.quiCount == n && e.inflight == 0 {
 			return e.stats, nil
+		}
+		if cfg.Ctx != nil {
+			select {
+			case <-cfg.Ctx.Done():
+				// A cancellation lands on a clean barrier: write a final
+				// snapshot (best effort — the cancellation error wins) so
+				// the run is resumable, then abort.
+				if pol != nil && pol.Sink != nil {
+					if snap, serr := e.snapshot(r, runIdx); serr == nil {
+						_ = pol.Sink(snap)
+					}
+				}
+				return e.stats, fmt.Errorf("congest: run canceled at round %d: %w", r, context.Cause(cfg.Ctx))
+			default:
+			}
+		}
+		if pol != nil {
+			if stop, due := pol.due(runIdx, r); due {
+				snap, err := e.snapshot(r, runIdx)
+				if err != nil {
+					return e.stats, err
+				}
+				if err := pol.Sink(snap); err != nil {
+					return e.stats, fmt.Errorf("congest: checkpoint sink: %w", err)
+				}
+				if stop {
+					return e.stats, ErrCheckpointStop
+				}
+			}
+		}
+		if crasher != nil {
+			if v, restart, due := crasher.CrashDue(r); due {
+				return e.stats, &CrashError{Node: v, Round: r, Phase: e.phaseName(), Restart: restart}
+			}
 		}
 		if e.net != nil {
 			// Deliver the traffic the network holds for this round. Every
@@ -451,6 +524,18 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 				}
 				if e.net != nil {
 					if due := e.net.NextDue(r + 1); due > 0 && due < target {
+						target = due
+					}
+				}
+				// Checkpoints and scripted crashes fire at exact rounds;
+				// clamp the skip so neither is jumped over.
+				if pol != nil {
+					if due := pol.nextDue(r+1, runIdx); due > 0 && due < target {
+						target = due
+					}
+				}
+				if crasher != nil {
+					if due := crasher.NextCrash(r + 1); due > 0 && due < target {
 						target = due
 					}
 				}
@@ -554,6 +639,24 @@ func (e *engine) collectActive(r int) []int {
 	return work
 }
 
+// stepNode runs one node's Round under panic isolation: a panic inside
+// protocol code is recovered into a structured CrashError (node, round,
+// phase) instead of unwinding the engine; the other nodes of the same
+// round finish their steps untouched. When several nodes panic in one
+// round the lowest node wins, so the outcome is worker-count independent.
+func (e *engine) stepNode(v, r int) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.crashMu.Lock()
+			if e.crash == nil || v < e.crash.Node {
+				e.crash = &CrashError{Node: v, Round: r, Phase: e.phaseName(), Panic: p}
+			}
+			e.crashMu.Unlock()
+		}
+	}()
+	e.nodes[v].Round(e.ctxs[v], r, e.inbox[v])
+}
+
 // step runs one synchronous round over the given work list (all nodes under
 // the dense scheduler, the active set otherwise): each listed node consumes
 // its inbox and stages sends; the engine then validates and routes the
@@ -575,7 +678,7 @@ func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 	}
 	if workers <= 1 {
 		for _, v := range work {
-			e.nodes[v].Round(e.ctxs[v], r, e.inbox[v])
+			e.stepNode(v, r)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -592,11 +695,16 @@ func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 			go func(part []int) {
 				defer wg.Done()
 				for _, v := range part {
-					e.nodes[v].Round(e.ctxs[v], r, e.inbox[v])
+					e.stepNode(v, r)
 				}
 			}(work[lo:hi])
 		}
 		wg.Wait()
+	}
+	if e.crash != nil {
+		ce := e.crash
+		e.crash = nil
+		return 0, 0, ce
 	}
 
 	// Validate and route. Single-threaded: it touches shared inboxes.

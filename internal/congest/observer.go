@@ -138,3 +138,14 @@ func (t tee) Phase(name string) {
 		SetPhase(o, name)
 	}
 }
+
+// CurrentPhase reports the first phase-tracking member's phase, so crash
+// attribution works through a Tee.
+func (t tee) CurrentPhase() string {
+	for _, o := range t {
+		if pt, ok := o.(PhaseTracker); ok {
+			return pt.CurrentPhase()
+		}
+	}
+	return ""
+}

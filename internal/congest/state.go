@@ -1,0 +1,894 @@
+// Checkpoint/restore support: a versioned, deterministic snapshot of a
+// running engine taken at a round barrier, sufficient for bit-exact resume.
+//
+// The engine state that matters at a barrier is small and explicit: the
+// per-node protocol state (encoded by the nodes themselves via Stateful),
+// the inboxes staged for the next round, the logical Stats and congestion
+// counters, the active-set scheduler's wake requests, and — when a
+// delivery substrate or a phase-attributing observer is installed — their
+// opaque state via Snapshotter. Everything is written through the
+// deterministic StateEncoder byte stream, so two snapshots of identical
+// logical states are byte-identical, and a snapshot round-trips through
+// MarshalBinary across processes.
+//
+// Multi-phase algorithms run many engines in sequence. A CheckpointPolicy
+// threads through all of them (via Config.Checkpoint) and counts engine
+// runs; a Snapshot records which run it was taken in (RunIdx) and resuming
+// re-executes the earlier runs deterministically — they are pure functions
+// of the input — before restoring into the matching run and continuing
+// from the recorded round.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// SnapshotVersion is the current snapshot format version. Snapshots are
+// rejected on version mismatch — the format follows the engine's internal
+// state, so cross-version restore is out of scope by policy (see
+// DESIGN.md, "Crash faults & checkpointing").
+const SnapshotVersion = 1
+
+// StateEncoder writes the deterministic byte stream snapshots are made of:
+// zigzag varints for integers, length-prefixed strings, one byte per bool.
+// The zero value is ready to use.
+type StateEncoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded stream.
+func (e *StateEncoder) Bytes() []byte { return e.buf }
+
+// Uint64 appends an unsigned varint.
+func (e *StateEncoder) Uint64(x uint64) {
+	for x >= 0x80 {
+		e.buf = append(e.buf, byte(x)|0x80)
+		x >>= 7
+	}
+	e.buf = append(e.buf, byte(x))
+}
+
+// Int64 appends a signed (zigzag) varint.
+func (e *StateEncoder) Int64(x int64) {
+	e.Uint64(uint64(x)<<1 ^ uint64(x>>63))
+}
+
+// Int appends a signed varint.
+func (e *StateEncoder) Int(x int) { e.Int64(int64(x)) }
+
+// Bool appends one byte.
+func (e *StateEncoder) Bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float64 appends the IEEE-754 bits of x as a fixed-width little-endian
+// word (varints would not round-trip NaN payloads deterministically).
+func (e *StateEncoder) Float64(x float64) {
+	bits := math.Float64bits(x)
+	for i := 0; i < 8; i++ {
+		e.buf = append(e.buf, byte(bits>>(8*i)))
+	}
+}
+
+// String appends a length-prefixed string.
+func (e *StateEncoder) String(s string) {
+	e.Uint64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *StateEncoder) Blob(b []byte) {
+	e.Uint64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Ints appends a length-prefixed []int.
+func (e *StateEncoder) Ints(xs []int) {
+	e.Uint64(uint64(len(xs)))
+	for _, x := range xs {
+		e.Int(x)
+	}
+}
+
+// Int64s appends a length-prefixed []int64.
+func (e *StateEncoder) Int64s(xs []int64) {
+	e.Uint64(uint64(len(xs)))
+	for _, x := range xs {
+		e.Int64(x)
+	}
+}
+
+// Bools appends a length-prefixed []bool.
+func (e *StateEncoder) Bools(xs []bool) {
+	e.Uint64(uint64(len(xs)))
+	for _, x := range xs {
+		e.Bool(x)
+	}
+}
+
+// StateDecoder reads a StateEncoder stream. Errors latch: after the first
+// malformed read every subsequent read returns a zero value, and Err
+// reports the failure — callers check once at the end. Every
+// length-prefixed read validates the announced length against the bytes
+// remaining, so a corrupted (or fuzzed) stream cannot force a huge
+// allocation.
+type StateDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewStateDecoder returns a decoder over data.
+func NewStateDecoder(data []byte) *StateDecoder {
+	return &StateDecoder{buf: data}
+}
+
+// Err reports the first decoding failure, or nil.
+func (d *StateDecoder) Err() error { return d.err }
+
+// Len reports the number of unread bytes.
+func (d *StateDecoder) Len() int { return len(d.buf) - d.off }
+
+func (d *StateDecoder) fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = fmt.Errorf("congest: decode: "+format, args...)
+	}
+}
+
+// Uint64 reads an unsigned varint.
+func (d *StateDecoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var x uint64
+	var shift uint
+	for {
+		if d.off >= len(d.buf) {
+			d.fail("truncated varint at offset %d", d.off)
+			return 0
+		}
+		b := d.buf[d.off]
+		d.off++
+		if shift == 63 && b > 1 {
+			d.fail("varint overflow at offset %d", d.off)
+			return 0
+		}
+		x |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return x
+		}
+		shift += 7
+		if shift > 63 {
+			d.fail("varint too long at offset %d", d.off)
+			return 0
+		}
+	}
+}
+
+// Int64 reads a signed (zigzag) varint.
+func (d *StateDecoder) Int64() int64 {
+	u := d.Uint64()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Int reads a signed varint and checks it fits an int.
+func (d *StateDecoder) Int() int {
+	x := d.Int64()
+	if int64(int(x)) != x {
+		d.fail("value %d overflows int", x)
+		return 0
+	}
+	return int(x)
+}
+
+// Bool reads one byte.
+func (d *StateDecoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated bool at offset %d", d.off)
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	if b > 1 {
+		d.fail("bad bool byte %d at offset %d", b, d.off-1)
+		return false
+	}
+	return b == 1
+}
+
+// Float64 reads the fixed-width IEEE-754 word Float64 wrote.
+func (d *StateDecoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Len() < 8 {
+		d.fail("truncated float64 at offset %d", d.off)
+		return 0
+	}
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(d.buf[d.off+i]) << (8 * i)
+	}
+	d.off += 8
+	return math.Float64frombits(bits)
+}
+
+// count reads a length prefix and validates it against the remaining bytes
+// assuming each element costs at least minBytes.
+func (d *StateDecoder) count(minBytes int) int {
+	n := d.Uint64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.Len())/uint64(minBytes) {
+		d.fail("length %d exceeds %d remaining bytes", n, d.Len())
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (d *StateDecoder) String() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	if d.Len() < n {
+		d.fail("truncated string of length %d at offset %d", n, d.off)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Blob reads a length-prefixed byte slice (copied out of the stream).
+func (d *StateDecoder) Blob() []byte {
+	n := d.count(1)
+	if d.err != nil {
+		return nil
+	}
+	if d.Len() < n {
+		d.fail("truncated blob of length %d at offset %d", n, d.off)
+		return nil
+	}
+	b := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	d.off += n
+	return b
+}
+
+// Ints reads a length-prefixed []int (nil when empty).
+func (d *StateDecoder) Ints() []int {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = d.Int()
+	}
+	return xs
+}
+
+// Int64s reads a length-prefixed []int64 (nil when empty).
+func (d *StateDecoder) Int64s() []int64 {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = d.Int64()
+	}
+	return xs
+}
+
+// Bools reads a length-prefixed []bool (nil when empty).
+func (d *StateDecoder) Bools() []bool {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]bool, n)
+	for i := range xs {
+		xs[i] = d.Bool()
+	}
+	return xs
+}
+
+// Stateful is implemented by protocol nodes that support checkpointing.
+// EncodeState writes the node's dynamic state; DecodeState restores it
+// into a node freshly built by the protocol's mk function (so structural,
+// input-derived state — the graph view, source index maps, schedule
+// parameters — is already in place and only round-evolving state is
+// serialized). Encode and Decode must be exact inverses: the conformance
+// gate asserts bit-exact equality of a resumed run against an
+// uninterrupted one.
+type Stateful interface {
+	EncodeState(*StateEncoder)
+	DecodeState(*StateDecoder) error
+}
+
+// Snapshotter is implemented by Networks and Observers whose state must
+// survive a checkpoint (internal/faults.Network: per-link seq/ACK state,
+// queued deliveries, the PRF cursor; internal/obs.Recorder: per-phase
+// counters). Implementations that do not offer it are skipped: a snapshot
+// then captures no state for them, and restore leaves them untouched.
+type Snapshotter interface {
+	SnapshotState(*StateEncoder) error
+	RestoreState(*StateDecoder) error
+}
+
+// Crasher is implemented by Networks that script crash-stop node faults
+// (internal/faults with CrashEvent entries). CrashDue reports a crash
+// scheduled for round r — the engine converts it into a CrashError before
+// stepping anyone — and disarms it (a fired crash never re-fires, even
+// after Reset or restore: crash-stop is an event, not a state). NextCrash
+// reports the earliest crash round ≥ after still armed (0 = none), so the
+// active scheduler's fast-forward cannot jump over one.
+type Crasher interface {
+	CrashDue(r int) (node, restart int, ok bool)
+	NextCrash(after int) int
+}
+
+// PhaseTracker is implemented by Observers that know the current algorithm
+// phase (internal/obs.Recorder); the engine uses it to attribute
+// CrashErrors to a phase.
+type PhaseTracker interface {
+	CurrentPhase() string
+}
+
+// CrashError reports a crash-stop node fault: a scripted crash event or a
+// recovered panic inside a node's Round. The engine aborts the run at a
+// clean barrier and returns it; other nodes' state is intact.
+type CrashError struct {
+	// Node is the crashed processor; Round the round it crashed in.
+	Node, Round int
+	// Phase is the algorithm phase at crash time (when the observer tracks
+	// phases; "" otherwise).
+	Phase string
+	// Restart, when positive, is the round at which the fault plan allows
+	// the node back; a supervisor (internal/checkpoint.Supervise) treats
+	// the crash as recoverable and restores the latest checkpoint. 0 means
+	// crash-stop for good.
+	Restart int
+	// Panic is the recovered panic value for panic-induced crashes; nil
+	// for scripted ones.
+	Panic interface{}
+}
+
+func (e *CrashError) Error() string {
+	s := fmt.Sprintf("congest: node %d crashed in round %d", e.Node, e.Round)
+	if e.Phase != "" {
+		s += fmt.Sprintf(" (phase %q)", e.Phase)
+	}
+	if e.Panic != nil {
+		s += fmt.Sprintf(": panic: %v", e.Panic)
+	}
+	return s
+}
+
+// ErrCheckpointStop is returned by Run when a CheckpointPolicy with Stop
+// set fired: the snapshot was taken and delivered to the Sink, and the
+// run was deliberately killed at the barrier (the testable stand-in for a
+// process kill).
+var ErrCheckpointStop = errors.New("congest: run stopped at checkpoint")
+
+// CheckpointPolicy tells the engine when to snapshot and what to resume
+// from. One policy value is shared by every engine run of a multi-phase
+// algorithm (thread it via Config.Checkpoint / the protocols' Opts): it
+// counts runs, so Snapshot.RunIdx identifies the phase and resume
+// re-executes earlier phases deterministically before restoring.
+type CheckpointPolicy struct {
+	// Every, when positive, snapshots at every round divisible by it (in
+	// every engine run).
+	Every int
+	// AtRound, when positive, snapshots at exactly that round of engine
+	// run Run (0-based across the policy's lifetime).
+	AtRound int
+	Run     int
+	// Stop kills the run (ErrCheckpointStop) right after the AtRound
+	// snapshot is delivered.
+	Stop bool
+	// Sink receives every snapshot. A nil Sink disables checkpointing.
+	Sink func(*Snapshot) error
+	// Resume, when set, restores this snapshot: engine runs before
+	// Resume.RunIdx execute normally (deterministic re-execution), the
+	// matching run restores at the barrier and continues from
+	// Resume.Round. Snapshot triggers at or before the resume point are
+	// suppressed so a resumed run does not immediately re-fire the stop
+	// that killed its predecessor.
+	Resume *Snapshot
+
+	runs int
+}
+
+// Rearm resets the policy's run counter and installs s as the resume
+// point (nil restarts from scratch): a supervisor restarting a crashed
+// computation re-executes every engine run from the beginning, so the
+// run indices must be handed out afresh.
+func (p *CheckpointPolicy) Rearm(s *Snapshot) {
+	p.runs = 0
+	p.Resume = s
+}
+
+// beginRun hands out this engine run's index.
+func (p *CheckpointPolicy) beginRun() int {
+	i := p.runs
+	p.runs++
+	return i
+}
+
+// resuming reports whether (runIdx, r) is at or before the resume point.
+func (p *CheckpointPolicy) resuming(runIdx, r int) bool {
+	return p.Resume != nil &&
+		(runIdx < p.Resume.RunIdx || (runIdx == p.Resume.RunIdx && r <= p.Resume.Round))
+}
+
+// due reports whether a snapshot fires at round r of run runIdx, and
+// whether the run stops after it.
+func (p *CheckpointPolicy) due(runIdx, r int) (stop, due bool) {
+	if p.Sink == nil || p.resuming(runIdx, r) {
+		return false, false
+	}
+	if p.AtRound == r && p.Run == runIdx {
+		return p.Stop, true
+	}
+	if p.Every > 0 && r%p.Every == 0 {
+		return false, true
+	}
+	return false, false
+}
+
+// nextDue returns the earliest round ≥ after at which a snapshot may fire
+// in run runIdx (0 = none): the fast-forward clamp.
+func (p *CheckpointPolicy) nextDue(after, runIdx int) int {
+	if p.Sink == nil {
+		return 0
+	}
+	best := 0
+	if p.Run == runIdx && p.AtRound >= after {
+		best = p.AtRound
+	}
+	if p.Every > 0 {
+		next := after + (p.Every-after%p.Every)%p.Every
+		if best == 0 || next < best {
+			best = next
+		}
+	}
+	return best
+}
+
+// Snapshot is one engine checkpoint, taken at the top of round Round
+// before that round's deliveries: everything a fresh engine over the same
+// (graph, protocol, config) needs to continue bit-exactly.
+type Snapshot struct {
+	// Version guards the format (SnapshotVersion).
+	Version int
+	// Sched is the scheduler the snapshot was taken under; restore
+	// requires the same one (the wake heap exists only under the
+	// active-set scheduler).
+	Sched Scheduler
+	// N is the network size; RunIdx the engine-run index under the
+	// policy; Round the next round to execute.
+	N, RunIdx, Round int
+	// Stats is the logical cost accumulated so far.
+	Stats Stats
+	// NodeSends, LinkLoad, Quiescent and Inflight are the engine's
+	// congestion and termination counters.
+	NodeSends []int
+	LinkLoad  [][]int32
+	Quiescent []bool
+	Inflight  int
+	// Nodes holds each node's Stateful encoding; Inbox each node's staged
+	// round-Round messages (nil = empty; always nil under a Network,
+	// whose queued traffic lives in Net instead).
+	Nodes [][]byte
+	Inbox [][]byte
+	// WakeAt is the active-set scheduler's pending wake round per node
+	// (0 = none); nil under the dense scheduler.
+	WakeAt []int
+	// Net and Obs are the opaque Snapshotter states of the delivery
+	// substrate and the observer (nil when absent or not snapshotting).
+	Net []byte
+	Obs []byte
+}
+
+// MarshalBinary encodes the snapshot as one deterministic byte stream.
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	enc := &StateEncoder{}
+	enc.Int(s.Version)
+	enc.Int(int(s.Sched))
+	enc.Int(s.N)
+	enc.Int(s.RunIdx)
+	enc.Int(s.Round)
+	enc.Int(s.Stats.Rounds)
+	enc.Int64(s.Stats.Messages)
+	enc.Int(s.Stats.MaxWords)
+	enc.Int(s.Stats.MaxLinkCongestion)
+	enc.Int(s.Stats.MaxNodeSends)
+	enc.Ints(s.NodeSends)
+	enc.Uint64(uint64(len(s.LinkLoad)))
+	for _, row := range s.LinkLoad {
+		enc.Uint64(uint64(len(row)))
+		for _, x := range row {
+			enc.Int64(int64(x))
+		}
+	}
+	enc.Bools(s.Quiescent)
+	enc.Int(s.Inflight)
+	blobs := func(bs [][]byte) {
+		enc.Uint64(uint64(len(bs)))
+		for _, b := range bs {
+			enc.Blob(b)
+		}
+	}
+	blobs(s.Nodes)
+	blobs(s.Inbox)
+	enc.Bool(s.WakeAt != nil)
+	enc.Ints(s.WakeAt)
+	enc.Blob(s.Net)
+	enc.Blob(s.Obs)
+	return enc.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a MarshalBinary stream.
+func (s *Snapshot) UnmarshalBinary(data []byte) error {
+	dec := NewStateDecoder(data)
+	s.Version = dec.Int()
+	if dec.Err() == nil && s.Version != SnapshotVersion {
+		return fmt.Errorf("congest: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	s.Sched = Scheduler(dec.Int())
+	s.N = dec.Int()
+	s.RunIdx = dec.Int()
+	s.Round = dec.Int()
+	s.Stats.Rounds = dec.Int()
+	s.Stats.Messages = dec.Int64()
+	s.Stats.MaxWords = dec.Int()
+	s.Stats.MaxLinkCongestion = dec.Int()
+	s.Stats.MaxNodeSends = dec.Int()
+	s.NodeSends = dec.Ints()
+	nl := dec.count(1)
+	s.LinkLoad = nil
+	for i := 0; i < nl && dec.Err() == nil; i++ {
+		nr := dec.count(1)
+		row := make([]int32, nr)
+		for j := range row {
+			row[j] = int32(dec.Int64())
+		}
+		s.LinkLoad = append(s.LinkLoad, row)
+	}
+	s.Quiescent = dec.Bools()
+	s.Inflight = dec.Int()
+	blobs := func() [][]byte {
+		n := dec.count(1)
+		if dec.Err() != nil || n == 0 {
+			return nil
+		}
+		bs := make([][]byte, n)
+		for i := range bs {
+			b := dec.Blob()
+			if len(b) > 0 {
+				bs[i] = b
+			}
+		}
+		return bs
+	}
+	s.Nodes = blobs()
+	s.Inbox = blobs()
+	hasWake := dec.Bool()
+	s.WakeAt = dec.Ints()
+	if hasWake && s.WakeAt == nil && dec.Err() == nil {
+		s.WakeAt = []int{}
+	}
+	if !hasWake {
+		s.WakeAt = nil
+	}
+	s.Net = dec.Blob()
+	if len(s.Net) == 0 {
+		s.Net = nil
+	}
+	s.Obs = dec.Blob()
+	if len(s.Obs) == 0 {
+		s.Obs = nil
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if dec.Len() != 0 {
+		return fmt.Errorf("congest: snapshot has %d trailing bytes", dec.Len())
+	}
+	return nil
+}
+
+// Payload codec registry. Protocol packages register a codec per payload
+// type in an init function; the engine uses them to serialize in-flight
+// messages (inboxes, the fault network's queues) by name, so a snapshot
+// taken in one process restores in another.
+type payloadCodec struct {
+	name string
+	enc  func(*StateEncoder, Payload)
+	dec  func(*StateDecoder) (Payload, error)
+}
+
+var payloadCodecs = struct {
+	sync.RWMutex
+	byName map[string]*payloadCodec
+	byType map[reflect.Type]*payloadCodec
+}{
+	byName: make(map[string]*payloadCodec),
+	byType: make(map[reflect.Type]*payloadCodec),
+}
+
+// RegisterPayloadCodec registers a payload codec under a unique name.
+// prototype fixes the concrete payload type the codec handles (payloads of
+// that exact dynamic type are encoded with enc). Registration typically
+// happens in the protocol package's init; duplicate names or types panic.
+func RegisterPayloadCodec(name string, prototype Payload, enc func(*StateEncoder, Payload), dec func(*StateDecoder) (Payload, error)) {
+	payloadCodecs.Lock()
+	defer payloadCodecs.Unlock()
+	t := reflect.TypeOf(prototype)
+	if _, dup := payloadCodecs.byName[name]; dup {
+		panic(fmt.Sprintf("congest: payload codec %q registered twice", name))
+	}
+	if _, dup := payloadCodecs.byType[t]; dup {
+		panic(fmt.Sprintf("congest: payload type %v registered twice", t))
+	}
+	c := &payloadCodec{name: name, enc: enc, dec: dec}
+	payloadCodecs.byName[name] = c
+	payloadCodecs.byType[t] = c
+}
+
+// EncodeMessage serializes one in-flight message using the registered
+// codec for its payload type.
+func EncodeMessage(enc *StateEncoder, m Message) error {
+	payloadCodecs.RLock()
+	c := payloadCodecs.byType[reflect.TypeOf(m.Payload)]
+	payloadCodecs.RUnlock()
+	if c == nil {
+		return fmt.Errorf("congest: no payload codec registered for %T", m.Payload)
+	}
+	enc.Int(m.From)
+	enc.Int(m.To)
+	enc.String(c.name)
+	c.enc(enc, m.Payload)
+	return nil
+}
+
+// DecodeMessage is the inverse of EncodeMessage.
+func DecodeMessage(dec *StateDecoder) (Message, error) {
+	var m Message
+	m.From = dec.Int()
+	m.To = dec.Int()
+	name := dec.String()
+	if err := dec.Err(); err != nil {
+		return Message{}, err
+	}
+	payloadCodecs.RLock()
+	c := payloadCodecs.byName[name]
+	payloadCodecs.RUnlock()
+	if c == nil {
+		return Message{}, fmt.Errorf("congest: no payload codec registered under %q", name)
+	}
+	p, err := c.dec(dec)
+	if err != nil {
+		return Message{}, err
+	}
+	if err := dec.Err(); err != nil {
+		return Message{}, err
+	}
+	m.Payload = p
+	return m, nil
+}
+
+// snapshot captures the engine at the top of round r (before round-r
+// deliveries) — see Snapshot for the field-by-field contract.
+func (e *engine) snapshot(r, runIdx int) (*Snapshot, error) {
+	n := len(e.nodes)
+	s := &Snapshot{
+		Version:   SnapshotVersion,
+		Sched:     e.cfg.Scheduler,
+		N:         n,
+		RunIdx:    runIdx,
+		Round:     r,
+		Stats:     e.stats,
+		NodeSends: append([]int(nil), e.nodeSends...),
+		Quiescent: append([]bool(nil), e.quiescent...),
+		Inflight:  e.inflight,
+		LinkLoad:  make([][]int32, n),
+		Nodes:     make([][]byte, n),
+		Inbox:     make([][]byte, n),
+	}
+	for v := 0; v < n; v++ {
+		s.LinkLoad[v] = append([]int32(nil), e.linkLoad[v]...)
+		st, ok := e.nodes[v].(Stateful)
+		if !ok {
+			return nil, fmt.Errorf("congest: checkpoint: node %d (%T) does not implement Stateful", v, e.nodes[v])
+		}
+		enc := &StateEncoder{}
+		st.EncodeState(enc)
+		s.Nodes[v] = enc.Bytes()
+		if len(e.inbox[v]) > 0 {
+			enc := &StateEncoder{}
+			enc.Int(len(e.inbox[v]))
+			for _, m := range e.inbox[v] {
+				if err := EncodeMessage(enc, m); err != nil {
+					return nil, fmt.Errorf("congest: checkpoint: inbox of node %d: %w", v, err)
+				}
+			}
+			s.Inbox[v] = enc.Bytes()
+		}
+	}
+	if e.cfg.Scheduler != SchedulerDense {
+		s.WakeAt = append([]int(nil), e.wakeAt...)
+	}
+	if sn, ok := e.net.(Snapshotter); ok {
+		enc := &StateEncoder{}
+		if err := sn.SnapshotState(enc); err != nil {
+			return nil, fmt.Errorf("congest: checkpoint: network state: %w", err)
+		}
+		s.Net = enc.Bytes()
+	}
+	if sn, ok := e.obs.(Snapshotter); ok {
+		enc := &StateEncoder{}
+		if err := sn.SnapshotState(enc); err != nil {
+			return nil, fmt.Errorf("congest: checkpoint: observer state: %w", err)
+		}
+		s.Obs = enc.Bytes()
+	}
+	return s, nil
+}
+
+// restore loads a snapshot into a freshly initialized engine (mk and Init
+// have run; the snapshot overwrites all round-evolving state). The caller
+// starts the round loop at s.Round.
+func (e *engine) restore(s *Snapshot) error {
+	n := len(e.nodes)
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if s.N != n {
+		return fmt.Errorf("snapshot is for n=%d, engine has n=%d", s.N, n)
+	}
+	if s.Sched != e.cfg.Scheduler {
+		return fmt.Errorf("snapshot taken under scheduler %d, engine runs %d", s.Sched, e.cfg.Scheduler)
+	}
+	if len(s.Nodes) != n || len(s.NodeSends) != n || len(s.Quiescent) != n || len(s.LinkLoad) != n {
+		return fmt.Errorf("snapshot field lengths do not match n=%d", n)
+	}
+	dense := e.cfg.Scheduler == SchedulerDense
+	if !dense && len(s.WakeAt) != n {
+		return fmt.Errorf("snapshot has %d wake entries, want %d", len(s.WakeAt), n)
+	}
+	for v := 0; v < n; v++ {
+		st, ok := e.nodes[v].(Stateful)
+		if !ok {
+			return fmt.Errorf("node %d (%T) does not implement Stateful", v, e.nodes[v])
+		}
+		dec := NewStateDecoder(s.Nodes[v])
+		if err := st.DecodeState(dec); err != nil {
+			return fmt.Errorf("node %d state: %w", v, err)
+		}
+		if err := dec.Err(); err != nil {
+			return fmt.Errorf("node %d state: %w", v, err)
+		}
+		if dec.Len() != 0 {
+			return fmt.Errorf("node %d state has %d trailing bytes", v, dec.Len())
+		}
+		if len(s.LinkLoad[v]) != len(e.linkLoad[v]) {
+			return fmt.Errorf("node %d link-load width %d, want %d", v, len(s.LinkLoad[v]), len(e.linkLoad[v]))
+		}
+		copy(e.linkLoad[v], s.LinkLoad[v])
+	}
+	e.stats = s.Stats
+	copy(e.nodeSends, s.NodeSends)
+	e.quiCount = 0
+	for v := 0; v < n; v++ {
+		e.quiescent[v] = s.Quiescent[v]
+		if s.Quiescent[v] {
+			e.quiCount++
+		}
+	}
+	e.inflight = s.Inflight
+	if !dense {
+		e.recvList = e.recvList[:0]
+	}
+	for v := 0; v < n; v++ {
+		e.inbox[v] = e.inbox[v][:0]
+		if v < len(s.Inbox) && len(s.Inbox[v]) > 0 {
+			dec := NewStateDecoder(s.Inbox[v])
+			cnt := dec.Int()
+			for i := 0; i < cnt; i++ {
+				m, err := DecodeMessage(dec)
+				if err != nil {
+					return fmt.Errorf("inbox of node %d: %w", v, err)
+				}
+				if m.To != v {
+					return fmt.Errorf("inbox of node %d holds a message for %d", v, m.To)
+				}
+				e.inbox[v] = append(e.inbox[v], m)
+			}
+			if err := dec.Err(); err != nil {
+				return fmt.Errorf("inbox of node %d: %w", v, err)
+			}
+			if !dense {
+				e.recvList = append(e.recvList, v)
+			}
+		}
+	}
+	if !dense {
+		// Rebuild the wake heap from the per-node wake rounds. The heap
+		// pops in a total (round, node) order with at most one entry per
+		// node, so any rebuild is pop-order-identical to the original.
+		e.wakes.items = e.wakes.items[:0]
+		for v := range e.wakes.pos {
+			e.wakes.pos[v] = -1
+		}
+		copy(e.wakeAt, s.WakeAt)
+		for v := 0; v < n; v++ {
+			if e.wakeAt[v] > 0 {
+				e.wakes.items = append(e.wakes.items, wakeItem{round: e.wakeAt[v], node: v})
+			}
+		}
+		sort.Slice(e.wakes.items, func(i, j int) bool {
+			a, b := e.wakes.items[i], e.wakes.items[j]
+			return a.round < b.round || (a.round == b.round && a.node < b.node)
+		})
+		for i, it := range e.wakes.items {
+			e.wakes.pos[it.node] = i
+		}
+		// Non-Waker nodes rejoin the every-round list iff non-quiescent;
+		// stale always-list entries in the original engine were observably
+		// invisible (collectActive skips alwaysOn=false entries).
+		e.alwaysList = e.alwaysList[:0]
+		for v := 0; v < n; v++ {
+			on := e.wakers[v] == nil && !e.quiescent[v]
+			e.alwaysOn[v] = on
+			if on {
+				e.alwaysList = append(e.alwaysList, v)
+			}
+		}
+	}
+	if s.Net != nil {
+		sn, ok := e.net.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("snapshot carries network state but the engine's network (%T) cannot restore it", e.net)
+		}
+		dec := NewStateDecoder(s.Net)
+		if err := sn.RestoreState(dec); err != nil {
+			return fmt.Errorf("network state: %w", err)
+		}
+		if err := dec.Err(); err != nil {
+			return fmt.Errorf("network state: %w", err)
+		}
+	} else if e.net != nil {
+		if _, ok := e.net.(Snapshotter); ok {
+			return fmt.Errorf("engine has a snapshotting network but the snapshot carries no network state")
+		}
+	}
+	if s.Obs != nil {
+		if sn, ok := e.obs.(Snapshotter); ok {
+			dec := NewStateDecoder(s.Obs)
+			if err := sn.RestoreState(dec); err != nil {
+				return fmt.Errorf("observer state: %w", err)
+			}
+			if err := dec.Err(); err != nil {
+				return fmt.Errorf("observer state: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -136,6 +137,10 @@ type Opts struct {
 	// pluggable substrate (see congest.Config.Network); internal/faults
 	// provides the adversarial one.
 	Network congest.Network
+	// Checkpoint and Ctx are passed to the engine (see
+	// congest.Config.Checkpoint and congest.Config.Ctx).
+	Checkpoint *congest.CheckpointPolicy
+	Ctx        context.Context
 	// SnapshotRounds, if non-empty, records each node's best distances at
 	// the end of the given rounds (ascending), exposing the algorithm's
 	// anytime behaviour (experiment E-CONV). Rounds after quiescence
@@ -729,7 +734,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts, gamma: gamma}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx})
 	res.Stats = stats
 	if err != nil {
 		return nil, err

@@ -1,0 +1,246 @@
+// Checkpoint support: the pipelined (h,k)-SSP node's side of the
+// congest.Stateful contract. The snapshot captures everything round-
+// crossing — the list in order, the per-source sets in stored order
+// (removal uses swap-deletion, so stored order influences future stored
+// order and must round-trip for bit-exact resume), the shortest-path
+// records, the lazy send heap in heap-array order (a heap array restored
+// verbatim is the same heap), and the diagnostics counters. Derived
+// fields (srcIdx, inW, gamma, cached ⌈κ⌉) are rebuilt, not stored.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+)
+
+func init() {
+	congest.RegisterPayloadCodec("core.wire", wire{},
+		func(enc *congest.StateEncoder, p congest.Payload) {
+			m := p.(wire)
+			enc.Int64(m.d)
+			enc.Int64(m.l)
+			enc.Int(m.src)
+			enc.Bool(m.sp)
+			enc.Int64(int64(m.nu))
+		},
+		func(dec *congest.StateDecoder) (congest.Payload, error) {
+			m := wire{d: dec.Int64(), l: dec.Int64(), src: dec.Int(), sp: dec.Bool(), nu: int32(dec.Int64())}
+			return m, dec.Err()
+		})
+}
+
+// EncodeState implements congest.Stateful.
+func (nd *node) EncodeState(enc *congest.StateEncoder) {
+	enc.Int(nd.cur)
+	enc.Int64(nd.seq)
+	enc.Int(nd.pending)
+
+	enc.Int(len(nd.list))
+	for _, z := range nd.list {
+		enc.Int64(z.d)
+		enc.Int64(z.l)
+		enc.Int(z.srcIdx)
+		enc.Int(z.parent)
+		enc.Bool(z.flagSP)
+		enc.Bool(z.needSend)
+	}
+
+	enc.Int(len(nd.perSrc))
+	for _, ps := range nd.perSrc {
+		idxs := make([]int, len(ps))
+		for i, z := range ps {
+			idxs[i] = z.idx
+		}
+		enc.Ints(idxs)
+	}
+
+	enc.Int(len(nd.bests))
+	for i := range nd.bests {
+		b := &nd.bests[i]
+		enc.Int64(b.d)
+		enc.Int64(b.l)
+		enc.Int(b.parent)
+		ei := -1
+		if b.e != nil && !b.e.dead {
+			ei = b.e.idx
+		}
+		enc.Int(ei)
+	}
+
+	// Lazy heap, in heap-array order: restoring the array verbatim restores
+	// the identical heap. Items whose entry has died keep a -1 index and are
+	// re-attached to a shared dead sentinel on decode, so the lazy pop-and-
+	// skip behaviour replays exactly.
+	enc.Int(nd.h.Len())
+	for _, it := range nd.h {
+		enc.Int64(it.time)
+		enc.Int64(it.seq)
+		ei := -1
+		if !it.e.dead {
+			ei = it.e.idx
+		}
+		enc.Int(ei)
+	}
+
+	enc.Int(nd.late)
+	enc.Int(nd.collisions)
+	enc.Int(nd.missed)
+	enc.Int(nd.inv1)
+	enc.Int(nd.inv2)
+	enc.Int(nd.maxList)
+	enc.Int(nd.maxPer)
+	enc.Int64(nd.inserts)
+	enc.Int64(nd.evicts)
+	enc.Int64(nd.nuDrops)
+	enc.Int64(nd.dupDrops)
+
+	enc.Int(len(nd.snaps))
+	rounds := make([]int, 0, len(nd.snaps))
+	for r := range nd.snaps {
+		rounds = append(rounds, r)
+	}
+	for i := 1; i < len(rounds); i++ { // insertion sort; snapshot sets are tiny
+		for j := i; j > 0 && rounds[j] < rounds[j-1]; j-- {
+			rounds[j], rounds[j-1] = rounds[j-1], rounds[j]
+		}
+	}
+	for _, r := range rounds {
+		enc.Int(r)
+		enc.Int64s(nd.snaps[r])
+	}
+}
+
+// DecodeState implements congest.Stateful: it discards whatever Init
+// built and reconstructs the node from the snapshot.
+func (nd *node) DecodeState(dec *congest.StateDecoder) error {
+	nd.cur = dec.Int()
+	nd.seq = dec.Int64()
+	nd.pending = dec.Int()
+
+	nl := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	list := make([]*entry, nl)
+	for i := range list {
+		z := &entry{d: dec.Int64(), l: dec.Int64(), srcIdx: dec.Int(), parent: dec.Int(), flagSP: dec.Bool(), needSend: dec.Bool(), idx: i}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if z.srcIdx < 0 || z.srcIdx >= len(nd.opts.Sources) {
+			return fmt.Errorf("core: entry source index %d out of range", z.srcIdx)
+		}
+		z.ceilK = nd.gamma.CeilKappa(z.d, z.l)
+		list[i] = z
+	}
+	nd.list = list
+
+	at := func(i int) (*entry, error) {
+		if i < 0 || i >= len(list) {
+			return nil, fmt.Errorf("core: entry index %d out of range", i)
+		}
+		return list[i], nil
+	}
+
+	k := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if k != len(nd.opts.Sources) {
+		return fmt.Errorf("core: snapshot has %d sources, run has %d", k, len(nd.opts.Sources))
+	}
+	nd.perSrc = make([][]*entry, k)
+	for i := 0; i < k; i++ {
+		idxs := dec.Ints()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		ps := make([]*entry, len(idxs))
+		for j, ix := range idxs {
+			z, err := at(ix)
+			if err != nil {
+				return err
+			}
+			ps[j] = z
+		}
+		nd.perSrc[i] = ps
+	}
+
+	nb := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if nb != k {
+		return fmt.Errorf("core: snapshot has %d best records, want %d", nb, k)
+	}
+	nd.bests = make([]best, k)
+	for i := range nd.bests {
+		b := best{d: dec.Int64(), l: dec.Int64(), parent: dec.Int()}
+		ei := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if ei >= 0 {
+			z, err := at(ei)
+			if err != nil {
+				return err
+			}
+			b.e = z
+		}
+		nd.bests[i] = b
+	}
+
+	nh := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	var deadSentinel *entry
+	nd.h = make(sendHeap, 0, nh)
+	for i := 0; i < nh; i++ {
+		it := sendItem{time: dec.Int64(), seq: dec.Int64()}
+		ei := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if ei >= 0 {
+			z, err := at(ei)
+			if err != nil {
+				return err
+			}
+			it.e = z
+		} else {
+			if deadSentinel == nil {
+				deadSentinel = &entry{dead: true, idx: -1}
+			}
+			it.e = deadSentinel
+		}
+		nd.h = append(nd.h, it)
+	}
+
+	nd.late = dec.Int()
+	nd.collisions = dec.Int()
+	nd.missed = dec.Int()
+	nd.inv1 = dec.Int()
+	nd.inv2 = dec.Int()
+	nd.maxList = dec.Int()
+	nd.maxPer = dec.Int()
+	nd.inserts = dec.Int64()
+	nd.evicts = dec.Int64()
+	nd.nuDrops = dec.Int64()
+	nd.dupDrops = dec.Int64()
+
+	ns := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	nd.snaps = nil
+	if ns > 0 {
+		nd.snaps = make(map[int][]int64, ns)
+		for i := 0; i < ns; i++ {
+			r := dec.Int()
+			nd.snaps[r] = dec.Int64s()
+		}
+	}
+	return dec.Err()
+}

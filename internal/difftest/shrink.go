@@ -19,15 +19,20 @@ type FaultInput struct {
 	Sources []int
 	H       int
 	Events  []faults.Event
+	// Checkpoint, when positive, is the round at which the run under test
+	// snapshots and resumes (the checkpoint/restore conformance harness).
+	// 0 means no checkpoint; the shrinker tries to lower it toward 0.
+	Checkpoint int
 }
 
 // Clone deep-copies the input (graphs are rebuilt edge by edge).
 func (in FaultInput) Clone() FaultInput {
 	out := FaultInput{
-		G:       in.G.Clone(),
-		Sources: append([]int(nil), in.Sources...),
-		H:       in.H,
-		Events:  append([]faults.Event(nil), in.Events...),
+		G:          in.G.Clone(),
+		Sources:    append([]int(nil), in.Sources...),
+		H:          in.H,
+		Events:     append([]faults.Event(nil), in.Events...),
+		Checkpoint: in.Checkpoint,
 	}
 	return out
 }
@@ -37,8 +42,12 @@ func (in FaultInput) Clone() FaultInput {
 // "f <event>" line per fault event.
 func (in FaultInput) Dump() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "n=%d directed=%v sources=%s h=%d\n",
+	fmt.Fprintf(&sb, "n=%d directed=%v sources=%s h=%d",
 		in.G.N(), in.G.Directed(), intList(in.Sources), in.H)
+	if in.Checkpoint != 0 {
+		fmt.Fprintf(&sb, " checkpoint=%d", in.Checkpoint)
+	}
+	sb.WriteByte('\n')
 	for _, e := range in.G.Edges() {
 		fmt.Fprintf(&sb, "e %d %d %d\n", e.From, e.To, e.W)
 	}
@@ -86,6 +95,8 @@ func ParseFaultInput(s string) (FaultInput, error) {
 			directed, err = strconv.ParseBool(v)
 		case "h":
 			in.H, err = strconv.Atoi(v)
+		case "checkpoint":
+			in.Checkpoint, err = strconv.Atoi(v)
 		case "sources":
 			for _, p := range strings.Split(v, ",") {
 				src, serr := strconv.Atoi(p)
@@ -158,9 +169,9 @@ func Shrink(in FaultInput, fails ShrinkCheck) FaultInput {
 }
 
 // size orders inputs for the fixpoint test: nodes dominate, then edges,
-// events, sources, and finally total weight + delay magnitude as a
-// tiebreaker so weight shrinking counts as progress.
-func size(in FaultInput) [5]int64 {
+// events, sources, then total weight + delay magnitude, and finally the
+// checkpoint round, so weight and checkpoint shrinking count as progress.
+func size(in FaultInput) [6]int64 {
 	var w int64
 	for _, e := range in.G.Edges() {
 		w += e.W
@@ -169,7 +180,7 @@ func size(in FaultInput) [5]int64 {
 	for _, ev := range in.Events {
 		args += int64(ev.Arg)
 	}
-	return [5]int64{int64(in.G.N()), int64(in.G.M()), int64(len(in.Events)), int64(len(in.Sources)), w + args}
+	return [6]int64{int64(in.G.N()), int64(in.G.M()), int64(len(in.Events)), int64(len(in.Sources)), w + args, int64(in.Checkpoint)}
 }
 
 func smaller(a, b FaultInput) bool {
@@ -188,6 +199,27 @@ func shrinkPass(cur FaultInput, fails ShrinkCheck) FaultInput {
 	cur = shrinkEdges(cur, fails)
 	cur = shrinkSources(cur, fails)
 	cur = shrinkMagnitudes(cur, fails)
+	cur = shrinkCheckpoint(cur, fails)
+	return cur
+}
+
+// shrinkCheckpoint lowers the checkpoint round: no checkpoint at all, the
+// first barrier, then halving.
+func shrinkCheckpoint(cur FaultInput, fails ShrinkCheck) FaultInput {
+	if cur.Checkpoint <= 0 {
+		return cur
+	}
+	for _, r := range []int{0, 1, cur.Checkpoint / 2} {
+		if r >= cur.Checkpoint {
+			continue
+		}
+		cand := cur.Clone()
+		cand.Checkpoint = r
+		if fails(cand) {
+			cur = cand
+			break
+		}
+	}
 	return cur
 }
 

@@ -1,0 +1,44 @@
+package faults
+
+import (
+	"testing"
+)
+
+// TestBarrierBudgetExhaustion pins the corner FuzzReliableLink found (see
+// the Drop comment there): above the supported drop regime, per-cycle
+// success falls low enough that the barrier's sub-round budget
+// 1000·(MaxDelay+2) genuinely runs out. The exact instance — drop=0.899,
+// seed=17, n=3, first round's batch — is committed so the failure mode
+// stays a structured, plan-attributed error and never regresses into a
+// hang or a panic.
+func TestBarrierBudgetExhaustion(t *testing.T) {
+	plan := Plan{Seed: 17, Drop: 0.899}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("plan must be formally valid (exhaustion is a runtime budget, not a validation error): %v", err)
+	}
+	nw := New(plan)
+	nw.Reset(3)
+	err := nw.Send(0, testBatch(0, 3))
+	if err == nil {
+		t.Fatal("drop=0.899 seed=17 no longer exhausts the barrier budget; find a new pinned instance " +
+			"(sweep seeds as FuzzReliableLink's Drop comment describes) or the corner is untested")
+	}
+	want := `faults: round 0 barrier incomplete after 2000 physical sub-rounds (plan "drop=0.899,seed=17")`
+	if err.Error() != want {
+		t.Fatalf("budget exhaustion error changed:\ngot  %q\nwant %q", err, want)
+	}
+	if nw.Pending() < 0 {
+		t.Fatalf("negative pending count after aborted barrier: %d", nw.Pending())
+	}
+
+	// The same traffic under the supported regime (Drop <= 0.699, the
+	// fuzzer's bound) must complete: the budget only bites past it.
+	ok := New(Plan{Seed: 17, Drop: 0.699})
+	ok.Reset(3)
+	if err := ok.Send(0, testBatch(0, 3)); err != nil {
+		t.Fatalf("drop=0.699 must stay within the barrier budget: %v", err)
+	}
+	if got := ok.Collect(1); len(got) == 0 {
+		t.Fatal("no deliveries under the supported drop regime")
+	}
+}

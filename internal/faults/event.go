@@ -18,9 +18,18 @@ const (
 	// DupEvent injects one extra copy, deferred by Arg sub-rounds
 	// (logical rounds in unreliable mode).
 	DupEvent
+	// CrashEvent crash-stops node From at the start of round Round (To is
+	// unused and must be 0): the engine aborts the run at the barrier with
+	// a congest.CrashError before any node steps. Arg, when positive, is
+	// the restart offset k — the fault plan allows the node back at round
+	// Round+k, and a supervisor may restore the latest checkpoint; Arg=0
+	// is an unrecoverable crash-stop. A crash fires once and disarms for
+	// the lifetime of the Network (across Reset and checkpoint restore
+	// alike — crash-stop is an event, not reconstructible state).
+	CrashEvent
 )
 
-var kindNames = [...]string{"drop", "delay", "dup"}
+var kindNames = [...]string{"drop", "delay", "dup", "crash"}
 
 func (k Kind) String() string {
 	if k < 0 || int(k) >= len(kindNames) {

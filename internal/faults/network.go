@@ -61,12 +61,87 @@ type Network struct {
 	phys     PhysStats
 	recorded []Event
 
+	// fired marks script crash events (by index) that have already
+	// crashed the engine. It survives Reset and checkpoint restore alike:
+	// crash-stop is a one-shot adversarial event, and a supervisor that
+	// restores a pre-crash checkpoint must not crash again on replay.
+	fired map[int]bool
+
 	// Barrier scratch, reused across rounds.
 	active    []*link
 	flights   map[int64][]flight
 	arrive    [][]congest.Message // per-destination acceptance-order log
 	touched   []int               // destinations with acceptances this round
 	flightCtr int64
+}
+
+// CrashDue implements congest.Crasher: it reports a scripted crash-stop
+// event due at round r (lowest node first when several are scheduled) and
+// disarms it.
+func (nw *Network) CrashDue(r int) (node, restart int, ok bool) {
+	best := -1
+	for i, e := range nw.Script {
+		if e.Kind != CrashEvent || e.Round != r || nw.fired[i] {
+			continue
+		}
+		if best < 0 || e.From < nw.Script[best].From {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	if nw.fired == nil {
+		nw.fired = make(map[int]bool)
+	}
+	nw.fired[best] = true
+	e := nw.Script[best]
+	if e.Arg > 0 {
+		restart = e.Round + e.Arg
+	}
+	return e.From, restart, true
+}
+
+// NextCrash implements congest.Crasher: the earliest round ≥ after with an
+// armed crash event (0 = none).
+func (nw *Network) NextCrash(after int) int {
+	due := 0
+	for i, e := range nw.Script {
+		if e.Kind != CrashEvent || e.Round < after || nw.fired[i] {
+			continue
+		}
+		if due == 0 || e.Round < due {
+			due = e.Round
+		}
+	}
+	return due
+}
+
+// DisarmedCrashes returns the script indices of crash events that have
+// fired, for persisting the disarm bookkeeping across processes
+// (internal/checkpoint stores them in the file header; snapshots
+// deliberately do not carry them — see fired).
+func (nw *Network) DisarmedCrashes() []int {
+	idx := make([]int, 0, len(nw.fired))
+	for i := range nw.fired {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// DisarmCrashes marks the given script indices as fired (the restore-side
+// counterpart of DisarmedCrashes).
+func (nw *Network) DisarmCrashes(idx []int) {
+	if len(idx) == 0 {
+		return
+	}
+	if nw.fired == nil {
+		nw.fired = make(map[int]bool)
+	}
+	for _, i := range idx {
+		nw.fired[i] = true
+	}
 }
 
 // New returns a Network for the plan. The caller should have validated

@@ -1,0 +1,202 @@
+// Checkpoint support: the Network's snapshotting side of the
+// congest.Snapshotter contract. A snapshot is taken at a round barrier,
+// where the reliability shim's per-round scratch (outstanding windows,
+// in-air flights, acceptance logs) is provably empty; what must survive is
+// the state that carries meaning across rounds — per-link sequence
+// numbers, cumulative ACK and delivery frontiers, holdback buffers, the
+// queued (delayed) logical deliveries, the PRF flight cursor, and the
+// cumulative physical statistics and recorded event log.
+//
+// The fired-crash bookkeeping is deliberately NOT part of the snapshot:
+// see Network.fired.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/congest"
+)
+
+func encodeEvent(enc *congest.StateEncoder, e Event) {
+	enc.Int(e.Round)
+	enc.Int(e.From)
+	enc.Int(e.To)
+	enc.Int(int(e.Kind))
+	enc.Int(e.Arg)
+}
+
+func decodeEvent(dec *congest.StateDecoder) Event {
+	var e Event
+	e.Round = dec.Int()
+	e.From = dec.Int()
+	e.To = dec.Int()
+	e.Kind = Kind(dec.Int())
+	e.Arg = dec.Int()
+	return e
+}
+
+// SnapshotState implements congest.Snapshotter.
+func (nw *Network) SnapshotState(enc *congest.StateEncoder) error {
+	enc.Int(nw.n)
+	enc.Bool(nw.Unreliable)
+
+	// Links, in sorted (from, to) key order so the stream is deterministic.
+	keys := make([]uint64, 0, len(nw.links))
+	for k := range nw.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	enc.Int(len(keys))
+	for _, k := range keys {
+		l := nw.links[k]
+		if len(l.out) != 0 || len(l.got) != 0 {
+			return fmt.Errorf("faults: snapshot of link %d→%d mid-barrier (outstanding window)", l.from, l.to)
+		}
+		enc.Int(l.from)
+		enc.Int(l.to)
+		enc.Int64(l.nextSeq)
+		enc.Int64(l.ackedTo)
+		enc.Int64(l.delivered)
+		seqs := make([]int64, 0, len(l.hold))
+		for s := range l.hold {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		enc.Int(len(seqs))
+		for _, s := range seqs {
+			enc.Int64(s)
+			if err := congest.EncodeMessage(enc, l.hold[s]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Queued logical deliveries, in due-round order.
+	dues := make([]int, 0, len(nw.ready))
+	for r := range nw.ready {
+		dues = append(dues, r)
+	}
+	sort.Ints(dues)
+	enc.Int(len(dues))
+	for _, r := range dues {
+		q := nw.ready[r]
+		enc.Int(r)
+		enc.Int(len(q))
+		for _, x := range q {
+			if err := congest.EncodeMessage(enc, x.m); err != nil {
+				return err
+			}
+			enc.Uint64(x.key)
+		}
+	}
+
+	enc.Int(nw.pending)
+	enc.Int64(nw.flightCtr)
+
+	// Cumulative physical statistics and the recorded event log: a resumed
+	// run re-executes earlier phases (re-accumulating their physical cost
+	// identically), then this snapshot resets both to the original values,
+	// replacing the re-executed prefix with itself plus the skipped rounds.
+	enc.Int64(nw.phys.DataSends)
+	enc.Int64(nw.phys.Retransmits)
+	enc.Int64(nw.phys.DupCopies)
+	enc.Int64(nw.phys.DupDeliveries)
+	enc.Int64(nw.phys.DataDrops)
+	enc.Int64(nw.phys.AckDrops)
+	enc.Int64(nw.phys.AckSends)
+	enc.Int64(nw.phys.Delivered)
+	enc.Int64(nw.phys.Dropped)
+	enc.Int64(nw.phys.SubRounds)
+	enc.Int64s(nw.phys.DelayHist)
+	enc.Int(len(nw.recorded))
+	for _, e := range nw.recorded {
+		encodeEvent(enc, e)
+	}
+	return nil
+}
+
+// RestoreState implements congest.Snapshotter. The Network must be
+// configured identically to the snapshotted one (same Plan, Script,
+// Unreliable mode); only the dynamic state is restored.
+func (nw *Network) RestoreState(dec *congest.StateDecoder) error {
+	n := dec.Int()
+	unreliable := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != nw.n {
+		return fmt.Errorf("faults: snapshot is for n=%d, network has n=%d", n, nw.n)
+	}
+	if unreliable != nw.Unreliable {
+		return fmt.Errorf("faults: snapshot Unreliable=%v, network has %v", unreliable, nw.Unreliable)
+	}
+
+	nw.links = make(map[uint64]*link)
+	nl := dec.Int()
+	for i := 0; i < nl; i++ {
+		from := dec.Int()
+		to := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		l := nw.linkFor(from, to)
+		l.nextSeq = dec.Int64()
+		l.ackedTo = dec.Int64()
+		l.delivered = dec.Int64()
+		nh := dec.Int()
+		for j := 0; j < nh; j++ {
+			seq := dec.Int64()
+			m, err := congest.DecodeMessage(dec)
+			if err != nil {
+				return err
+			}
+			if l.hold == nil {
+				l.hold = make(map[int64]congest.Message)
+			}
+			l.hold[seq] = m
+		}
+	}
+
+	nw.ready = make(map[int][]queued)
+	nd := dec.Int()
+	for i := 0; i < nd; i++ {
+		r := dec.Int()
+		nq := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		q := make([]queued, 0, nq)
+		for j := 0; j < nq; j++ {
+			m, err := congest.DecodeMessage(dec)
+			if err != nil {
+				return err
+			}
+			q = append(q, queued{m: m, key: dec.Uint64()})
+		}
+		nw.ready[r] = q
+	}
+
+	nw.pending = dec.Int()
+	nw.flightCtr = dec.Int64()
+
+	nw.phys = PhysStats{
+		DataSends:     dec.Int64(),
+		Retransmits:   dec.Int64(),
+		DupCopies:     dec.Int64(),
+		DupDeliveries: dec.Int64(),
+		DataDrops:     dec.Int64(),
+		AckDrops:      dec.Int64(),
+		AckSends:      dec.Int64(),
+		Delivered:     dec.Int64(),
+		Dropped:       dec.Int64(),
+		SubRounds:     dec.Int64(),
+		DelayHist:     dec.Int64s(),
+	}
+	nw.recorded = nw.recorded[:0]
+	ne := dec.Int()
+	for i := 0; i < ne; i++ {
+		nw.recorded = append(nw.recorded, decodeEvent(dec))
+	}
+	return dec.Err()
+}

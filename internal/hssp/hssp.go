@@ -16,6 +16,7 @@
 package hssp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,6 +52,10 @@ type Opts struct {
 	// pluggable substrate in every phase (see congest.Config.Network);
 	// internal/faults provides the adversarial one.
 	Network congest.Network
+	// Checkpoint and Ctx are passed to the engine of every phase (see
+	// congest.Config.Checkpoint and congest.Config.Ctx).
+	Checkpoint *congest.CheckpointPolicy
+	Ctx        context.Context
 }
 
 // Result reports exact (unrestricted) shortest-path distances.
@@ -120,7 +125,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 		h = 1
 	}
 	res := &Result{Sources: append([]int(nil), sources...), H: h, PhaseRounds: make(map[string]int)}
-	engineCfg := congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network}
+	engineCfg := congest.Config{Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx}
 
 	// Step 1: CSSSP.
 	congest.SetPhase(opts.Obs, "cssp")

@@ -1,0 +1,152 @@
+// Checkpoint support: the Recorder's side of the congest.Snapshotter
+// contract, so phase-attributed accounting survives an engine
+// checkpoint/restore bit-exactly. The snapshot covers the accounting
+// state (per-phase breakdowns, totals, run and round counters, current
+// phase) but not the sinks: a restored Recorder keeps its own sinks and
+// start time, and the resumed run's events flow into them from the
+// resume point on.
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/faults"
+)
+
+// CurrentPhase implements congest.PhaseTracker: it reports the phase a
+// crash or checkpoint at this instant would be attributed to. Safe to
+// call from engine worker goroutines.
+func (r *Recorder) CurrentPhase() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return DefaultPhase
+	}
+	return r.cur.Phase
+}
+
+func encodeStats(enc *congest.StateEncoder, s congest.Stats) {
+	enc.Int(s.Rounds)
+	enc.Int64(s.Messages)
+	enc.Int(s.MaxWords)
+	enc.Int(s.MaxLinkCongestion)
+	enc.Int(s.MaxNodeSends)
+}
+
+func decodeStats(dec *congest.StateDecoder) congest.Stats {
+	return congest.Stats{
+		Rounds:            dec.Int(),
+		Messages:          dec.Int64(),
+		MaxWords:          dec.Int(),
+		MaxLinkCongestion: dec.Int(),
+		MaxNodeSends:      dec.Int(),
+	}
+}
+
+func encodePhys(enc *congest.StateEncoder, p *faults.PhysStats) {
+	enc.Int64(p.DataSends)
+	enc.Int64(p.Retransmits)
+	enc.Int64(p.DupCopies)
+	enc.Int64(p.DupDeliveries)
+	enc.Int64(p.DataDrops)
+	enc.Int64(p.AckDrops)
+	enc.Int64(p.AckSends)
+	enc.Int64(p.Delivered)
+	enc.Int64(p.Dropped)
+	enc.Int64(p.SubRounds)
+	enc.Int64s(p.DelayHist)
+}
+
+func decodePhys(dec *congest.StateDecoder) faults.PhysStats {
+	return faults.PhysStats{
+		DataSends:     dec.Int64(),
+		Retransmits:   dec.Int64(),
+		DupCopies:     dec.Int64(),
+		DupDeliveries: dec.Int64(),
+		DataDrops:     dec.Int64(),
+		AckDrops:      dec.Int64(),
+		AckSends:      dec.Int64(),
+		Delivered:     dec.Int64(),
+		Dropped:       dec.Int64(),
+		SubRounds:     dec.Int64(),
+		DelayHist:     dec.Int64s(),
+	}
+}
+
+// SnapshotState implements congest.Snapshotter.
+func (r *Recorder) SnapshotState(enc *congest.StateEncoder) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	enc.Int(r.runs)
+	enc.Int(r.globalRound)
+	enc.Int(r.runBase)
+	cur := ""
+	if r.cur != nil {
+		cur = r.cur.Phase
+	}
+	enc.String(cur)
+	encodeStats(enc, r.total)
+	enc.Bool(r.physSeen)
+	encodePhys(enc, &r.phys)
+	enc.Int(len(r.order))
+	for _, p := range r.order {
+		enc.String(p.Phase)
+		encodeStats(enc, p.Stats)
+		enc.Int(p.Runs)
+		enc.Int(p.RoundsExecuted)
+		enc.Int64(int64(p.Wall))
+		encodePhys(enc, &p.Phys)
+	}
+	return nil
+}
+
+// RestoreState implements congest.Snapshotter: it replaces the
+// accounting state with the snapshot's, discarding whatever the Recorder
+// accumulated while deterministically re-executing the rounds the
+// snapshot already covers. Sinks and start time are untouched.
+func (r *Recorder) RestoreState(dec *congest.StateDecoder) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runs = dec.Int()
+	r.globalRound = dec.Int()
+	r.runBase = dec.Int()
+	cur := dec.String()
+	r.total = decodeStats(dec)
+	r.physSeen = dec.Bool()
+	r.phys = decodePhys(dec)
+	np := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	r.byName = make(map[string]*PhaseBreakdown, np)
+	r.order = r.order[:0]
+	for i := 0; i < np; i++ {
+		p := &PhaseBreakdown{
+			Phase:          dec.String(),
+			Stats:          decodeStats(dec),
+			Runs:           dec.Int(),
+			RoundsExecuted: dec.Int(),
+			Wall:           time.Duration(dec.Int64()),
+		}
+		p.Phys = decodePhys(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if _, dup := r.byName[p.Phase]; dup {
+			return fmt.Errorf("obs: snapshot has duplicate phase %q", p.Phase)
+		}
+		r.byName[p.Phase] = p
+		r.order = append(r.order, p)
+	}
+	r.cur = nil
+	if cur != "" {
+		p, ok := r.byName[cur]
+		if !ok {
+			return fmt.Errorf("obs: snapshot current phase %q not in breakdown", cur)
+		}
+		r.cur = p
+	}
+	return dec.Err()
+}

@@ -20,6 +20,7 @@
 package posweight
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -58,6 +59,10 @@ type Opts struct {
 	// pluggable substrate (see congest.Config.Network); internal/faults
 	// provides the adversarial one.
 	Network congest.Network
+	// Checkpoint and Ctx are passed to the engine (see
+	// congest.Config.Checkpoint and congest.Config.Ctx).
+	Checkpoint *congest.CheckpointPolicy
+	Ctx        context.Context
 }
 
 // Result is the outcome of a run.
@@ -256,7 +261,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	stats, err := congest.Run(g, func(v int) congest.Node {
 		nodes[v] = &node{id: v, opts: &opts}
 		return nodes[v]
-	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
+	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx})
 	if err != nil {
 		return nil, err
 	}

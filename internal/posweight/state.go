@@ -1,0 +1,59 @@
+// Checkpoint support: congest.Stateful for the single-estimate pipelined
+// node. Derived fields (srcIdx, inW) are rebuilt by Init; everything that
+// evolves across rounds — estimates, parents, the (dist, src)-sorted send
+// list, pending flags and schedule diagnostics — round-trips here.
+package posweight
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+)
+
+func init() {
+	congest.RegisterPayloadCodec("posweight.estimate", estimate{},
+		func(enc *congest.StateEncoder, p congest.Payload) {
+			m := p.(estimate)
+			enc.Int(m.src)
+			enc.Int64(m.d)
+		},
+		func(dec *congest.StateDecoder) (congest.Payload, error) {
+			m := estimate{src: dec.Int(), d: dec.Int64()}
+			return m, dec.Err()
+		})
+}
+
+// EncodeState implements congest.Stateful.
+func (nd *node) EncodeState(enc *congest.StateEncoder) {
+	enc.Int(nd.curRound)
+	enc.Int(nd.late)
+	enc.Int(nd.missed)
+	enc.Int64s(nd.dist)
+	enc.Ints(nd.parent)
+	enc.Bools(nd.needSend)
+	enc.Ints(nd.list)
+}
+
+// DecodeState implements congest.Stateful.
+func (nd *node) DecodeState(dec *congest.StateDecoder) error {
+	nd.curRound = dec.Int()
+	nd.late = dec.Int()
+	nd.missed = dec.Int()
+	nd.dist = dec.Int64s()
+	nd.parent = dec.Ints()
+	nd.needSend = dec.Bools()
+	nd.list = dec.Ints()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	k := len(nd.opts.Sources)
+	if len(nd.dist) != k || len(nd.parent) != k || len(nd.needSend) != k {
+		return fmt.Errorf("posweight: snapshot arity mismatch (want %d sources)", k)
+	}
+	for _, i := range nd.list {
+		if i < 0 || i >= k {
+			return fmt.Errorf("posweight: snapshot list index %d out of range", i)
+		}
+	}
+	return nil
+}

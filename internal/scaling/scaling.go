@@ -36,6 +36,7 @@ package scaling
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -61,6 +62,10 @@ type Opts struct {
 	// pluggable substrate in every bit phase (see congest.Config.Network);
 	// internal/faults provides the adversarial one.
 	Network congest.Network
+	// Checkpoint and Ctx are passed to the engine in every bit phase (see
+	// congest.Config.Checkpoint and congest.Config.Ctx).
+	Checkpoint *congest.CheckpointPolicy
+	Ctx        context.Context
 }
 
 // Result reports exact distances and per-phase costs.
@@ -408,7 +413,7 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 			}
 			nodes[v] = nd
 			return nd
-		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network})
+		}, congest.Config{MaxRounds: maxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx})
 		res.Stats.Add(stats)
 		res.PhaseRounds = append(res.PhaseRounds, stats.Rounds)
 		if err != nil {
