@@ -6,7 +6,7 @@ GO ?= go
 # scheduled job).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo crash-demo race-crash clean
+.PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke clean
 
 all: build test
 
@@ -72,6 +72,17 @@ crash-demo:
 	mkdir -p out
 	$(GO) run ./cmd/apsprun -alg pipeline -n 48 -m 160 -quiet \
 		-crash 3@10+1 -checkpoint-every 8 -checkpoint out/crash.ckpt
+
+# Distance-oracle daemon on :8080 over a 256-node random graph — the
+# README "Serving queries" quickstart. Ctrl-C (or SIGTERM) drains
+# in-flight queries and exits cleanly.
+serve-demo:
+	$(GO) run ./cmd/apspd -addr :8080 -n 256 -m 1024 -maxw 8 -zero 0.25 -seed 7
+
+# End-to-end daemon smoke test: boot apspd on a random port, answer
+# /healthz and /dist, then drain on SIGTERM and exit 0. CI runs this.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Short fuzzing bursts for the parser, the exact key arithmetic, the
 # reliability shim and the checkpoint kill/serialize/resume cycle.

@@ -117,6 +117,25 @@ func ReconstructPath(g *Graph, res *PipelineResult, i, v int) ([]int, error) {
 	return core.ReconstructPath(g, res, i, v)
 }
 
+// PathError is the typed error of ReconstructPath; match its Kind against
+// the ErrPath* sentinels with errors.Is. The serving layer (cmd/apspd)
+// maps these onto HTTP statuses, and any caller feeding untrusted queries
+// or deserialized matrices into ReconstructPath gets a typed error rather
+// than a panic or an unbounded walk.
+type PathError = core.PathError
+
+// Path reconstruction failure kinds (see PathError).
+var (
+	ErrPathSourceRange  = core.ErrPathSourceRange
+	ErrPathNodeRange    = core.ErrPathNodeRange
+	ErrPathUnreachable  = core.ErrPathUnreachable
+	ErrPathCycle        = core.ErrPathCycle
+	ErrPathBroken       = core.ErrPathBroken
+	ErrPathBadArc       = core.ErrPathBadArc
+	ErrPathInconsistent = core.ErrPathInconsistent
+	ErrPathMalformed    = core.ErrPathMalformed
+)
+
 // ---------------------------------------------------------------------------
 // Algorithm 2: short-range.
 

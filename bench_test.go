@@ -1,6 +1,11 @@
 package apsp
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"repro/internal/congest"
@@ -10,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/key"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 )
 
 // Every table and figure of the paper has a benchmark that regenerates it
@@ -112,6 +118,10 @@ func BenchmarkDeltaSensitivity(b *testing.B) { benchExperiment(b, "E-DELTA") }
 // BenchmarkCrashRecovery measures checkpoint cost and crash-restart
 // recovery (experiment E-CRASH).
 func BenchmarkCrashRecovery(b *testing.B) { benchExperiment(b, "E-CRASH") }
+
+// BenchmarkServeLayer drives the apspd serving layer with the closed-loop
+// load generator (experiment E-SERVE).
+func BenchmarkServeLayer(b *testing.B) { benchExperiment(b, "E-SERVE") }
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the substrate's raw cost, with rounds reported as a
@@ -384,4 +394,110 @@ func BenchmarkEngineCheckpointEveryRound(b *testing.B) {
 			return nil
 		}}
 	})
+}
+
+// --- Oracle serving layer ---------------------------------------------
+
+// benchOracleState is built once: a warmed n=512 snapshot whose matrices
+// come from the sequential oracle (DijkstraTree per source), published
+// through a Server so cache keys carry a real generation.
+var benchOracleState struct {
+	once sync.Once
+	snap *oracle.Snapshot
+	srv  *oracle.Server
+	h    http.Handler
+}
+
+func benchOracle(b *testing.B) (*oracle.Snapshot, *oracle.Server, http.Handler) {
+	b.Helper()
+	benchOracleState.once.Do(func() {
+		const n = 512
+		g := graph.Random(n, 4*n, graph.GenOpts{MaxW: 8, ZeroFrac: 0.25, Seed: 1, Directed: true})
+		sources := make([]int, n)
+		dist := make([][]int64, n)
+		parent := make([][]int, n)
+		for s := 0; s < n; s++ {
+			sources[s] = s
+			dist[s], parent[s] = graph.DijkstraTree(g, s)
+		}
+		snap, err := oracle.Build(g, oracle.BuildInput{Alg: "bench", Sources: sources, Dist: dist, Parent: parent}, oracle.BuildOpts{})
+		if err != nil {
+			panic(err)
+		}
+		srv := &oracle.Server{Store: &oracle.Store{}, Cache: oracle.NewPathCache(1 << 16), Met: oracle.NewMetrics()}
+		srv.Publish(snap)
+		benchOracleState.snap, benchOracleState.srv, benchOracleState.h = snap, srv, srv.Handler()
+	})
+	return benchOracleState.snap, benchOracleState.srv, benchOracleState.h
+}
+
+var benchOracleSink int64
+
+// BenchmarkOracleDist measures warmed point-distance lookups straight off
+// the sharded column store — the serving layer's hot path. The acceptance
+// bar is ≥ 1M queries/sec on the n=512 snapshot.
+func BenchmarkOracleDist(b *testing.B) {
+	snap, _, _ := benchOracle(b)
+	k, n := uint64(snap.K()), uint64(snap.N())
+	var sink int64
+	x := uint64(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1442695040888963407 // LCG: cheap, allocation-free pair stream
+		sink += snap.DistAt(int((x>>33)%k), int(x%n))
+	}
+	b.StopTimer()
+	benchOracleSink = sink
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkOraclePath measures full path materialization (the validated
+// parent walk), uncached.
+func BenchmarkOraclePath(b *testing.B) {
+	snap, _, _ := benchOracle(b)
+	k, n := uint64(snap.K()), uint64(snap.N())
+	x := uint64(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		path, err := snap.Path(int((x>>33)%k), int(x%n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchOracleSink += int64(len(path))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkOracleBatch measures the vectorized endpoint end to end through
+// the HTTP handler (request decode → 256 lookups → response encode),
+// reporting per-query throughput.
+func BenchmarkOracleBatch(b *testing.B) {
+	snap, _, handler := benchOracle(b)
+	const batch = 256
+	type item struct {
+		Kind string `json:"kind"`
+		Src  int    `json:"src"`
+		Dst  int    `json:"dst"`
+	}
+	queries := make([]item, batch)
+	x := uint64(7)
+	for i := range queries {
+		x = x*6364136223846793005 + 1442695040888963407
+		queries[i] = item{Kind: "dist", Src: int((x >> 33) % uint64(snap.K())), Dst: int(x % uint64(snap.N()))}
+	}
+	body, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "queries/s")
 }

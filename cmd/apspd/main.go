@@ -1,0 +1,264 @@
+// Command apspd is the distance-oracle daemon: it computes (or resumes
+// from a checkpoint) an all-pairs / multi-source shortest-path result with
+// one of the repository's distributed algorithms, repacks it into the
+// sharded in-memory column store of internal/oracle, and serves point,
+// path and batch queries over HTTP/JSON.
+//
+// Usage:
+//
+//	apspd -addr :8080 -alg pipeline -n 256 -m 1024 -sources 0,5,9
+//	apspd -addr :8080 -graph g.txt -alg blocker           # dist-only family
+//	apspd -addr :8080 -graph g.txt -load run.ckpt          # resume apsprun checkpoint
+//	apspd -addr 127.0.0.1:0 -addr-file port.txt -n 64 -m 256
+//
+// Endpoints: /dist, /path, /batch, /healthz, /metrics (Prometheus text),
+// /admin/recompute (background rebuild + atomic snapshot swap), and
+// /debug/pprof. The server sheds load with 429 beyond -max-inflight
+// concurrent queries, bounds every request by -deadline, and drains
+// gracefully on SIGINT/SIGTERM (in-flight requests finish; exit code 0).
+//
+// -load points at a checkpoint file written by apsprun -checkpoint; the
+// daemon validates it against the graph and flags (same gate as apsprun
+// -resume), finishes the computation from the snapshot, and serves the
+// result. POST /admin/recompute rebuilds from scratch with the same spec
+// and atomically publishes the new snapshot: queries in flight during the
+// swap are answered entirely by the old or entirely by the new generation,
+// never a mix.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "apspd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored for tests: args are the command-line
+// arguments (without argv[0]), ready (when non-nil) receives the bound
+// address once the listener is serving, and the function returns when the
+// server drains after a signal (or fails to start).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("apspd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once serving (for scripts)")
+
+		file = fs.String("graph", "", "graph file (empty = generate)")
+		grid = fs.String("grid", "", "ROWSxCOLS: generate a grid graph instead of a random one")
+		n    = fs.Int("n", 64, "nodes (generated graphs)")
+		m    = fs.Int("m", 256, "edges (generated graphs)")
+		maxW = fs.Int64("maxw", 8, "max weight (generated graphs)")
+		zero = fs.Float64("zero", 0.25, "zero-weight fraction (generated graphs)")
+		seed = fs.Int64("seed", 1, "seed (generated graphs)")
+
+		alg       = fs.String("alg", "pipeline", "pipeline | blocker | scaling | shortrange | bellman")
+		srcsArg   = fs.String("sources", "", "comma-separated sources (empty = all)")
+		h         = fs.Int("h", 0, "hop parameter (0 = per-algorithm default)")
+		workers   = fs.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
+		schedArg  = fs.String("sched", "active", "engine scheduler: active | dense")
+		faultsArg = fs.String("faults", "", "adversarial network plan for the compute phase (faults.Parse syntax)")
+		faultSeed = fs.Int64("fault-seed", 0, "fault PRF seed (when the -faults plan has no seed term)")
+		loadPath  = fs.String("load", "", "resume the compute from this apsprun checkpoint file")
+
+		shardBits   = fs.Uint("shard-bits", 0, "log2 source rows per shard (0 = default)")
+		cacheSize   = fs.Int("cache", 4096, "path cache entries (0 disables)")
+		maxInflight = fs.Int("max-inflight", 0, "concurrent query ceiling before 429 (0 = default)")
+		admitWait   = fs.Duration("admit-wait", 0, "how long a query may wait for an admission slot (0 = default)")
+		deadline    = fs.Duration("deadline", 0, "per-request deadline (0 = default)")
+		batchBudget = fs.Int("batch-budget", 0, "max queries per /batch request (0 = default)")
+		drainWait   = fs.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	logger := log.New(stderr, "apspd: ", log.LstdFlags)
+
+	sched, err := parseScheduler(*schedArg)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*file, *grid, *n, *m, *maxW, *zero, *seed)
+	if err != nil {
+		return err
+	}
+	sources, err := parseSources(*srcsArg, g.N())
+	if err != nil {
+		return err
+	}
+
+	spec := oracle.ComputeSpec{
+		Alg: *alg, Sources: sources, H: *h, Workers: *workers, Sched: sched,
+		Plan: *faultsArg, FaultSeed: *faultSeed,
+	}
+	if *loadPath != "" {
+		if !flagWasSet(fs, "alg") {
+			spec.Alg = "" // adopt the algorithm recorded in the checkpoint
+		}
+		if err := oracle.LoadCheckpoint(*loadPath, g, &spec); err != nil {
+			return err
+		}
+		logger.Printf("resuming %s from checkpoint %s", spec.Alg, *loadPath)
+	}
+	fp := checkpoint.Fingerprint(g)
+
+	// buildSnapshot runs the compute phase and repacks the result; the
+	// initial build uses the (possibly resumed) spec, recomputes always
+	// start from scratch.
+	buildSnapshot := func(ctx context.Context, sp oracle.ComputeSpec) (*oracle.Snapshot, error) {
+		in, err := oracle.Compute(ctx, g, sp)
+		if err != nil {
+			return nil, err
+		}
+		return oracle.Build(g, in, oracle.BuildOpts{ShardBits: *shardBits, Fingerprint: fp})
+	}
+
+	logger.Printf("computing %s over n=%d m=%d k=%d ...", spec.Alg, g.N(), g.M(), len(sources))
+	start := time.Now()
+	snap, err := buildSnapshot(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	logger.Printf("snapshot ready in %v: alg=%s k=%d paths=%v (CONGEST rounds=%d messages=%d)",
+		time.Since(start).Round(time.Millisecond), snap.Alg(), snap.K(), snap.HasPaths(),
+		snap.Stats().Rounds, snap.Stats().Messages)
+
+	srv := &oracle.Server{
+		Store: &oracle.Store{}, Cache: oracle.NewPathCache(*cacheSize), Met: oracle.NewMetrics(),
+		MaxInflight: *maxInflight, AdmitWait: *admitWait, Deadline: *deadline, BatchBudget: *batchBudget,
+		Logf: logger.Printf,
+	}
+	freshSpec := spec
+	freshSpec.Resume = nil // recomputes never replay the startup checkpoint
+	srv.Recompute = func(ctx context.Context) (*oracle.Snapshot, error) {
+		return buildSnapshot(ctx, freshSpec)
+	}
+	srv.Publish(snap)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	logger.Printf("serving on %s", bound)
+	if ready != nil {
+		ready <- bound
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("signal received, draining (max %v)", *drainWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained, bye")
+	return nil
+}
+
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func parseScheduler(arg string) (congest.Scheduler, error) {
+	switch arg {
+	case "active":
+		return congest.SchedulerActive, nil
+	case "dense":
+		return congest.SchedulerDense, nil
+	}
+	return 0, fmt.Errorf("bad -sched %q (want active | dense)", arg)
+}
+
+func parseSources(arg string, n int) ([]int, error) {
+	if arg == "" {
+		all := make([]int, n)
+		for v := range all {
+			all[v] = v
+		}
+		return all, nil
+	}
+	parts := strings.Split(arg, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad source %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func loadGraph(file, grid string, n, m int, maxW int64, zero float64, seed int64) (*graph.Graph, error) {
+	if grid != "" {
+		rows, cols, ok := strings.Cut(grid, "x")
+		r, err1 := strconv.Atoi(rows)
+		c, err2 := strconv.Atoi(cols)
+		if !ok || err1 != nil || err2 != nil || r < 1 || c < 1 {
+			return nil, fmt.Errorf("bad -grid %q (want ROWSxCOLS)", grid)
+		}
+		return graph.Grid(r, c, graph.GenOpts{MaxW: maxW, ZeroFrac: zero, Seed: seed}), nil
+	}
+	if file == "" {
+		return graph.Random(n, m, graph.GenOpts{MaxW: maxW, ZeroFrac: zero, Seed: seed, Directed: true}), nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Decode(f)
+}

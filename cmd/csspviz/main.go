@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/blocker"
@@ -21,18 +22,36 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "csspviz: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command body, factored so tests can drive it with arbitrary
+// arguments and capture the DOT output. Both the generator and the CSSSP
+// construction are deterministic for a given argument vector.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("csspviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		file     = flag.String("graph", "", "graph file (empty = generate)")
-		n        = flag.Int("n", 24, "nodes (generated)")
-		m        = flag.Int("m", 80, "edges (generated)")
-		maxW     = flag.Int64("maxw", 8, "max weight (generated)")
-		zero     = flag.Float64("zero", 0.25, "zero fraction (generated)")
-		seed     = flag.Int64("seed", 1, "seed")
-		h        = flag.Int("h", 3, "hop parameter")
-		source   = flag.Int("source", 0, "tree to render")
-		blockers = flag.Bool("blockers", false, "compute and highlight a blocker set (all sources)")
+		file     = fs.String("graph", "", "graph file (empty = generate)")
+		n        = fs.Int("n", 24, "nodes (generated)")
+		m        = fs.Int("m", 80, "edges (generated)")
+		maxW     = fs.Int64("maxw", 8, "max weight (generated)")
+		zero     = fs.Float64("zero", 0.25, "zero fraction (generated)")
+		seed     = fs.Int64("seed", 1, "seed")
+		h        = fs.Int("h", 3, "hop parameter")
+		source   = fs.Int("source", 0, "tree to render")
+		blockers = fs.Bool("blockers", false, "compute and highlight a blocker set (all sources)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	var g *graph.Graph
 	if *file == "" {
@@ -40,17 +59,17 @@ func main() {
 	} else {
 		f, err := os.Open(*file)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		var derr error
 		g, derr = graph.Decode(f)
 		f.Close()
 		if derr != nil {
-			fail(derr)
+			return derr
 		}
 	}
 	if *source < 0 || *source >= g.N() {
-		fail(fmt.Errorf("source %d out of range", *source))
+		return fmt.Errorf("source %d out of range", *source)
 	}
 
 	sources := []int{*source}
@@ -62,14 +81,14 @@ func main() {
 	}
 	coll, err := cssp.Build(g, sources, *h, 0, congest.Config{})
 	if err != nil {
-		fail(err)
+		return err
 	}
 	highlight := map[int]string{}
 	title := fmt.Sprintf("CSSSP tree of %d (h=%d)", *source, *h)
 	if *blockers {
 		blk, err := blocker.Compute(g, coll, congest.Config{})
 		if err != nil {
-			fail(err)
+			return err
 		}
 		for _, c := range blk.Q {
 			highlight[c] = "tomato"
@@ -84,7 +103,7 @@ func main() {
 		}
 	}
 	highlight[*source] = "lightskyblue"
-	err = dot.Write(os.Stdout, g, dot.Options{
+	return dot.Write(stdout, g, dot.Options{
 		Title:      title,
 		TreeParent: coll.Parent[treeIdx],
 		Highlight:  highlight,
@@ -95,12 +114,4 @@ func main() {
 			return fmt.Sprintf("%d\\nd=%d", v, coll.Dist[treeIdx][v])
 		},
 	})
-	if err != nil {
-		fail(err)
-	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "csspviz: %v\n", err)
-	os.Exit(1)
 }

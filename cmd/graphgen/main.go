@@ -11,52 +11,71 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/graph"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command body, factored so tests can drive it with arbitrary
+// arguments and capture the output. Generation is deterministic: the same
+// arguments always produce byte-identical output.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		family   = flag.String("family", "random", "random | gnp | grid | ring | path | complete | tree | pa | zeroheavy | layered | smallworld | geometric")
-		n        = flag.Int("n", 64, "nodes")
-		m        = flag.Int("m", 256, "edges (random/zeroheavy)")
-		p        = flag.Float64("p", 0.1, "edge probability (gnp)")
-		rows     = flag.Int("rows", 8, "grid rows / layered layers")
-		cols     = flag.Int("cols", 8, "grid cols / layered width")
-		deg      = flag.Int("deg", 2, "attachment degree (pa)")
-		maxW     = flag.Int64("maxw", 16, "maximum edge weight")
-		minW     = flag.Int64("minw", 0, "minimum edge weight")
-		zero     = flag.Float64("zero", 0, "fraction of zero-weight edges")
-		seed     = flag.Int64("seed", 1, "seed")
-		directed = flag.Bool("directed", false, "directed graph")
-		info     = flag.String("info", "", "summarize this graph file and exit")
+		family   = fs.String("family", "random", "random | gnp | grid | ring | path | complete | tree | pa | zeroheavy | layered | smallworld | geometric")
+		n        = fs.Int("n", 64, "nodes")
+		m        = fs.Int("m", 256, "edges (random/zeroheavy)")
+		p        = fs.Float64("p", 0.1, "edge probability (gnp)")
+		rows     = fs.Int("rows", 8, "grid rows / layered layers")
+		cols     = fs.Int("cols", 8, "grid cols / layered width")
+		deg      = fs.Int("deg", 2, "attachment degree (pa)")
+		maxW     = fs.Int64("maxw", 16, "maximum edge weight")
+		minW     = fs.Int64("minw", 0, "minimum edge weight")
+		zero     = fs.Float64("zero", 0, "fraction of zero-weight edges")
+		seed     = fs.Int64("seed", 1, "seed")
+		directed = fs.Bool("directed", false, "directed graph")
+		info     = fs.String("info", "", "summarize this graph file and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *info != "" {
 		f, err := os.Open(*info)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		g, err := graph.Decode(f)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		kind := "undirected"
 		if g.Directed() {
 			kind = "directed"
 		}
-		fmt.Printf("nodes:     %d\n", g.N())
-		fmt.Printf("edges:     %d (%s)\n", g.M(), kind)
-		fmt.Printf("max w:     %d\n", g.MaxWeight())
-		fmt.Printf("connected: %v\n", g.CommConnected())
+		fmt.Fprintf(stdout, "nodes:     %d\n", g.N())
+		fmt.Fprintf(stdout, "edges:     %d (%s)\n", g.M(), kind)
+		fmt.Fprintf(stdout, "max w:     %d\n", g.MaxWeight())
+		fmt.Fprintf(stdout, "connected: %v\n", g.CommConnected())
 		if g.CommConnected() {
-			fmt.Printf("diameter:  %d\n", g.CommDiameter())
-			fmt.Printf("Δ (max SP): %d\n", graph.Delta(g))
+			fmt.Fprintf(stdout, "diameter:  %d\n", g.CommDiameter())
+			fmt.Fprintf(stdout, "Δ (max SP): %d\n", graph.Delta(g))
 		}
-		return
+		return nil
 	}
 
 	opts := graph.GenOpts{MaxW: *maxW, MinW: *minW, ZeroFrac: *zero, Directed: *directed, Seed: *seed}
@@ -87,14 +106,7 @@ func main() {
 	case "geometric":
 		g = graph.Geometric(*n, *p, opts)
 	default:
-		fail(fmt.Errorf("unknown family %q", *family))
+		return fmt.Errorf("unknown family %q", *family)
 	}
-	if err := graph.Encode(os.Stdout, g); err != nil {
-		fail(err)
-	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
-	os.Exit(1)
+	return graph.Encode(stdout, g)
 }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestReconstructPathTypedErrors drives every failure mode of the
+// hardened walker with corrupt or out-of-range inputs — the oracle serving
+// layer calls this on untrusted queries, so each case must come back as a
+// typed error, never a panic or a hang.
+func TestReconstructPathTypedErrors(t *testing.T) {
+	// A path 0—1—2—3 whose last edge has weight zero: the zero edge is what
+	// lets a corrupted parent matrix form a cycle that passes the
+	// distance-tightness check (hop records must be dropped too — consistent
+	// hops cannot cycle, which is itself part of the defense).
+	mkRes := func() (*graph.Graph, *Result) {
+		g := graph.New(4, false)
+		g.MustAddEdge(0, 1, 2)
+		g.MustAddEdge(1, 2, 1)
+		g.MustAddEdge(2, 3, 0)
+		res, err := Run(g, Opts{Sources: []int{0}, H: 3})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return g, res
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*Result)
+		i, v    int
+		wantErr error
+	}{
+		{"source index negative", nil, -1, 2, ErrPathSourceRange},
+		{"source index too large", nil, 7, 2, ErrPathSourceRange},
+		{"node negative", nil, 0, -3, ErrPathNodeRange},
+		{"node too large", nil, 0, 99, ErrPathNodeRange},
+		{"parent cycle", func(r *Result) {
+			// 2 and 3 point at each other across the zero-weight edge: every
+			// step is distance-tight, so only the cycle guard can stop the
+			// walk from looping forever.
+			r.Parent[0][2] = 3
+			r.Parent[0][3] = 2
+			r.Hops = nil
+		}, 0, 3, ErrPathCycle},
+		{"self-parent", func(r *Result) {
+			// A self-loop arc is never in the graph, so the walk dies on arc
+			// validation before the cycle guard is even needed.
+			r.Parent[0][2] = 2
+			r.Hops = nil
+		}, 0, 2, ErrPathBadArc},
+		{"broken chain", func(r *Result) { r.Parent[0][2] = -1 }, 0, 2, ErrPathBroken},
+		{"parent outside graph", func(r *Result) { r.Parent[0][2] = 42 }, 0, 2, ErrPathBroken},
+		{"parent arc not in graph", func(r *Result) { r.Parent[0][3] = 1 }, 0, 3, ErrPathBadArc},
+		{"distance not tight", func(r *Result) { r.Dist[0][2]++ }, 0, 3, ErrPathInconsistent},
+		{"hop count not tight", func(r *Result) { r.Hops[0][2]++ }, 0, 3, ErrPathInconsistent},
+		{"dist rows truncated", func(r *Result) { r.Dist = r.Dist[:0] }, 0, 2, ErrPathMalformed},
+		{"dist row short", func(r *Result) { r.Dist[0] = r.Dist[0][:2] }, 0, 1, ErrPathMalformed},
+		{"parent rows missing", func(r *Result) { r.Parent = nil }, 0, 2, ErrPathMalformed},
+		{"source node outside graph", func(r *Result) { r.Sources[0] = 9 }, 0, 2, ErrPathMalformed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, res := mkRes()
+			if tc.mutate != nil {
+				tc.mutate(res)
+			}
+			path, err := ReconstructPath(g, res, tc.i, tc.v)
+			if err == nil {
+				t.Fatalf("corrupt input accepted, path %v", path)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error %v, want kind %v", err, tc.wantErr)
+			}
+			var pe *PathError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not *PathError", err)
+			}
+		})
+	}
+}
+
+// TestReconstructPathUnreachableTyped pins the unreachable case to its
+// sentinel (directed path graph reversed: node 0 cannot be reached from 3).
+func TestReconstructPathUnreachableTyped(t *testing.T) {
+	g := graph.Path(4, graph.GenOpts{Seed: 1, MaxW: 3})
+	res, err := Run(g, Opts{Sources: []int{0}, H: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	_, err = ReconstructPath(g, res, 0, 3)
+	if !errors.Is(err, ErrPathUnreachable) {
+		t.Fatalf("error %v, want ErrPathUnreachable", err)
+	}
+}
+
+// TestWalkParentsNilHops checks the accessor walker accepts results
+// without hop records (Bellman–Ford parents, oracle snapshots) and still
+// validates distance tightness.
+func TestWalkParentsNilHops(t *testing.T) {
+	g := graph.New(3, true)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	dist := []int64{0, 2, 5}
+	parent := []int{0, 0, 1}
+	pv := PathView{
+		Sources: []int{0},
+		Dist:    func(i, v int) int64 { return dist[v] },
+		Parent:  func(i, v int) int { return parent[v] },
+	}
+	path, err := WalkParents(g, pv, 0, 2)
+	if err != nil {
+		t.Fatalf("WalkParents: %v", err)
+	}
+	if len(path) != 3 || path[0] != 0 || path[2] != 2 {
+		t.Fatalf("path = %v, want [0 1 2]", path)
+	}
+	dist[1] = 1 // break tightness
+	if _, err := WalkParents(g, pv, 0, 2); !errors.Is(err, ErrPathInconsistent) {
+		t.Fatalf("error %v, want ErrPathInconsistent", err)
+	}
+}

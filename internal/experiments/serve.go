@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+func init() {
+	register("E-SERVE", eServe)
+}
+
+// eServe drives the apspd serving layer (internal/oracle) with a closed-loop
+// load generator: W workers each issue a fixed quota of queries against a
+// published snapshot over real HTTP, for the point-distance, path and batch
+// endpoints. Every /dist answer is checked against the in-memory matrices
+// and every /path answer against the snapshot walker, so the table doubles
+// as an end-to-end differential gate for the serving stack; throughput and
+// latency columns are wall-clock and therefore machine-dependent (unlike
+// every other experiment in this package, which reports logical costs).
+func eServe(cfg Config) (*Table, error) {
+	n, m, k := 256, 1024, 32
+	perWorker := 1500
+	levels := []int{1, 8, 32}
+	if cfg.Small {
+		n, m, k = 64, 256, 8
+		perWorker = 150
+		levels = []int{1, 4}
+	}
+
+	g := graph.Random(n, m, graph.GenOpts{Seed: cfg.Seed, MaxW: 8, ZeroFrac: 0.25, Directed: true})
+	sources := make([]int, k)
+	dist := make([][]int64, k)
+	parent := make([][]int, k)
+	for i := range sources {
+		src := i * (n / k)
+		sources[i] = src
+		dist[i], parent[i] = graph.DijkstraTree(g, src)
+	}
+	// The serving layer is the system under test, so the snapshot comes from
+	// the sequential oracle; the checkpoint→compute→serve route is covered
+	// by the oracle package's differential and handoff tests.
+	snap, err := oracle.Build(g, oracle.BuildInput{Alg: "dijkstra", Sources: sources, Dist: dist, Parent: parent}, oracle.BuildOpts{})
+	if err != nil {
+		return nil, err
+	}
+	srv := &oracle.Server{Store: &oracle.Store{}, Cache: oracle.NewPathCache(4096), Met: oracle.NewMetrics(), MaxInflight: 1024}
+	srv.Publish(snap)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		// The default per-host idle-connection cap would force most of a
+		// 32-worker closed loop through fresh TCP connections.
+		tr.MaxIdleConnsPerHost = levels[len(levels)-1] * 2
+	}
+
+	t := &Table{
+		ID:      "E-SERVE",
+		Title:   "apspd serving layer: closed-loop throughput and latency (validated answers)",
+		Headers: []string{"endpoint", "workers", "queries", "qps", "p50(us)", "p99(us)"},
+	}
+
+	for _, kind := range []string{"dist", "path", "batch16"} {
+		for _, workers := range levels {
+			res, err := serveLoop(client, ts.URL, snap, kind, workers, perWorker, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s x%d: %w", kind, workers, err)
+			}
+			t.AddRow(kind, workers, res.queries,
+				fmt.Sprintf("%.0f", res.qps),
+				fmt.Sprintf("%.0f", res.quantile(0.50)),
+				fmt.Sprintf("%.0f", res.quantile(0.99)))
+		}
+	}
+
+	t.Note(fmt.Sprintf("n=%d k=%d snapshot; every dist answer checked against the matrices, every path answer against the walker", n, k))
+	t.Note("batch16 posts 16 point queries per request; qps counts individual queries, latency is per request")
+	t.Note("qps and latency are wall-clock (machine-dependent); the validation columns of this experiment are the deterministic part")
+	return t, nil
+}
+
+// serveResult aggregates one load-generation cell.
+type serveResult struct {
+	queries int
+	qps     float64
+	lats    []time.Duration // one sample per HTTP request, sorted
+}
+
+func (r *serveResult) quantile(q float64) float64 {
+	if len(r.lats) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(r.lats))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.lats) {
+		i = len(r.lats) - 1
+	}
+	return float64(r.lats[i]) / float64(time.Microsecond)
+}
+
+// serveLoop runs one closed-loop cell: `workers` goroutines, each issuing
+// `perWorker` requests of the given kind, validating every answer.
+func serveLoop(client *http.Client, base string, snap *oracle.Snapshot, kind string, workers, perWorker int, seed int64) (*serveResult, error) {
+	sources := snap.Sources()
+	n := snap.N()
+	const batchSize = 16
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		allLats  []time.Duration
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Deterministic per-worker query stream (splitmix-style LCG).
+			x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(w+1)*0xbf58476d1ce4e5b9
+			next := func() (src, row, dst int) {
+				x = x*6364136223846793005 + 1442695040888963407
+				i := int((x >> 33) % uint64(len(sources)))
+				r, _ := snap.Row(sources[i])
+				return sources[i], r, int(x % uint64(n))
+			}
+			lats := make([]time.Duration, 0, perWorker)
+			fail := func(err error) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+			for q := 0; q < perWorker; q++ {
+				var err error
+				t0 := time.Now()
+				switch kind {
+				case "dist":
+					src, row, dst := next()
+					err = serveCheckDist(client, base, snap, src, row, dst)
+				case "path":
+					src, row, dst := next()
+					err = serveCheckPath(client, base, snap, src, row, dst)
+				case "batch16":
+					err = serveCheckBatch(client, base, snap, next, batchSize)
+				default:
+					err = fmt.Errorf("unknown kind %q", kind)
+				}
+				lats = append(lats, time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("worker %d query %d: %w", w, q, err))
+					return
+				}
+			}
+			mu.Lock()
+			allLats = append(allLats, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+	queries := workers * perWorker
+	if kind == "batch16" {
+		queries *= batchSize
+	}
+	return &serveResult{
+		queries: queries,
+		qps:     float64(queries) / elapsed.Seconds(),
+		lats:    allLats,
+	}, nil
+}
+
+func serveGet(client *http.Client, url string, out any) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("bad JSON %q: %w", body, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func serveCheckDist(client *http.Client, base string, snap *oracle.Snapshot, src, row, dst int) error {
+	var resp struct {
+		Reachable bool   `json:"reachable"`
+		Dist      *int64 `json:"dist"`
+	}
+	status, err := serveGet(client, fmt.Sprintf("%s/dist?src=%d&dst=%d", base, src, dst), &resp)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("dist(%d,%d): status %d", src, dst, status)
+	}
+	want := snap.DistAt(row, dst)
+	if want >= graph.Inf {
+		if resp.Reachable || resp.Dist != nil {
+			return fmt.Errorf("dist(%d,%d): unreachable pair answered %+v", src, dst, resp)
+		}
+		return nil
+	}
+	if resp.Dist == nil || *resp.Dist != want {
+		return fmt.Errorf("dist(%d,%d) = %+v, want %d", src, dst, resp, want)
+	}
+	return nil
+}
+
+func serveCheckPath(client *http.Client, base string, snap *oracle.Snapshot, src, row, dst int) error {
+	var resp struct {
+		Dist int64 `json:"dist"`
+		Path []int `json:"path"`
+	}
+	status, err := serveGet(client, fmt.Sprintf("%s/path?src=%d&dst=%d", base, src, dst), &resp)
+	if err != nil {
+		return err
+	}
+	if snap.DistAt(row, dst) >= graph.Inf {
+		if status != http.StatusNotFound {
+			return fmt.Errorf("path(%d,%d): unreachable pair status %d", src, dst, status)
+		}
+		return nil
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("path(%d,%d): status %d", src, dst, status)
+	}
+	wantPath, werr := snap.Path(row, dst)
+	if werr != nil {
+		return fmt.Errorf("path(%d,%d): walker refused: %w", src, dst, werr)
+	}
+	if len(resp.Path) != len(wantPath) || resp.Dist != snap.DistAt(row, dst) {
+		return fmt.Errorf("path(%d,%d) = %+v, want %v", src, dst, resp, wantPath)
+	}
+	for i := range wantPath {
+		if resp.Path[i] != wantPath[i] {
+			return fmt.Errorf("path(%d,%d)[%d] = %d, want %d", src, dst, i, resp.Path[i], wantPath[i])
+		}
+	}
+	return nil
+}
+
+func serveCheckBatch(client *http.Client, base string, snap *oracle.Snapshot, next func() (src, row, dst int), size int) error {
+	type item struct {
+		Src int `json:"src"`
+		Dst int `json:"dst"`
+	}
+	items := make([]item, size)
+	rows := make([]int, size)
+	for i := range items {
+		src, row, dst := next()
+		items[i] = item{Src: src, Dst: dst}
+		rows[i] = row
+	}
+	body, err := json.Marshal(struct {
+		Queries []item `json:"queries"`
+	}{items})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("batch: status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Results []struct {
+			Reachable bool   `json:"reachable"`
+			Dist      *int64 `json:"dist"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return fmt.Errorf("batch: bad JSON %q: %w", raw, err)
+	}
+	if len(out.Results) != size {
+		return fmt.Errorf("batch: %d results, want %d", len(out.Results), size)
+	}
+	for i, r := range out.Results {
+		want := snap.DistAt(rows[i], items[i].Dst)
+		if want >= graph.Inf {
+			if r.Reachable || r.Dist != nil {
+				return fmt.Errorf("batch[%d]: unreachable pair answered %+v", i, r)
+			}
+			continue
+		}
+		if r.Dist == nil || *r.Dist != want {
+			return fmt.Errorf("batch[%d] = %+v, want %d", i, r, want)
+		}
+	}
+	return nil
+}

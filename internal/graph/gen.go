@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // GenOpts configures the random generators. Zero values select sensible
@@ -209,7 +210,15 @@ func PreferentialAttachment(n, deg int, opts GenOpts) *Graph {
 				targets[u] = true
 			}
 		}
+		// Emit in sorted order: ranging over the set directly would tie the
+		// edge order — and the weights drawn per edge — to Go's randomized
+		// map iteration, breaking the seed-determines-output contract.
+		picked := make([]int, 0, len(targets))
 		for u := range targets {
+			picked = append(picked, u)
+		}
+		sort.Ints(picked)
+		for _, u := range picked {
 			g.MustAddEdge(u, v, opts.weight(rng))
 			pool = append(pool, u, v)
 		}

@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 )
 
 // metricsBuckets are the upper bounds of the per-round message-count
 // histogram (Prometheus "le" convention; +Inf is implicit).
-var metricsBuckets = []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+var metricsBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
 
 type phaseMetrics struct {
 	name     string
@@ -27,8 +26,9 @@ type phaseMetrics struct {
 }
 
 // Metrics accumulates the event stream into phase-labelled aggregates and,
-// on Close, writes them in the Prometheus text exposition format — a plain
-// metrics dump that node_exporter-style tooling (or grep) can consume.
+// on Close, writes them in the Prometheus text exposition format (via the
+// shared Registry encoder) — a plain metrics dump that node_exporter-style
+// tooling (or grep) can consume.
 type Metrics struct {
 	w      io.Writer
 	closer io.Closer
@@ -37,18 +37,19 @@ type Metrics struct {
 	byName map[string]*phaseMetrics
 	runs   int
 
-	bucketCounts []int64
-	msgSum       int64
-	msgCount     int64
+	bucketRaw []int64 // per-bucket (non-cumulative) round message counts
+	msgInf    int64   // rounds above the last bucket bound
+	msgSum    int64
+	msgCount  int64
 }
 
 // NewMetrics wraps an io.Writer. If w is also an io.Closer it is closed by
 // Close.
 func NewMetrics(w io.Writer) *Metrics {
 	m := &Metrics{
-		w:            w,
-		byName:       make(map[string]*phaseMetrics),
-		bucketCounts: make([]int64, len(metricsBuckets)),
+		w:         w,
+		byName:    make(map[string]*phaseMetrics),
+		bucketRaw: make([]int64, len(metricsBuckets)),
 	}
 	if cl, ok := w.(io.Closer); ok {
 		m.closer = cl
@@ -99,10 +100,16 @@ func (m *Metrics) Emit(e Event) error {
 		p.wallUS += e.RoundUS
 		m.msgSum += int64(e.Sent)
 		m.msgCount++
+		placed := false
 		for i, le := range metricsBuckets {
-			if e.Sent <= le {
-				m.bucketCounts[i]++
+			if float64(e.Sent) <= le {
+				m.bucketRaw[i]++
+				placed = true
+				break
 			}
+		}
+		if !placed {
+			m.msgInf++
 		}
 	case "node_sends":
 		if e.Msgs > p.maxNode {
@@ -123,79 +130,56 @@ func (m *Metrics) Emit(e Event) error {
 	return nil
 }
 
-// Close implements Sink: writes the accumulated metrics.
+// Close implements Sink: folds the accumulated aggregates into a Registry
+// and writes it.
 func (m *Metrics) Close() error {
-	var b strings.Builder
-	series := func(help, typ, name string, rows func()) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		rows()
+	reg := NewRegistry()
+	reg.Counter("congest_runs_total", "engine runs observed").Add(float64(m.runs))
+	for _, p := range m.order {
+		reg.Counter("congest_phase_rounds_total",
+			"rounds executed per phase (incl. quiescing rounds)", L("phase", p.name)).Add(float64(p.rounds))
 	}
-	series("engine runs observed", "counter", "congest_runs_total", func() {
-		fmt.Fprintf(&b, "congest_runs_total %d\n", m.runs)
-	})
-	series("rounds executed per phase (incl. quiescing rounds)", "counter",
-		"congest_phase_rounds_total", func() {
-			for _, p := range m.order {
-				fmt.Fprintf(&b, "congest_phase_rounds_total{phase=%q} %d\n", p.name, p.rounds)
-			}
-		})
-	series("messages sent per phase", "counter", "congest_phase_messages_total", func() {
-		for _, p := range m.order {
-			fmt.Fprintf(&b, "congest_phase_messages_total{phase=%q} %d\n", p.name, p.messages)
-		}
-	})
-	series("wall-clock round time per phase", "counter", "congest_phase_wall_seconds_total", func() {
-		for _, p := range m.order {
-			fmt.Fprintf(&b, "congest_phase_wall_seconds_total{phase=%q} %g\n", p.name, float64(p.wallUS)/1e6)
-		}
-	})
-	series("peak per-link congestion seen in a phase", "gauge",
-		"congest_phase_max_link_congestion", func() {
-			for _, p := range m.order {
-				fmt.Fprintf(&b, "congest_phase_max_link_congestion{phase=%q} %d\n", p.name, p.maxLink)
-			}
-		})
-	series("peak single-node sends in one round per phase", "gauge",
-		"congest_phase_max_node_sends", func() {
-			for _, p := range m.order {
-				fmt.Fprintf(&b, "congest_phase_max_node_sends{phase=%q} %d\n", p.name, p.maxNode)
-			}
-		})
+	for _, p := range m.order {
+		reg.Counter("congest_phase_messages_total", "messages sent per phase",
+			L("phase", p.name)).Add(float64(p.messages))
+	}
+	for _, p := range m.order {
+		reg.Counter("congest_phase_wall_seconds_total", "wall-clock round time per phase",
+			L("phase", p.name)).Add(float64(p.wallUS) / 1e6)
+	}
+	for _, p := range m.order {
+		reg.Gauge("congest_phase_max_link_congestion", "peak per-link congestion seen in a phase",
+			L("phase", p.name)).Set(float64(p.maxLink))
+	}
+	for _, p := range m.order {
+		reg.Gauge("congest_phase_max_node_sends", "peak single-node sends in one round per phase",
+			L("phase", p.name)).Set(float64(p.maxNode))
+	}
 	if physAny(m.order) {
-		series("physical transmissions per phase (incl. retransmits and duplicates)",
-			"counter", "congest_phase_phys_sends_total", func() {
-				for _, p := range m.order {
-					fmt.Fprintf(&b, "congest_phase_phys_sends_total{phase=%q} %d\n", p.name, p.physSends)
-				}
-			})
-		series("retransmissions per phase", "counter", "congest_phase_phys_retransmits_total", func() {
-			for _, p := range m.order {
-				fmt.Fprintf(&b, "congest_phase_phys_retransmits_total{phase=%q} %d\n", p.name, p.physRetrans)
-			}
-		})
-		series("adversary-dropped transmissions per phase (data + ack)", "counter",
-			"congest_phase_phys_drops_total", func() {
-				for _, p := range m.order {
-					fmt.Fprintf(&b, "congest_phase_phys_drops_total{phase=%q} %d\n", p.name, p.physDrops)
-				}
-			})
-		series("simulated physical sub-rounds per phase", "counter",
-			"congest_phase_phys_subrounds_total", func() {
-				for _, p := range m.order {
-					fmt.Fprintf(&b, "congest_phase_phys_subrounds_total{phase=%q} %d\n", p.name, p.physSubs)
-				}
-			})
-	}
-	series("per-round message counts", "histogram", "congest_round_messages", func() {
-		for i, le := range metricsBuckets {
-			fmt.Fprintf(&b, "congest_round_messages_bucket{le=%q} %d\n", fmt.Sprint(le), m.bucketCounts[i])
+		for _, p := range m.order {
+			reg.Counter("congest_phase_phys_sends_total",
+				"physical transmissions per phase (incl. retransmits and duplicates)",
+				L("phase", p.name)).Add(float64(p.physSends))
 		}
-		fmt.Fprintf(&b, "congest_round_messages_bucket{le=\"+Inf\"} %d\n", m.msgCount)
-		fmt.Fprintf(&b, "congest_round_messages_sum %d\n", m.msgSum)
-		fmt.Fprintf(&b, "congest_round_messages_count %d\n", m.msgCount)
-	})
+		for _, p := range m.order {
+			reg.Counter("congest_phase_phys_retransmits_total", "retransmissions per phase",
+				L("phase", p.name)).Add(float64(p.physRetrans))
+		}
+		for _, p := range m.order {
+			reg.Counter("congest_phase_phys_drops_total",
+				"adversary-dropped transmissions per phase (data + ack)",
+				L("phase", p.name)).Add(float64(p.physDrops))
+		}
+		for _, p := range m.order {
+			reg.Counter("congest_phase_phys_subrounds_total",
+				"simulated physical sub-rounds per phase",
+				L("phase", p.name)).Add(float64(p.physSubs))
+		}
+	}
+	h := reg.Histogram("congest_round_messages", "per-round message counts", metricsBuckets)
+	h.restore(m.bucketRaw, m.msgInf, float64(m.msgSum))
 
-	_, err := io.WriteString(m.w, b.String())
+	err := reg.Write(m.w)
 	if m.closer != nil {
 		if cerr := m.closer.Close(); err == nil {
 			err = cerr

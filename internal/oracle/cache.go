@@ -1,0 +1,97 @@
+package oracle
+
+import (
+	"container/list"
+	"sync"
+)
+
+// pathKey identifies one materialized path. The generation is part of the
+// key, so a snapshot swap implicitly invalidates every cached entry
+// without any flush coordination — stale generations simply stop being
+// asked for and age out of the LRU.
+type pathKey struct {
+	gen  uint64
+	row  int
+	node int
+}
+
+// pathEntry caches the walker's full answer, error included: corrupt-row
+// and unreachable queries are just as repeatable as successful ones, and
+// re-walking them on every request would make the failure path the
+// expensive one.
+type pathEntry struct {
+	path []int
+	err  error
+}
+
+// PathCache is a fixed-capacity LRU over materialized paths. All methods
+// are safe for concurrent use; the zero value is invalid, use
+// NewPathCache.
+type PathCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recent; values are *pathElem
+	byK          map[pathKey]*list.Element
+	hits, misses uint64
+}
+
+type pathElem struct {
+	key pathKey
+	ent pathEntry
+}
+
+// NewPathCache returns an LRU holding at most capacity paths
+// (capacity <= 0 disables caching; every lookup misses).
+func NewPathCache(capacity int) *PathCache {
+	return &PathCache{cap: capacity, ll: list.New(), byK: make(map[pathKey]*list.Element)}
+}
+
+// Get returns the cached walker answer for (snapshot generation, row,
+// node) and whether it was present.
+func (c *PathCache) Get(gen uint64, row, node int) ([]int, error, bool) {
+	if c.cap <= 0 {
+		return nil, nil, false
+	}
+	k := pathKey{gen, row, node}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[k]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*pathElem).ent
+	return ent.path, ent.err, true
+}
+
+// Put stores a walker answer, evicting the least recently used entry when
+// over capacity.
+func (c *PathCache) Put(gen uint64, row, node int, path []int, err error) {
+	if c.cap <= 0 {
+		return
+	}
+	k := pathKey{gen, row, node}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*pathElem).ent = pathEntry{path, err}
+		return
+	}
+	el := c.ll.PushFront(&pathElem{key: k, ent: pathEntry{path, err}})
+	c.byK[k] = el
+	if c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.byK, old.Value.(*pathElem).key)
+	}
+}
+
+// Stats reports cumulative hit/miss counts and the current entry count.
+func (c *PathCache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,205 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bellman"
+	"repro/internal/checkpoint"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/hssp"
+	"repro/internal/scaling"
+	"repro/internal/shortrange"
+)
+
+// ComputeSpec describes one oracle precomputation: which protocol family
+// to run, over which sources, under which engine configuration. It mirrors
+// cmd/apsprun's flag conventions (H == 0 means the per-algorithm default,
+// nil Sources means all nodes, Plan in faults.Parse syntax) so a checkpoint
+// written by apsprun resumes here unchanged.
+type ComputeSpec struct {
+	// Alg is the protocol family: pipeline | blocker | scaling |
+	// shortrange | bellman. (approx is excluded: its result is a stretch
+	// bound, not exact distances, and the oracle contract is exactness.)
+	Alg string
+	// Sources are the query sources (nil = all nodes).
+	Sources []int
+	// H is the raw hop parameter (0 = per-algorithm default, exactly as
+	// apsprun's -h; checkpoint metadata records this raw value).
+	H int
+	// Workers and Sched configure the engine (results are bit-identical
+	// across both, so they are free to differ from the checkpointed run
+	// only in Workers — Sched is validated).
+	Workers int
+	Sched   congest.Scheduler
+	// Plan is an adversarial-delivery plan in faults.Parse syntax
+	// ("" or "none" = perfect delivery); FaultSeed keys the fault PRF when
+	// the plan carries no seed term.
+	Plan      string
+	FaultSeed int64
+	// Resume is an engine snapshot to restart from (see LoadCheckpoint).
+	Resume *congest.Snapshot
+	// Obs optionally attaches an engine observer.
+	Obs congest.Observer
+}
+
+// normalize expands the apsprun flag conventions against a concrete graph.
+func (sp *ComputeSpec) normalize(g *graph.Graph) error {
+	if sp.Sources == nil {
+		sp.Sources = make([]int, g.N())
+		for v := range sp.Sources {
+			sp.Sources[v] = v
+		}
+	}
+	for _, s := range sp.Sources {
+		if s < 0 || s >= g.N() {
+			return fmt.Errorf("oracle: source %d outside graph (n=%d)", s, g.N())
+		}
+	}
+	switch sp.Alg {
+	case "pipeline", "blocker", "scaling", "shortrange", "bellman":
+	default:
+		return fmt.Errorf("oracle: unknown algorithm %q (want pipeline | blocker | scaling | shortrange | bellman)", sp.Alg)
+	}
+	return nil
+}
+
+// hopBound resolves the effective hop parameter (apsprun's defaulting).
+func (sp *ComputeSpec) hopBound(g *graph.Graph) int {
+	if sp.H != 0 {
+		return sp.H
+	}
+	switch sp.Alg {
+	case "shortrange":
+		return 8
+	case "blocker", "scaling":
+		return 0 // hssp chooses its own H; scaling has none
+	default: // pipeline, bellman: unrestricted
+		return g.N() - 1
+	}
+}
+
+// network builds the adversarial-delivery shim for the spec's plan
+// ("" or "none" = nil, perfect delivery) and returns the canonical plan
+// string — the form checkpoint metadata records.
+func (sp *ComputeSpec) network() (*faults.Network, string, error) {
+	if sp.Plan == "" || sp.Plan == "none" {
+		return nil, "", nil
+	}
+	plan, err := faults.Parse(sp.Plan)
+	if err != nil {
+		return nil, "", err
+	}
+	if plan.Seed == 0 {
+		plan.Seed = sp.FaultSeed
+	}
+	fnet := faults.New(plan)
+	return fnet, fnet.Plan.String(), nil
+}
+
+// Compute runs the spec's protocol family to completion and returns the
+// result in BuildInput form, ready for Build. Families without parent
+// records (blocker, scaling) yield distance-only inputs: /dist and /batch
+// serve them, /path reports a typed error.
+func Compute(ctx context.Context, g *graph.Graph, sp ComputeSpec) (BuildInput, error) {
+	if err := sp.normalize(g); err != nil {
+		return BuildInput{}, err
+	}
+	fnet, _, err := sp.network()
+	if err != nil {
+		return BuildInput{}, err
+	}
+	var network congest.Network
+	if fnet != nil {
+		network = fnet
+	}
+	var pol *congest.CheckpointPolicy
+	if sp.Resume != nil {
+		pol = &congest.CheckpointPolicy{Resume: sp.Resume}
+	}
+	h := sp.hopBound(g)
+
+	switch sp.Alg {
+	case "pipeline":
+		res, err := core.Run(g, core.Opts{Sources: sp.Sources, H: h, Workers: sp.Workers,
+			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
+		if err != nil {
+			return BuildInput{}, err
+		}
+		return BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist,
+			Hops: res.Hops, Parent: res.Parent, Stats: res.Stats}, nil
+	case "blocker":
+		res, err := hssp.Run(g, hssp.Opts{Sources: sp.Sources, H: sp.H, Workers: sp.Workers,
+			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
+		if err != nil {
+			return BuildInput{}, err
+		}
+		return BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist, Stats: res.Stats}, nil
+	case "scaling":
+		res, err := scaling.Run(g, scaling.Opts{Sources: sp.Sources, Workers: sp.Workers,
+			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
+		if err != nil {
+			return BuildInput{}, err
+		}
+		return BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist, Stats: res.Stats}, nil
+	case "shortrange":
+		res, err := shortrange.Run(g, shortrange.Opts{Sources: sp.Sources, H: h, Workers: sp.Workers,
+			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
+		if err != nil {
+			return BuildInput{}, err
+		}
+		return BuildInput{Alg: sp.Alg, Sources: sp.Sources, Dist: res.Dist,
+			Hops: res.Hops, Parent: res.Parent, Stats: res.Stats}, nil
+	case "bellman":
+		res, err := bellman.Run(g, bellman.Opts{Sources: sp.Sources, H: h, Workers: sp.Workers,
+			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
+		if err != nil {
+			return BuildInput{}, err
+		}
+		// Bellman–Ford records parents but not hop counts: path queries go
+		// through the walker's nil-Hops mode (distance tightness only).
+		return BuildInput{Alg: sp.Alg, Sources: sp.Sources, Dist: res.Dist,
+			Parent: res.Parent, Stats: res.Stats}, nil
+	}
+	return BuildInput{}, fmt.Errorf("oracle: unknown algorithm %q", sp.Alg)
+}
+
+// LoadCheckpoint reads an apsprun checkpoint file, validates its metadata
+// against the graph and spec (graph fingerprint, sources, hop parameter,
+// fault plan, scheduler — the same gate apsprun -resume applies), and arms
+// sp.Resume with the snapshot. When the checkpoint names an algorithm it
+// must match sp.Alg; when sp.Alg is empty it is adopted from the
+// checkpoint, so `apspd -load run.ckpt` needs no -alg flag.
+//
+// Checkpoints taken under scripted crash faults (apsprun -crash) carry
+// disarmed-event state the oracle cannot replay and are rejected.
+func LoadCheckpoint(path string, g *graph.Graph, sp *ComputeSpec) error {
+	meta, snap, err := checkpoint.Load(path)
+	if err != nil {
+		return err
+	}
+	if sp.Alg == "" {
+		sp.Alg = meta.Alg
+	}
+	if meta.Alg != "" && meta.Alg != sp.Alg {
+		return fmt.Errorf("oracle: checkpoint %s was taken by -alg %s, not %s", path, meta.Alg, sp.Alg)
+	}
+	if len(meta.Disarmed) > 0 {
+		return fmt.Errorf("oracle: checkpoint %s carries scripted crash-fault state; resume it with apsprun -resume instead", path)
+	}
+	if err := sp.normalize(g); err != nil {
+		return err
+	}
+	_, planStr, err := sp.network()
+	if err != nil {
+		return err
+	}
+	if err := meta.ValidateAgainst(g, sp.Sources, sp.H, planStr, sp.Sched); err != nil {
+		return err
+	}
+	sp.Resume = snap
+	return nil
+}

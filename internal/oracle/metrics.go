@@ -1,0 +1,86 @@
+package oracle
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// latencyBounds are the query-latency histogram bucket upper bounds in
+// seconds: 10µs to ~2.6s in powers of 4, resolving both the in-memory
+// point-lookup regime and the pathological tail.
+var latencyBounds = []float64{
+	10e-6, 40e-6, 160e-6, 640e-6, 2.56e-3, 10.24e-3, 40.96e-3, 163.84e-3, 655.36e-3, 2.62144,
+}
+
+// Metrics is the serving-layer instrument set, one obs.Registry underneath
+// (the same encoder the engine's metrics sink uses, so /metrics output is
+// scrape-compatible with the rest of the repository's dumps).
+type Metrics struct {
+	reg *obs.Registry
+
+	// QueriesTotal counts finished queries by kind (dist | path | batch).
+	distQ, pathQ, batchQ obs.Counter
+	// Latency is observed once per finished query, in seconds.
+	distLat, pathLat, batchLat obs.Histogram
+	// Shed counts requests refused at admission (429).
+	Shed obs.Counter
+	// ErrorsTotal counts queries that returned a non-2xx status.
+	Errors obs.Counter
+	// CacheHits / CacheMisses mirror the path cache counters.
+	cacheHits, cacheMisses obs.Counter
+	// Generation is the serving snapshot generation; Swaps counts
+	// publishes; Inflight the currently admitted requests.
+	Generation obs.Gauge
+	Swaps      obs.Counter
+	Inflight   obs.Gauge
+}
+
+// NewMetrics registers the apspd instrument set on a fresh registry.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{reg: reg}
+	const qh = "queries served, by kind"
+	m.distQ = reg.Counter("apspd_queries_total", qh, obs.L("kind", "dist"))
+	m.pathQ = reg.Counter("apspd_queries_total", qh, obs.L("kind", "path"))
+	m.batchQ = reg.Counter("apspd_queries_total", qh, obs.L("kind", "batch"))
+	const lh = "query latency in seconds, by kind"
+	m.distLat = reg.Histogram("apspd_latency_seconds", lh, latencyBounds, obs.L("kind", "dist"))
+	m.pathLat = reg.Histogram("apspd_latency_seconds", lh, latencyBounds, obs.L("kind", "path"))
+	m.batchLat = reg.Histogram("apspd_latency_seconds", lh, latencyBounds, obs.L("kind", "batch"))
+	m.Shed = reg.Counter("apspd_shed_total", "requests refused at admission (HTTP 429)")
+	m.Errors = reg.Counter("apspd_errors_total", "queries answered with a non-2xx status")
+	m.cacheHits = reg.Counter("apspd_path_cache_hits_total", "path cache hits")
+	m.cacheMisses = reg.Counter("apspd_path_cache_misses_total", "path cache misses")
+	m.Generation = reg.Gauge("apspd_snapshot_generation", "serving snapshot generation (0 = none)")
+	m.Swaps = reg.Counter("apspd_snapshot_swaps_total", "snapshot publishes")
+	m.Inflight = reg.Gauge("apspd_inflight_requests", "requests currently admitted")
+	return m
+}
+
+// Query returns the (counter, histogram) pair for a query kind.
+func (m *Metrics) Query(kind string) (obs.Counter, obs.Histogram) {
+	switch kind {
+	case "path":
+		return m.pathQ, m.pathLat
+	case "batch":
+		return m.batchQ, m.batchLat
+	default:
+		return m.distQ, m.distLat
+	}
+}
+
+// SyncCache republishes the cache's cumulative counters (called on each
+// /metrics scrape; the counters are absolute, so set-via-add keeps the
+// registry monotone without per-query overhead in the cache).
+func (m *Metrics) SyncCache(c *PathCache) {
+	if c == nil {
+		return
+	}
+	hits, misses, _ := c.Stats()
+	m.cacheHits.Add(float64(hits) - m.cacheHits.Value())
+	m.cacheMisses.Add(float64(misses) - m.cacheMisses.Value())
+}
+
+// Write renders the instrument set in Prometheus text format.
+func (m *Metrics) Write(w io.Writer) error { return m.reg.Write(w) }

@@ -1,0 +1,437 @@
+package oracle
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Defaults for the Server knobs (applied when the field is zero).
+const (
+	DefaultMaxInflight = 256
+	DefaultAdmitWait   = 5 * time.Millisecond
+	DefaultDeadline    = 2 * time.Second
+	DefaultBatchBudget = 4096
+	maxBatchBytes      = 4 << 20
+)
+
+// Server serves distance-oracle queries over HTTP/JSON.
+//
+// Endpoints:
+//
+//	GET  /dist?src=S&dst=V    point distance (200 even when unreachable)
+//	GET  /path?src=S&dst=V    materialized shortest path
+//	POST /batch               {"queries":[{"kind":"dist|path","src":S,"dst":V},...]}
+//	GET  /healthz             snapshot identity + readiness
+//	GET  /metrics             Prometheus text (apspd_* instruments)
+//	POST /admin/recompute     background recompute + atomic snapshot swap
+//	GET  /debug/pprof/...     runtime profiles
+//
+// Admission control: at most MaxInflight query requests execute at once;
+// a request that cannot get a slot within AdmitWait is shed with 429.
+// Every admitted query runs under a Deadline-bounded context and reads the
+// snapshot pointer exactly once — a /batch of 10k lookups is answered
+// entirely from one generation even if a swap lands mid-request.
+type Server struct {
+	Store *Store
+	Cache *PathCache
+	Met   *Metrics
+
+	MaxInflight int
+	AdmitWait   time.Duration
+	Deadline    time.Duration
+	BatchBudget int
+
+	// Recompute, when set, is invoked by POST /admin/recompute (in a
+	// background goroutine, single-flight) to build a replacement
+	// snapshot; the server publishes whatever it returns.
+	Recompute func(ctx context.Context) (*Snapshot, error)
+	// Logf receives operational messages (nil = silent).
+	Logf func(format string, args ...any)
+
+	initOnce    sync.Once
+	sem         chan struct{}
+	recomputing atomic.Bool
+}
+
+func (s *Server) init() {
+	s.initOnce.Do(func() {
+		if s.MaxInflight <= 0 {
+			s.MaxInflight = DefaultMaxInflight
+		}
+		if s.AdmitWait <= 0 {
+			s.AdmitWait = DefaultAdmitWait
+		}
+		if s.Deadline <= 0 {
+			s.Deadline = DefaultDeadline
+		}
+		if s.BatchBudget <= 0 {
+			s.BatchBudget = DefaultBatchBudget
+		}
+		if s.Met == nil {
+			s.Met = NewMetrics()
+		}
+		s.sem = make(chan struct{}, s.MaxInflight)
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Publish makes snap the serving snapshot and updates the swap metrics.
+// Safe to call while queries are in flight: requests that already loaded
+// the old snapshot finish against it.
+func (s *Server) Publish(snap *Snapshot) uint64 {
+	s.init()
+	gen := s.Store.Publish(snap)
+	s.Met.Generation.Set(float64(gen))
+	s.Met.Swaps.Inc()
+	s.logf("published snapshot gen=%d alg=%s n=%d k=%d", gen, snap.Alg(), snap.N(), snap.K())
+	return gen
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	s.init()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /dist", s.query("dist", s.handleDist))
+	mux.HandleFunc("GET /path", s.query("path", s.handlePath))
+	mux.HandleFunc("POST /batch", s.query("batch", s.handleBatch))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /admin/recompute", s.handleRecompute)
+	// pprof needs explicit wiring: the daemon serves its own mux, not
+	// http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// query wraps a query handler with admission control, the per-request
+// deadline, and the per-kind latency/throughput instruments.
+func (s *Server) query(kind string, h func(http.ResponseWriter, *http.Request, *Snapshot) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// No free slot: wait up to AdmitWait before shedding.
+			t := time.NewTimer(s.AdmitWait)
+			select {
+			case s.sem <- struct{}{}:
+				t.Stop()
+			case <-t.C:
+				s.Met.Shed.Inc()
+				writeErr(w, http.StatusTooManyRequests, "overloaded, retry later")
+				return
+			case <-r.Context().Done():
+				t.Stop()
+				s.Met.Shed.Inc()
+				writeErr(w, http.StatusTooManyRequests, "client gave up in admission queue")
+				return
+			}
+		}
+		s.Met.Inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			<-s.sem
+			s.Met.Inflight.Add(-1)
+			qc, lat := s.Met.Query(kind)
+			qc.Inc()
+			lat.Observe(time.Since(start).Seconds())
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.Deadline)
+		defer cancel()
+		snap := s.Store.Current() // the request's one and only pointer read
+		if snap == nil {
+			s.Met.Errors.Inc()
+			writeErr(w, http.StatusServiceUnavailable, "no snapshot published yet")
+			return
+		}
+		if status := h(w, r.WithContext(ctx), snap); status >= 400 {
+			s.Met.Errors.Inc()
+		}
+	}
+}
+
+// distResp is the /dist answer; Dist is omitted when unreachable.
+type distResp struct {
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Reachable bool   `json:"reachable"`
+	Dist      *int64 `json:"dist,omitempty"`
+	Gen       uint64 `json:"gen"`
+}
+
+// pathResp is the /path answer; Hops is the edge count of Path.
+type pathResp struct {
+	Src  int    `json:"src"`
+	Dst  int    `json:"dst"`
+	Dist int64  `json:"dist"`
+	Hops int    `json:"hops"`
+	Path []int  `json:"path"`
+	Gen  uint64 `json:"gen"`
+}
+
+// resolve parses src/dst query params and maps src to its snapshot row.
+// On failure it writes the error response and returns (-1, -1, status).
+func resolve(w http.ResponseWriter, r *http.Request, snap *Snapshot) (row, dst, status int) {
+	src, err := strconv.Atoi(r.URL.Query().Get("src"))
+	if err != nil {
+		return -1, -1, writeErr(w, http.StatusBadRequest, "bad or missing src: %v", err)
+	}
+	dst, err = strconv.Atoi(r.URL.Query().Get("dst"))
+	if err != nil {
+		return -1, -1, writeErr(w, http.StatusBadRequest, "bad or missing dst: %v", err)
+	}
+	row, ok := snap.Row(src)
+	if !ok {
+		return -1, -1, writeErr(w, http.StatusNotFound, "source %d not in snapshot (k=%d of n=%d)", src, snap.K(), snap.N())
+	}
+	if dst < 0 || dst >= snap.N() {
+		return -1, -1, writeErr(w, http.StatusBadRequest, "dst %d outside graph (n=%d)", dst, snap.N())
+	}
+	return row, dst, 0
+}
+
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request, snap *Snapshot) int {
+	row, dst, status := resolve(w, r, snap)
+	if status != 0 {
+		return status
+	}
+	resp := distResp{Src: snap.Sources()[row], Dst: dst, Gen: snap.Gen()}
+	if d := snap.DistAt(row, dst); d < graph.Inf {
+		resp.Reachable = true
+		resp.Dist = &d
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request, snap *Snapshot) int {
+	row, dst, status := resolve(w, r, snap)
+	if status != 0 {
+		return status
+	}
+	if !snap.HasPaths() {
+		return writeErr(w, http.StatusNotImplemented, "%s snapshots record no parent pointers; only /dist is served", snap.Alg())
+	}
+	path, err := s.lookupPath(snap, row, dst)
+	if err != nil {
+		return writeErr(w, pathStatus(err), "%v", err)
+	}
+	return writeJSON(w, http.StatusOK, pathResp{
+		Src: snap.Sources()[row], Dst: dst,
+		Dist: snap.DistAt(row, dst), Hops: len(path) - 1, Path: path, Gen: snap.Gen(),
+	})
+}
+
+// lookupPath consults the LRU before walking; walker errors are cached
+// alongside successes (both are deterministic for a given generation).
+func (s *Server) lookupPath(snap *Snapshot, row, dst int) ([]int, error) {
+	if s.Cache != nil {
+		if path, err, ok := s.Cache.Get(snap.Gen(), row, dst); ok {
+			return path, err
+		}
+	}
+	path, err := snap.Path(row, dst)
+	if s.Cache != nil {
+		s.Cache.Put(snap.Gen(), row, dst, path, err)
+	}
+	return path, err
+}
+
+// pathStatus maps the shared walker's typed errors onto HTTP statuses:
+// caller mistakes are 4xx, snapshot corruption is 500 (the walker is a
+// validator — a corrupt parent matrix must read as a server fault, not as
+// a plausible-looking path).
+func pathStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrPathSourceRange), errors.Is(err, core.ErrPathNodeRange):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrPathUnreachable):
+		return http.StatusNotFound
+	default: // cycle, broken chain, bad arc, inconsistent, malformed
+		return http.StatusInternalServerError
+	}
+}
+
+// batchReq / batchItem are the /batch request body.
+type batchReq struct {
+	Queries []batchItem `json:"queries"`
+}
+
+type batchItem struct {
+	Kind string `json:"kind,omitempty"` // "dist" (default) | "path"
+	Src  int    `json:"src"`
+	Dst  int    `json:"dst"`
+}
+
+// batchResult is one per-query answer; Error/Status are set instead of the
+// payload fields when the query failed.
+type batchResult struct {
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Reachable bool   `json:"reachable"`
+	Dist      *int64 `json:"dist,omitempty"`
+	Path      []int  `json:"path,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Status    int    `json:"status,omitempty"`
+}
+
+type batchResp struct {
+	Gen     uint64        `json:"gen"`
+	Results []batchResult `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, snap *Snapshot) int {
+	var req batchReq
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	if err := dec.Decode(&req); err != nil {
+		return writeErr(w, http.StatusBadRequest, "bad batch body: %v", err)
+	}
+	if len(req.Queries) == 0 {
+		return writeErr(w, http.StatusBadRequest, "empty batch")
+	}
+	if len(req.Queries) > s.BatchBudget {
+		return writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds budget %d", len(req.Queries), s.BatchBudget)
+	}
+	ctx := r.Context()
+	resp := batchResp{Gen: snap.Gen(), Results: make([]batchResult, len(req.Queries))}
+	for qi, q := range req.Queries {
+		// The deadline is checked between queries so a huge path batch
+		// cannot hold its admission slot past the request budget.
+		if qi&255 == 0 && ctx.Err() != nil {
+			return writeErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d queries", qi, len(req.Queries))
+		}
+		resp.Results[qi] = s.batchOne(snap, q)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) batchOne(snap *Snapshot, q batchItem) batchResult {
+	res := batchResult{Src: q.Src, Dst: q.Dst}
+	fail := func(status int, format string, args ...any) batchResult {
+		res.Error = fmt.Sprintf(format, args...)
+		res.Status = status
+		return res
+	}
+	row, ok := snap.Row(q.Src)
+	if !ok {
+		return fail(http.StatusNotFound, "source %d not in snapshot", q.Src)
+	}
+	if q.Dst < 0 || q.Dst >= snap.N() {
+		return fail(http.StatusBadRequest, "dst %d outside graph (n=%d)", q.Dst, snap.N())
+	}
+	switch q.Kind {
+	case "", "dist":
+		if d := snap.DistAt(row, q.Dst); d < graph.Inf {
+			res.Reachable = true
+			res.Dist = &d
+		}
+	case "path":
+		if !snap.HasPaths() {
+			return fail(http.StatusNotImplemented, "%s snapshots record no parent pointers", snap.Alg())
+		}
+		path, err := s.lookupPath(snap, row, q.Dst)
+		if err != nil {
+			return fail(pathStatus(err), "%v", err)
+		}
+		d := snap.DistAt(row, q.Dst)
+		res.Reachable, res.Dist, res.Path = true, &d, path
+	default:
+		return fail(http.StatusBadRequest, "unknown query kind %q", q.Kind)
+	}
+	return res
+}
+
+// healthResp is the /healthz body.
+type healthResp struct {
+	Status      string `json:"status"` // "ok" | "loading"
+	Gen         uint64 `json:"gen"`
+	Alg         string `json:"alg,omitempty"`
+	N           int    `json:"n,omitempty"`
+	K           int    `json:"k,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	HasPaths    bool   `json:"has_paths"`
+	Recomputing bool   `json:"recomputing"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.init()
+	snap := s.Store.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, healthResp{Status: "loading", Recomputing: s.recomputing.Load()})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResp{
+		Status: "ok", Gen: snap.Gen(), Alg: snap.Alg(), N: snap.N(), K: snap.K(),
+		Fingerprint: fmt.Sprintf("%016x", snap.Fingerprint()),
+		HasPaths:    snap.HasPaths(), Recomputing: s.recomputing.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.init()
+	s.Met.SyncCache(s.Cache)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.Met.Write(w); err != nil {
+		s.logf("metrics write: %v", err)
+	}
+}
+
+// handleRecompute starts a background rebuild and answers 202; a second
+// request while one is running answers 409 (single-flight). The swap
+// itself is Publish — one atomic pointer store, zero dropped queries.
+func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
+	s.init()
+	if s.Recompute == nil {
+		writeErr(w, http.StatusNotImplemented, "server has no recompute source (started from a static load)")
+		return
+	}
+	if !s.recomputing.CompareAndSwap(false, true) {
+		writeErr(w, http.StatusConflict, "recompute already running")
+		return
+	}
+	go func() {
+		defer s.recomputing.Store(false)
+		snap, err := s.Recompute(context.Background())
+		if err != nil {
+			s.logf("recompute failed: %v", err)
+			return
+		}
+		s.Publish(snap)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recompute started"})
+}
+
+type errResp struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) int {
+	return writeJSON(w, status, errResp{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+	return status
+}

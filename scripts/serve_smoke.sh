@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Smoke test for the apspd daemon: boot on a random port, answer /healthz
+# and /dist, then drain cleanly on SIGTERM. Any failure — including a
+# non-zero daemon exit status after the drain — fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/apspd" ./cmd/apspd
+
+"$tmp/apspd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -n 48 -m 160 -seed 7 &
+pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: apspd exited before binding" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! [ -s "$tmp/addr" ]; then
+    echo "serve-smoke: apspd never wrote its address" >&2
+    kill "$pid" 2>/dev/null
+    exit 1
+fi
+addr=$(cat "$tmp/addr")
+echo "serve-smoke: apspd listening on $addr"
+
+health=$(curl -fsS "http://$addr/healthz")
+echo "serve-smoke: healthz $health"
+case "$health" in
+*'"status":"ok"'*) ;;
+*)
+    echo "serve-smoke: unexpected healthz response" >&2
+    kill "$pid" 2>/dev/null
+    exit 1
+    ;;
+esac
+
+dist=$(curl -fsS "http://$addr/dist?src=0&dst=1")
+echo "serve-smoke: dist $dist"
+case "$dist" in
+*'"src":0'*'"dst":1'*) ;;
+*)
+    echo "serve-smoke: unexpected dist response" >&2
+    kill "$pid" 2>/dev/null
+    exit 1
+    ;;
+esac
+
+kill -TERM "$pid"
+wait "$pid" # propagates the daemon's exit status: non-zero fails the smoke test
+echo "serve-smoke: clean drain on SIGTERM"
