@@ -6,7 +6,7 @@ GO ?= go
 # scheduled job).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke clean
+.PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke clean
 
 all: build test
 
@@ -83,6 +83,12 @@ serve-demo:
 # /healthz and /dist, then drain on SIGTERM and exit 0. CI runs this.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end tracing smoke test: boot apspd with -trace, fire traced
+# queries (incl. a W3C traceparent continuation), check /debug/live, then
+# validate the emitted span JSONL with cmd/tracecheck. CI runs this.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Short fuzzing bursts for the parser, the exact key arithmetic, the
 # reliability shim and the checkpoint kill/serialize/resume cycle.

@@ -3,6 +3,7 @@ package apsp
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/key"
 	"repro/internal/obs"
 	"repro/internal/oracle"
+	"repro/internal/trace"
 )
 
 // Every table and figure of the paper has a benchmark that regenerates it
@@ -122,6 +124,10 @@ func BenchmarkCrashRecovery(b *testing.B) { benchExperiment(b, "E-CRASH") }
 // BenchmarkServeLayer drives the apspd serving layer with the closed-loop
 // load generator (experiment E-SERVE).
 func BenchmarkServeLayer(b *testing.B) { benchExperiment(b, "E-SERVE") }
+
+// BenchmarkTraceAttribution drives the serving layer with every request
+// traced and aggregates per-span latency attribution (experiment E-TRACE).
+func BenchmarkTraceAttribution(b *testing.B) { benchExperiment(b, "E-TRACE") }
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the substrate's raw cost, with rounds reported as a
@@ -500,4 +506,47 @@ func BenchmarkOracleBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkOracleServeDist measures a /dist request end to end through the
+// HTTP handler under three tracing configurations. It is the overhead
+// guard for the tracing instrumentation: "off" (no Tracer wired — the
+// production default) must stay within noise of the pre-tracing serving
+// path, because every span site degrades to a nil-receiver no-op; compare
+// it against "unsampled" and "sampled" to price the feature.
+func BenchmarkOracleServeDist(b *testing.B) {
+	snap, _, _ := benchOracle(b)
+	configs := []struct {
+		name   string
+		tracer *trace.Tracer
+	}{
+		{"off", nil},
+		// Head sampling effectively never fires; spans are still created
+		// and discarded at the root — the enabled-but-quiet steady state.
+		{"unsampled", trace.New(trace.Options{SampleEvery: 1 << 30, Seed: 1, Sinks: []trace.Sink{trace.NewAgg()}})},
+		// Every request is recorded and emitted to the in-memory aggregator.
+		{"sampled", trace.New(trace.Options{SampleEvery: 1, Seed: 1, Sinks: []trace.Sink{trace.NewAgg()}})},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			srv := &oracle.Server{Store: &oracle.Store{}, Cache: oracle.NewPathCache(1 << 16),
+				Met: oracle.NewMetrics(), Tracer: cfg.tracer}
+			srv.Publish(snap)
+			handler := srv.Handler()
+			k, n := uint64(snap.K()), uint64(snap.N())
+			x := uint64(555)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				target := fmt.Sprintf("/dist?src=%d&dst=%d", (x>>33)%k, x%n)
+				req := httptest.NewRequest("GET", target, nil)
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("dist status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
 }

@@ -11,11 +11,22 @@
 //	apspd -addr :8080 -graph g.txt -load run.ckpt          # resume apsprun checkpoint
 //	apspd -addr 127.0.0.1:0 -addr-file port.txt -n 64 -m 256
 //
-// Endpoints: /dist, /path, /batch, /healthz, /metrics (Prometheus text),
+// Endpoints: /dist, /path, /batch, /healthz, /metrics (Prometheus text, or
+// OpenMetrics with trace exemplars via Accept negotiation), /debug/live
+// (SSE heartbeat: QPS, inflight, generation, recompute progress + ETA),
 // /admin/recompute (background rebuild + atomic snapshot swap), and
 // /debug/pprof. The server sheds load with 429 beyond -max-inflight
 // concurrent queries, bounds every request by -deadline, and drains
 // gracefully on SIGINT/SIGTERM (in-flight requests finish; exit code 0).
+//
+// Observability: -trace writes every sampled request's span tree as JSONL
+// plus a Chrome trace_event file at <base>.chrome.json where serving spans
+// and engine recompute phases share one timeline. Requests carrying a W3C
+// traceparent header keep their trace ID; the server echoes the header on
+// every traced response. -log selects text | json | off structured logging
+// (slow queries ≥ -slow log at WARN with their trace ID). -trace-sample N
+// head-samples one in N requests; slow and failed requests are always
+// captured.
 //
 // -load points at a checkpoint file written by apsprun -checkpoint; the
 // daemon validates it against the graph and flags (same gate as apsprun
@@ -32,11 +43,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -45,7 +57,9 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/oracle"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -90,6 +104,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		deadline    = fs.Duration("deadline", 0, "per-request deadline (0 = default)")
 		batchBudget = fs.Int("batch-budget", 0, "max queries per /batch request (0 = default)")
 		drainWait   = fs.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+
+		logFmt      = fs.String("log", "text", "log format: text | json | off")
+		logLevel    = fs.String("log-level", "info", "log level: debug | info | warn | error")
+		logEvery    = fs.Int("log-every", 0, "debug-log one in N completed queries (0 = off)")
+		slow        = fs.Duration("slow", 100*time.Millisecond, "slow-query threshold: slower queries log at WARN and are always traced (0 = off)")
+		tracePath   = fs.String("trace", "", "write request span trees here as JSONL, plus a Chrome trace_event file at <base>.chrome.json")
+		traceSample = fs.Int("trace-sample", 1, "head-sample one in N requests (0 = only slow/failed requests are traced)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,7 +119,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	logger := log.New(stderr, "apspd: ", log.LstdFlags)
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	handler, err := obs.NewLogHandler(stderr, *logFmt, level)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(trace.LogHandler(handler))
 
 	sched, err := parseScheduler(*schedArg)
 	if err != nil {
@@ -113,18 +142,70 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		return err
 	}
 
+	// Tracing: the span JSONL and the Chrome file are both optional and
+	// both hang off -trace. The engine recorder shares the Chrome sink, so
+	// recompute phase rounds (PID 1) and serving spans (PID 2) land on one
+	// timeline; the tracer must close first (it feeds the Chrome sink).
+	var (
+		tracer     *trace.Tracer
+		engineRec  *obs.Recorder
+		chromeFile string
+	)
+	if *tracePath != "" {
+		jsonl, err := trace.CreateJSONL(*tracePath)
+		if err != nil {
+			return err
+		}
+		chromeFile = chromePath(*tracePath)
+		chrome, err := obs.CreateChrome(chromeFile)
+		if err != nil {
+			jsonl.Close()
+			return err
+		}
+		tracer = trace.New(trace.Options{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *slow,
+			CaptureErrors: true,
+			Seed:          uint64(*seed),
+			Sinks:         []trace.Sink{jsonl, trace.NewChrome(chrome)},
+		})
+		engineRec = obs.NewRecorder(chrome)
+	}
+	defer func() {
+		if err := tracer.Close(); err != nil {
+			logger.Warn("trace close", "err", err)
+		}
+		if engineRec != nil {
+			if err := engineRec.Close(); err != nil {
+				logger.Warn("trace close", "err", err)
+			}
+		}
+	}()
+
+	met := oracle.NewMetrics()
+	progress := &congest.Progress{}
+	engineObs := congest.Observer(progress)
+	if engineRec != nil {
+		engineObs = congest.Tee(engineRec, progress)
+	}
+
 	spec := oracle.ComputeSpec{
 		Alg: *alg, Sources: sources, H: *h, Workers: *workers, Sched: sched,
 		Plan: *faultsArg, FaultSeed: *faultSeed,
+		Obs: engineObs,
 	}
 	if *loadPath != "" {
 		if !flagWasSet(fs, "alg") {
 			spec.Alg = "" // adopt the algorithm recorded in the checkpoint
 		}
+		loadStart := time.Now()
 		if err := oracle.LoadCheckpoint(*loadPath, g, &spec); err != nil {
 			return err
 		}
-		logger.Printf("resuming %s from checkpoint %s", spec.Alg, *loadPath)
+		loadDur := time.Since(loadStart)
+		met.CheckpointLoad.Set(loadDur.Seconds())
+		logger.Info("resuming from checkpoint",
+			"alg", spec.Alg, "path", *loadPath, "loadDur", loadDur)
 	}
 	fp := checkpoint.Fingerprint(g)
 
@@ -139,20 +220,22 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		return oracle.Build(g, in, oracle.BuildOpts{ShardBits: *shardBits, Fingerprint: fp})
 	}
 
-	logger.Printf("computing %s over n=%d m=%d k=%d ...", spec.Alg, g.N(), g.M(), len(sources))
+	logger.Info("computing", "alg", spec.Alg, "n", g.N(), "m", g.M(), "k", len(sources))
 	start := time.Now()
 	snap, err := buildSnapshot(context.Background(), spec)
 	if err != nil {
 		return err
 	}
-	logger.Printf("snapshot ready in %v: alg=%s k=%d paths=%v (CONGEST rounds=%d messages=%d)",
-		time.Since(start).Round(time.Millisecond), snap.Alg(), snap.K(), snap.HasPaths(),
-		snap.Stats().Rounds, snap.Stats().Messages)
+	progress.Done()
+	logger.Info("snapshot ready",
+		"dur", time.Since(start).Round(time.Millisecond), "alg", snap.Alg(),
+		"k", snap.K(), "paths", snap.HasPaths(),
+		"rounds", snap.Stats().Rounds, "messages", snap.Stats().Messages)
 
 	srv := &oracle.Server{
-		Store: &oracle.Store{}, Cache: oracle.NewPathCache(*cacheSize), Met: oracle.NewMetrics(),
+		Store: &oracle.Store{}, Cache: oracle.NewPathCache(*cacheSize), Met: met,
 		MaxInflight: *maxInflight, AdmitWait: *admitWait, Deadline: *deadline, BatchBudget: *batchBudget,
-		Logf: logger.Printf,
+		Log: logger, Tracer: tracer, SlowQuery: *slow, LogEvery: *logEvery, Progress: progress,
 	}
 	freshSpec := spec
 	freshSpec.Resume = nil // recomputes never replay the startup checkpoint
@@ -172,7 +255,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 			return err
 		}
 	}
-	logger.Printf("serving on %s", bound)
+	logger.Info("serving", "addr", bound)
 	if ready != nil {
 		ready <- bound
 	}
@@ -189,7 +272,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	case <-ctx.Done():
 	}
 	stop()
-	logger.Printf("signal received, draining (max %v)", *drainWait)
+	logger.Info("signal received, draining", "max", *drainWait)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -198,8 +281,19 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("drained, bye")
+	if tracer != nil {
+		logger.Info("trace written",
+			"spans", *tracePath, "chrome", chromeFile, "traces", tracer.Emitted())
+	}
+	logger.Info("drained, bye")
 	return nil
+}
+
+// chromePath derives the Chrome trace filename from the span JSONL path:
+// trace.jsonl → trace.chrome.json (apsprun's convention).
+func chromePath(trace string) string {
+	base := strings.TrimSuffix(trace, filepath.Ext(trace))
+	return base + ".chrome.json"
 }
 
 func flagWasSet(fs *flag.FlagSet, name string) bool {

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestDaemonTracing drives a -trace daemon end to end: traceparent
+// continuation and echo on /dist, a live /debug/live heartbeat, and —
+// after drain — a span JSONL file whose traces nest and close, plus the
+// companion Chrome timeline.
+func TestDaemonTracing(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "spans.jsonl")
+	url, errc := startDaemon(t, "-n", "24", "-m", "80", "-seed", "5", "-sources", "0,3,9",
+		"-trace", tracePath, "-trace-sample", "1", "-log", "off")
+
+	// A traced /dist continues the upstream trace and echoes the header.
+	const upstream = "aaf92f3577b34da6a3ce929d0e0e4736"
+	req, _ := http.NewRequest("GET", url+"/dist?src=0&dst=5", nil)
+	req.Header.Set(trace.TraceparentHeader, trace.FormatTraceparent(upstream, "00f067aa0ba902b7", true))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dist status %d", resp.StatusCode)
+	}
+	id, _, sampled, ok := trace.ParseTraceparent(resp.Header.Get(trace.TraceparentHeader))
+	if !ok || id != upstream || !sampled {
+		t.Fatalf("echoed traceparent %q does not continue %s",
+			resp.Header.Get(trace.TraceparentHeader), upstream)
+	}
+
+	// A headerless /path request gets its own sampled trace.
+	resp2, err := http.Get(url + "/path?src=3&dst=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if hdr := resp2.Header.Get(trace.TraceparentHeader); hdr == "" {
+		t.Fatal("no traceparent minted for a headerless request")
+	}
+
+	// The live stream answers one event and disconnects.
+	resp3, err := http.Get(url + "/debug/live?interval=50ms&n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp3.Body)
+	var ev string
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			ev = sc.Text()
+			break
+		}
+	}
+	resp3.Body.Close()
+	if !strings.Contains(ev, `"gen":1`) {
+		t.Fatalf("live event %q lacks the serving generation", ev)
+	}
+
+	stopDaemon(t, errc)
+
+	// The span file must validate: every span closed, parents resolve,
+	// children nest — the same invariants CI's tracecheck enforces.
+	spans := readSpans(t, tracePath)
+	byTrace := map[string][]trace.SpanRecord{}
+	for _, s := range spans {
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	if len(byTrace[upstream]) == 0 {
+		t.Fatalf("upstream trace %s absent from %s (have %d traces)", upstream, tracePath, len(byTrace))
+	}
+	for id, ts := range byTrace {
+		ids := map[string]bool{}
+		roots := 0
+		for _, s := range ts {
+			ids[s.SpanID] = true
+			if s.Parent == "" {
+				roots++
+			}
+			if s.DurUS <= 0 || s.Attrs["unclosed"] == "true" {
+				t.Errorf("trace %s: span %q did not close cleanly: %+v", id, s.Name, s)
+			}
+		}
+		if roots != 1 {
+			t.Errorf("trace %s: %d roots", id, roots)
+		}
+		for _, s := range ts {
+			if s.Parent != "" && !ids[s.Parent] {
+				t.Errorf("trace %s: span %q has unresolved parent %s", id, s.Name, s.Parent)
+			}
+		}
+	}
+
+	// The Chrome companion timeline exists and holds both PIDs' events.
+	chrome, err := os.ReadFile(filepath.Join(dir, "spans.chrome.json"))
+	if err != nil {
+		t.Fatalf("chrome timeline missing: %v", err)
+	}
+	if !strings.Contains(string(chrome), `"traceEvents"`) {
+		t.Fatal("chrome timeline is not a trace-event document")
+	}
+	if !strings.Contains(string(chrome), `"pid":2`) || !strings.Contains(string(chrome), `"pid":1`) {
+		t.Fatal("chrome timeline lacks engine (pid 1) or serving (pid 2) events")
+	}
+}
+
+func readSpans(t *testing.T, path string) []trace.SpanRecord {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []trace.SpanRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r trace.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("%s: bad span line %q: %v", path, sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s holds no spans", path)
+	}
+	return out
+}

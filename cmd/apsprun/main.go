@@ -7,7 +7,9 @@
 // a Chrome trace_event file (open in chrome://tracing or Perfetto) next to
 // it; -metrics writes a Prometheus text dump; -phases prints the per-phase
 // cost table; -json / -stats-json emit the aggregate + per-phase report as
-// JSON (stdout / file).
+// JSON (stdout / file). Status lines go to stderr through a structured
+// logger: -log selects text | json | off, -log-level the threshold; result
+// data on stdout is unaffected.
 //
 // Usage:
 //
@@ -57,12 +59,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/approx"
 	"repro/internal/bellman"
@@ -76,6 +80,10 @@ import (
 	"repro/internal/scaling"
 	"repro/internal/shortrange"
 )
+
+// logger carries all status output (never result data, which stays on
+// stdout); -log selects its format or silences it.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -109,8 +117,20 @@ func main() {
 		resumeArg = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 		crashArg  = flag.String("crash", "", `scripted crash-stop faults: "v@r" (node v crashes at round r, unrecoverable) or "v@r+k" (restart allowed k rounds later), comma-separated`)
 		restarts  = flag.Int("restarts", 3, "restart budget for recoverable crashes")
+		logFmt    = flag.String("log", "text", "status log format on stderr: text | json | off")
+		logLevel  = flag.String("log-level", "info", "status log level: debug | info | warn | error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	handler, err := obs.NewLogHandler(os.Stderr, *logFmt, level)
+	if err != nil {
+		fail(err)
+	}
+	logger = slog.New(handler)
 
 	sched, err := parseScheduler(*schedArg)
 	if err != nil {
@@ -221,12 +241,25 @@ func main() {
 		if fnet != nil {
 			keeper.MetaFn = func(m *checkpoint.Meta) { m.Disarmed = fnet.DisarmedCrashes() }
 		}
+		if rec != nil {
+			// Each persisted snapshot's save cost lands in the event trace
+			// and the metrics dump (congest_checkpoint_write_* series).
+			keeper.OnSave = rec.CheckpointSave
+		}
 		pol = &congest.CheckpointPolicy{Every: *ckptEvery, AtRound: *ckptStop, Stop: *ckptStop > 0, Sink: keeper.Sink}
 	}
 	if *resumeArg != "" {
+		loadStart := time.Now()
 		meta, snap, err := checkpoint.Load(*resumeArg)
 		if err != nil {
 			fail(err)
+		}
+		if rec != nil {
+			var bytes int64
+			if fi, err := os.Stat(*resumeArg); err == nil {
+				bytes = fi.Size()
+			}
+			rec.CheckpointLoad(time.Since(loadStart), bytes)
 		}
 		if meta.Alg != "" && meta.Alg != *alg {
 			fail(fmt.Errorf("checkpoint %s was taken by -alg %s, not %s", *resumeArg, meta.Alg, *alg))
@@ -334,7 +367,7 @@ func main() {
 		var n int
 		n, runErr = checkpoint.Supervise(pol, keeper, *restarts, runAlg)
 		if n > 0 {
-			fmt.Fprintf(os.Stderr, "recovered from %d crash(es) via checkpoint restart\n", n)
+			logger.Info("recovered via checkpoint restart", "crashes", n)
 		}
 	} else {
 		runErr = runAlg()
@@ -361,7 +394,8 @@ func main() {
 	if approxRes != nil {
 		if *check {
 			stretch, mism := approx.CheckStretch(g, approxRes)
-			fmt.Fprintf(os.Stderr, "check: max stretch %.4f (claim ≤ %.2f), mismatches %d\n", stretch, 1+*eps, mism)
+			logger.Info("check", "maxStretch", fmt.Sprintf("%.4f", stretch),
+				"claim", fmt.Sprintf("≤ %.2f", 1+*eps), "mismatches", mism)
 		}
 		if !*quiet && !*jsonOut {
 			for i := range sources {
@@ -391,7 +425,7 @@ func main() {
 				}
 			}
 		}
-		fmt.Fprintf(os.Stderr, "check vs %s: %d wrong of %d\n", oracle, wrong, len(sources)*g.N())
+		logger.Info("check", "oracle", oracle, "wrong", wrong, "of", len(sources)*g.N())
 	}
 	if !*quiet && !*jsonOut {
 		for i, s := range sources {
@@ -447,10 +481,10 @@ func finish(rec *obs.Recorder, fnet *faults.Network, alg string, g *graph.Graph,
 		fail(err)
 	}
 	if tracePath != "" {
-		fmt.Fprintf(os.Stderr, "trace: %s (JSONL), %s (chrome://tracing)\n", tracePath, chromePath)
+		logger.Info("trace written", "jsonl", tracePath, "chrome", chromePath)
 	}
 	if metricsPath != "" {
-		fmt.Fprintf(os.Stderr, "metrics: %s\n", metricsPath)
+		logger.Info("metrics written", "path", metricsPath)
 	}
 }
 
@@ -538,12 +572,12 @@ func parseCrashes(arg string) ([]faults.Event, error) {
 // -checkpoint-stop drill or a SIGINT/SIGTERM).
 func reportCheckpoint(keeper *checkpoint.Keeper, path, what string) {
 	if keeper == nil {
-		fmt.Fprintf(os.Stderr, "%s (no checkpoint policy; nothing saved)\n", what)
+		logger.Warn(what, "saved", false, "reason", "no checkpoint policy")
 		return
 	}
 	snap, _ := keeper.Latest()
 	if snap == nil {
-		fmt.Fprintf(os.Stderr, "%s before the first snapshot; nothing saved\n", what)
+		logger.Warn(what, "saved", false, "reason", "ended before the first snapshot")
 		return
 	}
 	fmt.Printf("%s at run %d round %d: partial rounds=%d messages=%d maxCongestion=%d\n",
@@ -584,6 +618,8 @@ func parseSources(arg string, n int) ([]int, error) {
 }
 
 func fail(err error) {
+	// Failures must be visible even under -log off (or before the logger
+	// exists), so this is the one line that stays on bare stderr.
 	fmt.Fprintf(os.Stderr, "apsprun: %v\n", err)
 	os.Exit(1)
 }

@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -101,18 +102,26 @@ func (m *Meta) ValidateAgainst(g *graph.Graph, sources []int, h int, plan string
 // Save writes the checkpoint atomically: to a temp file in path's
 // directory, synced, then renamed over path.
 func Save(path string, meta *Meta, snap *congest.Snapshot) error {
+	_, err := save(path, meta, snap)
+	return err
+}
+
+// save is Save, reporting the container size (header + meta + body) so the
+// Keeper's OnSave hook can account bytes without re-marshalling.
+func save(path string, meta *Meta, snap *congest.Snapshot) (int64, error) {
 	body, err := snap.MarshalBinary()
 	if err != nil {
-		return fmt.Errorf("checkpoint: marshal snapshot: %w", err)
+		return 0, fmt.Errorf("checkpoint: marshal snapshot: %w", err)
 	}
 	mb, err := json.Marshal(meta)
 	if err != nil {
-		return fmt.Errorf("checkpoint: marshal meta: %w", err)
+		return 0, fmt.Errorf("checkpoint: marshal meta: %w", err)
 	}
+	size := int64(len(Magic) + 8 + len(mb) + 8 + len(body))
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
@@ -122,35 +131,35 @@ func Save(path string, meta *Meta, snap *congest.Snapshot) error {
 	}
 	var hdr [8]byte
 	if _, err := f.WriteString(Magic); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	binary.LittleEndian.PutUint32(hdr[:4], FileVersion)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(mb)))
 	if _, err := f.Write(hdr[:]); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	if _, err := f.Write(mb); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(body)))
 	if _, err := f.Write(hdr[:]); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	if _, err := f.Write(body); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+		return 0, fmt.Errorf("checkpoint: write %s: %w", path, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
+		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
-	return nil
+	return size, nil
 }
 
 // Load reads and validates a checkpoint file.
@@ -220,6 +229,11 @@ type Keeper struct {
 	// crash events).
 	Meta   *Meta
 	MetaFn func(*Meta)
+	// OnSave, if set, receives every persisted snapshot's wall-clock save
+	// duration and container byte size (obs.Recorder.CheckpointSave has
+	// the matching shape, which is how checkpoint costs reach the trace
+	// stream and the metrics dump).
+	OnSave func(d time.Duration, bytes int64)
 
 	latest *congest.Snapshot
 	saves  int
@@ -239,7 +253,12 @@ func (k *Keeper) Sink(s *congest.Snapshot) error {
 	if k.MetaFn != nil {
 		k.MetaFn(meta)
 	}
-	return Save(k.Path, meta, s)
+	start := time.Now()
+	n, err := save(k.Path, meta, s)
+	if err == nil && k.OnSave != nil {
+		k.OnSave(time.Since(start), n)
+	}
+	return err
 }
 
 // Latest returns the most recent snapshot (nil if none yet) and how many

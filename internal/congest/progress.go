@@ -1,0 +1,98 @@
+package congest
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a lock-free Observer for live introspection of a running
+// computation: the engine updates it synchronously on the routing
+// goroutine, and any number of concurrent readers (an HTTP /debug/live
+// streamer, a progress bar) Snapshot it without blocking the run. It also
+// implements Phaser, so multi-phase algorithms report which phase is
+// currently executing.
+//
+// One Progress may observe many engine runs (a recompute is one logical
+// job of possibly dozens of runs); Reset rewinds it between jobs.
+type Progress struct {
+	runs     atomic.Int64
+	rounds   atomic.Int64 // executed rounds across all runs
+	messages atomic.Int64
+	startNS  atomic.Int64 // UnixNano of the first RunStart since Reset
+	phase    atomic.Pointer[string]
+	running  atomic.Bool
+}
+
+// ProgressSnapshot is one consistent-enough view of a running computation
+// (fields are read individually from atomics; exactness across fields is
+// not needed for a heartbeat).
+type ProgressSnapshot struct {
+	// Runs counts engine runs started; Rounds executed rounds and
+	// Messages sent messages across all of them.
+	Runs     int64 `json:"runs"`
+	Rounds   int64 `json:"rounds"`
+	Messages int64 `json:"messages"`
+	// Phase is the phase reported via SetPhase ("" before the first).
+	Phase string `json:"phase,omitempty"`
+	// Elapsed is the wall time since the first run started (0 before).
+	Elapsed time.Duration `json:"elapsedNs"`
+	// Running is true between the first RunStart and Done.
+	Running bool `json:"running"`
+}
+
+// Reset rewinds every counter for a new logical job.
+func (p *Progress) Reset() {
+	p.runs.Store(0)
+	p.rounds.Store(0)
+	p.messages.Store(0)
+	p.startNS.Store(0)
+	p.phase.Store(nil)
+	p.running.Store(false)
+}
+
+// Done marks the logical job finished (the engine cannot know when a
+// multi-run algorithm's last run ends; the driver does).
+func (p *Progress) Done() { p.running.Store(false) }
+
+// Snapshot returns the current counters.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	s := ProgressSnapshot{
+		Runs:     p.runs.Load(),
+		Rounds:   p.rounds.Load(),
+		Messages: p.messages.Load(),
+		Running:  p.running.Load(),
+	}
+	if ph := p.phase.Load(); ph != nil {
+		s.Phase = *ph
+	}
+	if start := p.startNS.Load(); start != 0 {
+		s.Elapsed = time.Duration(time.Now().UnixNano() - start)
+	}
+	return s
+}
+
+// RunStart implements Observer.
+func (p *Progress) RunStart(n int) {
+	if p.runs.Add(1) == 1 || p.startNS.Load() == 0 {
+		p.startNS.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	p.running.Store(true)
+}
+
+// RoundDone implements Observer.
+func (p *Progress) RoundDone(e RoundEvent) {
+	p.rounds.Add(1)
+	p.messages.Add(int64(e.Sent))
+}
+
+// NodeSends implements Observer.
+func (p *Progress) NodeSends(round, node, msgs int) {}
+
+// LinkPeak implements Observer.
+func (p *Progress) LinkPeak(round, from, to, load int) {}
+
+// RunDone implements Observer.
+func (p *Progress) RunDone(s Stats) {}
+
+// Phase implements Phaser.
+func (p *Progress) Phase(name string) { p.phase.Store(&name) }

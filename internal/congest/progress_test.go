@@ -1,0 +1,91 @@
+package congest
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestProgressLifecycle(t *testing.T) {
+	p := &Progress{}
+	s := p.Snapshot()
+	if s.Running || s.Runs != 0 || s.Rounds != 0 || s.Messages != 0 || s.Elapsed != 0 {
+		t.Fatalf("zero-value snapshot %+v", s)
+	}
+
+	p.RunStart(100)
+	p.Phase("hopsets")
+	for i := 0; i < 5; i++ {
+		p.RoundDone(RoundEvent{Round: i + 1, Sent: 7})
+	}
+	p.RunStart(100) // second engine run of the same recompute
+	p.RoundDone(RoundEvent{Round: 1, Sent: 3})
+
+	s = p.Snapshot()
+	if !s.Running {
+		t.Fatal("not running after RunStart")
+	}
+	if s.Runs != 2 || s.Rounds != 6 || s.Messages != 38 {
+		t.Fatalf("mid-run snapshot %+v", s)
+	}
+	if s.Phase != "hopsets" {
+		t.Fatalf("phase %q", s.Phase)
+	}
+	if s.Elapsed <= 0 {
+		t.Fatalf("elapsed %v, want > 0 while running", s.Elapsed)
+	}
+
+	p.Done()
+	if s = p.Snapshot(); s.Running {
+		t.Fatal("still running after Done")
+	}
+
+	p.Reset()
+	s = p.Snapshot()
+	if s.Runs != 0 || s.Rounds != 0 || s.Messages != 0 || s.Phase != "" || s.Elapsed != 0 {
+		t.Fatalf("post-reset snapshot %+v", s)
+	}
+
+	// The snapshot must serialize with the documented field names — the
+	// /debug/live stream embeds it verbatim.
+	b, err := json.Marshal(p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"runs"`, `"rounds"`, `"messages"`, `"elapsedNs"`, `"running"`} {
+		if !bytes.Contains(b, []byte(key)) {
+			t.Fatalf("snapshot JSON %s lacks %s", b, key)
+		}
+	}
+}
+
+// TestProgressConcurrent hammers the observer callbacks from many
+// goroutines while snapshots are read; run under -race this is the
+// data-race check for the lock-free counters.
+func TestProgressConcurrent(t *testing.T) {
+	p := &Progress{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.RunStart(10)
+			for i := 0; i < 250; i++ {
+				p.RoundDone(RoundEvent{Round: i + 1, Sent: 2})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = p.Snapshot()
+		}
+	}()
+	wg.Wait()
+	s := p.Snapshot()
+	if s.Runs != 4 || s.Rounds != 1000 || s.Messages != 2000 {
+		t.Fatalf("final snapshot %+v", s)
+	}
+}

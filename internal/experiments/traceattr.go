@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("E-TRACE", eTrace)
+}
+
+// eTrace is E-SERVE's attribution companion: it drives the same serving
+// stack with every request traced (SampleEvery=1) into an in-memory
+// aggregator and reports where serving latency actually goes, span by span
+// — request roots (serve.dist / serve.path / serve.batch) alongside their
+// interior spans (cache.probe, walk, lookup, batch.segment). The share
+// column divides each span's total self-reported time by the summed root
+// time, so a hot interior span is visible without reading trace files.
+// Wall-clock columns are machine-dependent; the span *structure* (which
+// spans appear, their counts, zero errors) is the deterministic part.
+func eTrace(cfg Config) (*Table, error) {
+	n, m, k := 256, 1024, 32
+	queries := 2000
+	if cfg.Small {
+		n, m, k = 64, 256, 8
+		queries = 300
+	}
+
+	g := graph.Random(n, m, graph.GenOpts{Seed: cfg.Seed, MaxW: 8, ZeroFrac: 0.25, Directed: true})
+	sources := make([]int, k)
+	dist := make([][]int64, k)
+	parent := make([][]int, k)
+	for i := range sources {
+		src := i * (n / k)
+		sources[i] = src
+		dist[i], parent[i] = graph.DijkstraTree(g, src)
+	}
+	snap, err := oracle.Build(g, oracle.BuildInput{Alg: "dijkstra", Sources: sources, Dist: dist, Parent: parent}, oracle.BuildOpts{})
+	if err != nil {
+		return nil, err
+	}
+
+	agg := trace.NewAgg()
+	tracer := trace.New(trace.Options{SampleEvery: 1, Seed: uint64(cfg.Seed) + 1, Sinks: []trace.Sink{agg}})
+	srv := &oracle.Server{Store: &oracle.Store{}, Cache: oracle.NewPathCache(4096),
+		Met: oracle.NewMetrics(), MaxInflight: 1024, Tracer: tracer}
+	srv.Publish(snap)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// A mixed single-worker workload: point distances, paths (the repeated
+	// pair stream makes the cache hit on revisits, so both probe outcomes
+	// appear), and 16-query batches.
+	x := uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	next := func() (src, row, dst int) {
+		x = x*6364136223846793005 + 1442695040888963407
+		i := int((x >> 33) % uint64(len(sources)))
+		r, _ := snap.Row(sources[i])
+		return sources[i], r, int(x % uint64(n))
+	}
+	for q := 0; q < queries; q++ {
+		var err error
+		switch q % 4 {
+		case 0, 1:
+			src, row, dst := next()
+			err = serveCheckDist(client, ts.URL, snap, src, row, dst)
+		case 2:
+			src, row, dst := next()
+			err = serveCheckPath(client, ts.URL, snap, src, row, dst)
+		default:
+			err = serveCheckBatch(client, ts.URL, snap, next, 16)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", q, err)
+		}
+	}
+	if err := tracer.Close(); err != nil {
+		return nil, err
+	}
+
+	rows := agg.Rows()
+	var rootUS int64
+	for _, r := range rows {
+		if isRootSpan(r.Name) {
+			rootUS += r.TotalUS
+		}
+	}
+
+	t := &Table{
+		ID:      "E-TRACE",
+		Title:   "apspd serving latency attribution by span (every request traced)",
+		Headers: []string{"span", "count", "errs", "total(ms)", "avg(us)", "max(us)", "share"},
+	}
+	for _, r := range rows {
+		share := ""
+		if rootUS > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*float64(r.TotalUS)/float64(rootUS))
+		}
+		t.AddRow(r.Name, r.Count, r.Errs,
+			fmt.Sprintf("%.2f", float64(r.TotalUS)/1000),
+			fmt.Sprintf("%.0f", r.AvgUS()),
+			r.MaxUS, share)
+	}
+	t.Note(fmt.Sprintf("n=%d k=%d snapshot, %d requests (2:1:1 dist/path/batch16), every answer validated", n, k, queries))
+	t.Note("share = span total / summed request-root total; interior spans overlap their roots, so shares do not sum to 100%%")
+	t.Note("wall-clock columns are machine-dependent; the span set, counts and errs are the deterministic part (path errs are unreachable-pair 404s of the seeded query stream)")
+	return t, nil
+}
+
+// isRootSpan reports whether a span name is a request root (serve.*),
+// whose summed duration is the attribution denominator.
+func isRootSpan(name string) bool {
+	return len(name) > 6 && name[:6] == "serve."
+}

@@ -6,12 +6,15 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 )
 
-// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// ChromeEvent is one entry of the Chrome trace_event format (the JSON
 // consumed by chrome://tracing and Perfetto): "X" complete slices for
-// rounds, "M" metadata naming the tracks, "C" counters for hot nodes.
-type chromeEvent struct {
+// durations, "M" metadata naming the tracks, "C" counters. It is exported
+// so other producers — the request-span encoder in internal/trace — can
+// emit into the same file and render on one timeline with the engine.
+type ChromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	TS   int64          `json:"ts"`
@@ -19,6 +22,12 @@ type chromeEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes events as a {"traceEvents":[...]} document — the
+// one encoder for every trace_event producer in the repository.
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
 }
 
 // Chrome buffers the event stream and, on Close, writes a
@@ -29,10 +38,13 @@ type chromeEvent struct {
 type Chrome struct {
 	w      io.Writer
 	closer io.Closer
-	events []Event
 	// HotNodes is how many top-sending nodes get counter tracks (default
 	// 8; set before Close).
 	HotNodes int
+
+	mu     sync.Mutex
+	events []Event
+	extra  []ChromeEvent
 }
 
 // NewChrome wraps an io.Writer. If w is also an io.Closer it is closed by
@@ -59,17 +71,33 @@ func CreateChrome(path string) (*Chrome, error) {
 func (c *Chrome) Emit(e Event) error {
 	switch e.Kind {
 	case "round", "node_sends", "run_start":
+		c.mu.Lock()
 		c.events = append(c.events, e)
+		c.mu.Unlock()
 	}
 	return nil
 }
 
-const chromePID = 1
+// AddEvents appends pre-built trace_event entries to the file this sink
+// will write — this is how serving-request spans (internal/trace, PID 2)
+// land on the same timeline as the engine's phase tracks (PID 1). Call
+// before Close; safe concurrently with Emit.
+func (c *Chrome) AddEvents(evs ...ChromeEvent) {
+	c.mu.Lock()
+	c.extra = append(c.extra, evs...)
+	c.mu.Unlock()
+}
+
+// EnginePID is the trace_event process ID of the engine's phase tracks;
+// external producers adding events via AddEvents should use another PID.
+const EnginePID = 1
 
 // Close implements Sink: assembles and writes the trace file.
 func (c *Chrome) Close() error {
-	out := []chromeEvent{{
-		Name: "process_name", Ph: "M", PID: chromePID,
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := []ChromeEvent{{
+		Name: "process_name", Ph: "M", PID: EnginePID,
 		Args: map[string]any{"name": "congest engine"},
 	}}
 
@@ -79,8 +107,8 @@ func (c *Chrome) Close() error {
 		if _, ok := tids[e.Phase]; !ok {
 			tid := len(tids) + 1
 			tids[e.Phase] = tid
-			out = append(out, chromeEvent{
-				Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			out = append(out, ChromeEvent{
+				Name: "thread_name", Ph: "M", PID: EnginePID, TID: tid,
 				Args: map[string]any{"name": "phase:" + e.Phase},
 			})
 		}
@@ -122,10 +150,10 @@ func (c *Chrome) Close() error {
 			if ts < 0 {
 				ts = 0
 			}
-			out = append(out, chromeEvent{
+			out = append(out, ChromeEvent{
 				Name: fmt.Sprintf("round %d", e.Round),
 				Ph:   "X", TS: ts, Dur: dur,
-				PID: chromePID, TID: tids[e.Phase],
+				PID: EnginePID, TID: tids[e.Phase],
 				Args: map[string]any{
 					"run": e.Run, "sent": e.Sent, "active": e.Active,
 					"globalRound": e.GlobalRound,
@@ -135,20 +163,21 @@ func (c *Chrome) Close() error {
 			if !hot[e.Node] {
 				continue
 			}
-			out = append(out, chromeEvent{
+			out = append(out, ChromeEvent{
 				Name: fmt.Sprintf("node %d sends", e.Node),
-				Ph:   "C", TS: e.TS, PID: chromePID, TID: tids[e.Phase],
+				Ph:   "C", TS: e.TS, PID: EnginePID, TID: tids[e.Phase],
 				Args: map[string]any{"msgs": e.Msgs},
 			})
 		}
 	}
+	out = append(out, c.extra...)
 
-	err := json.NewEncoder(c.w).Encode(map[string]any{"traceEvents": out})
+	err := WriteChromeTrace(c.w, out)
 	if c.closer != nil {
 		if cerr := c.closer.Close(); err == nil {
 			err = cerr
 		}
 	}
-	c.events = nil
+	c.events, c.extra = nil, nil
 	return err
 }

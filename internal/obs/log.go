@@ -1,0 +1,55 @@
+// Structured logging: one place builds the slog handler every binary in
+// the repository uses, so the -log flag (text | json | off) and level
+// semantics stay consistent across cmd/apspd and cmd/apsprun. Trace-ID
+// stamping is layered on top by internal/trace (obs cannot import it — the
+// dependency runs the other way).
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogHandler builds the repository-standard slog handler.
+//
+//	format: "text" (human logfmt), "json" (one JSON object per line),
+//	        "off" (every record discarded)
+//	level:  minimum level the handler emits
+func NewLogHandler(w io.Writer, format string, level slog.Leveler) (slog.Handler, error) {
+	switch format {
+	case "text", "":
+		return slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}), nil
+	case "json":
+		return slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}), nil
+	case "off":
+		return nopHandler{}, nil
+	}
+	return nil, fmt.Errorf("obs: bad log format %q (want text | json | off)", format)
+}
+
+// ParseLogLevel maps the -log-level flag to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: bad log level %q (want debug | info | warn | error)", s)
+}
+
+// nopHandler discards every record (slog.DiscardHandler needs go1.24; the
+// module floor is 1.22).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

@@ -41,6 +41,12 @@ type Metrics struct {
 	msgInf    int64   // rounds above the last bucket bound
 	msgSum    int64
 	msgCount  int64
+
+	// Checkpoint persistence totals (checkpoint_save / checkpoint_load
+	// events; zero on runs without a checkpoint policy).
+	ckptSaves, ckptLoads       int64
+	ckptSaveUS, ckptLoadUS     int64
+	ckptSaveBytes, ckptLoadRaw int64
 }
 
 // NewMetrics wraps an io.Writer. If w is also an io.Closer it is closed by
@@ -119,6 +125,14 @@ func (m *Metrics) Emit(e Event) error {
 		if e.Load > p.maxLink {
 			p.maxLink = e.Load
 		}
+	case "checkpoint_save":
+		m.ckptSaves++
+		m.ckptSaveUS += e.CkptDurUS
+		m.ckptSaveBytes += e.CkptBytes
+	case "checkpoint_load":
+		m.ckptLoads++
+		m.ckptLoadUS += e.CkptDurUS
+		m.ckptLoadRaw += e.CkptBytes
 	case "phys_round":
 		if e.Phys != nil {
 			p.physSends += e.Phys.DataSends + e.Phys.Retransmits + e.Phys.DupCopies
@@ -175,6 +189,13 @@ func (m *Metrics) Close() error {
 				"simulated physical sub-rounds per phase",
 				L("phase", p.name)).Add(float64(p.physSubs))
 		}
+	}
+	if m.ckptSaves > 0 || m.ckptLoads > 0 {
+		reg.Counter("congest_checkpoint_writes_total", "engine snapshots persisted to disk").Add(float64(m.ckptSaves))
+		reg.Counter("congest_checkpoint_write_seconds_total", "wall-clock time spent persisting snapshots").Add(float64(m.ckptSaveUS) / 1e6)
+		reg.Counter("congest_checkpoint_write_bytes_total", "serialized snapshot bytes written").Add(float64(m.ckptSaveBytes))
+		reg.Counter("congest_checkpoint_loads_total", "engine snapshots restored from disk").Add(float64(m.ckptLoads))
+		reg.Counter("congest_checkpoint_load_seconds_total", "wall-clock time spent restoring snapshots").Add(float64(m.ckptLoadUS) / 1e6)
 	}
 	h := reg.Histogram("congest_round_messages", "per-round message counts", metricsBuckets)
 	h.restore(m.bucketRaw, m.msgInf, float64(m.msgSum))

@@ -32,7 +32,8 @@ type Event struct {
 	// microseconds.
 	TS int64 `json:"ts"`
 	// Kind is one of "phase", "run_start", "round", "node_sends",
-	// "link_peak", "phys_round", "run_done".
+	// "link_peak", "phys_round", "run_done", "checkpoint_save",
+	// "checkpoint_load".
 	Kind string `json:"kind"`
 	// Phase is the algorithm phase the event is attributed to.
 	Phase string `json:"phase"`
@@ -65,6 +66,11 @@ type Event struct {
 	// Phys is one logical round's physical-delivery cost under an
 	// adversarial network (phys_round; see faults.PhysStats).
 	Phys *faults.PhysStats `json:"phys,omitempty"`
+	// CkptDurUS and CkptBytes describe one checkpoint persistence
+	// operation (checkpoint_save / checkpoint_load): wall-clock duration
+	// in microseconds and the serialized snapshot size.
+	CkptDurUS int64 `json:"ckptDurUs,omitempty"`
+	CkptBytes int64 `json:"ckptBytes,omitempty"`
 }
 
 // Sink consumes the phase-attributed event stream. Emit is called
@@ -229,6 +235,24 @@ func (r *Recorder) PhysRound(round int, delta faults.PhysStats) {
 	r.phys.Add(delta)
 	r.physSeen = true
 	r.emit(Event{Kind: "phys_round", Round: round, GlobalRound: r.runBase + round, Phys: &delta})
+}
+
+// CheckpointSave records one engine snapshot persisted to disk (wire it
+// to checkpoint.Keeper.OnSave): the duration and byte count land in the
+// trace stream and the metrics dump, attributed to the current phase.
+func (r *Recorder) CheckpointSave(d time.Duration, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensurePhase()
+	r.emit(Event{Kind: "checkpoint_save", CkptDurUS: d.Microseconds(), CkptBytes: bytes})
+}
+
+// CheckpointLoad records one checkpoint restored from disk.
+func (r *Recorder) CheckpointLoad(d time.Duration, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensurePhase()
+	r.emit(Event{Kind: "checkpoint_load", CkptDurUS: d.Microseconds(), CkptBytes: bytes})
 }
 
 // TotalPhys returns the aggregate physical-delivery cost across all

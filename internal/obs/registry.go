@@ -52,6 +52,17 @@ type instrument struct {
 	counts []atomic.Int64 // histogram: per-bucket (non-cumulative) counts
 	inf    atomic.Int64   // histogram: observations above the last bound
 	sum    atomic.Uint64  // histogram: sum of observations (float64 bits)
+
+	// ex holds the latest exemplar per bucket (len(counts)+1; the last
+	// slot is the +Inf bucket). Exemplars link a bucket's counts to one
+	// concrete traced observation — WriteOpenMetrics renders them.
+	ex []atomic.Pointer[exemplar]
+}
+
+// exemplar is one traced observation attached to a histogram bucket.
+type exemplar struct {
+	labels string // pre-rendered {k="v",...}
+	value  float64
 }
 
 // NewRegistry returns an empty registry.
@@ -99,6 +110,7 @@ func (r *Registry) instrument(name, help, typ string, buckets []float64, labels 
 		ins = &instrument{labels: key}
 		if typ == "histogram" {
 			ins.counts = make([]atomic.Int64, len(buckets))
+			ins.ex = make([]atomic.Pointer[exemplar], len(buckets)+1)
 		}
 		f.byKey[key] = ins
 		f.order = append(f.order, ins)
@@ -164,6 +176,23 @@ func (h Histogram) Observe(v float64) {
 		h.ins.inf.Add(1)
 	}
 	atomicAddFloat(&h.ins.sum, v)
+}
+
+// ObserveExemplar records one observation and attaches an exemplar — the
+// latest traced observation to land in each bucket is kept and rendered by
+// WriteOpenMetrics (e.g. trace_id=… linking a latency bucket to a request
+// trace). With no labels it degrades to a plain Observe.
+func (h Histogram) ObserveExemplar(v float64, labels ...Label) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.ins.counts[i].Add(1)
+	} else {
+		h.ins.inf.Add(1)
+	}
+	atomicAddFloat(&h.ins.sum, v)
+	if len(labels) > 0 {
+		h.ins.ex[i].Store(&exemplar{labels: renderLabels(labels), value: v})
+	}
 }
 
 // Count returns the total number of observations.
@@ -238,8 +267,18 @@ func labelsWith(labels, key, value string) string {
 	return labels[:len(labels)-1] + "," + extra + "}"
 }
 
-// Write renders every family in registration order.
-func (r *Registry) Write(w io.Writer) error {
+// Write renders every family in registration order, in the classic
+// Prometheus text exposition format (no exemplars — the classic parser
+// rejects them).
+func (r *Registry) Write(w io.Writer) error { return r.write(w, false) }
+
+// WriteOpenMetrics renders the same families OpenMetrics-style: histogram
+// bucket lines carry their latest exemplar (`… # {trace_id="…"} value`)
+// and the dump ends with the mandatory `# EOF` terminator. Serve this
+// variant when the scraper negotiates application/openmetrics-text.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error { return r.write(w, true) }
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var b strings.Builder
@@ -253,14 +292,32 @@ func (r *Registry) Write(w io.Writer) error {
 			var cum int64
 			for i, le := range f.buckets {
 				cum += ins.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelsWith(ins.labels, "le", formatValue(le)), cum)
+				fmt.Fprintf(&b, "%s_bucket%s %d%s\n", f.name,
+					labelsWith(ins.labels, "le", formatValue(le)), cum, ins.exemplarSuffix(openMetrics, i))
 			}
 			cum += ins.inf.Load()
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelsWith(ins.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_bucket%s %d%s\n", f.name,
+				labelsWith(ins.labels, "le", "+Inf"), cum, ins.exemplarSuffix(openMetrics, len(f.buckets)))
 			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, ins.labels, formatValue(math.Float64frombits(ins.sum.Load())))
 			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, ins.labels, cum)
 		}
 	}
+	if openMetrics {
+		b.WriteString("# EOF\n")
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// exemplarSuffix renders bucket i's exemplar annotation ("" when absent or
+// when writing the classic format).
+func (ins *instrument) exemplarSuffix(openMetrics bool, i int) string {
+	if !openMetrics || ins.ex == nil {
+		return ""
+	}
+	e := ins.ex[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # %s %s", e.labels, formatValue(e.value))
 }

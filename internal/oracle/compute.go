@@ -122,6 +122,7 @@ func Compute(ctx context.Context, g *graph.Graph, sp ComputeSpec) (BuildInput, e
 	}
 	h := sp.hopBound(g)
 
+	var in BuildInput
 	switch sp.Alg {
 	case "pipeline":
 		res, err := core.Run(g, core.Opts{Sources: sp.Sources, H: h, Workers: sp.Workers,
@@ -129,30 +130,30 @@ func Compute(ctx context.Context, g *graph.Graph, sp ComputeSpec) (BuildInput, e
 		if err != nil {
 			return BuildInput{}, err
 		}
-		return BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist,
-			Hops: res.Hops, Parent: res.Parent, Stats: res.Stats}, nil
+		in = BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist,
+			Hops: res.Hops, Parent: res.Parent, Stats: res.Stats}
 	case "blocker":
 		res, err := hssp.Run(g, hssp.Opts{Sources: sp.Sources, H: sp.H, Workers: sp.Workers,
 			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
 		if err != nil {
 			return BuildInput{}, err
 		}
-		return BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist, Stats: res.Stats}, nil
+		in = BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist, Stats: res.Stats}
 	case "scaling":
 		res, err := scaling.Run(g, scaling.Opts{Sources: sp.Sources, Workers: sp.Workers,
 			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
 		if err != nil {
 			return BuildInput{}, err
 		}
-		return BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist, Stats: res.Stats}, nil
+		in = BuildInput{Alg: sp.Alg, Sources: res.Sources, Dist: res.Dist, Stats: res.Stats}
 	case "shortrange":
 		res, err := shortrange.Run(g, shortrange.Opts{Sources: sp.Sources, H: h, Workers: sp.Workers,
 			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
 		if err != nil {
 			return BuildInput{}, err
 		}
-		return BuildInput{Alg: sp.Alg, Sources: sp.Sources, Dist: res.Dist,
-			Hops: res.Hops, Parent: res.Parent, Stats: res.Stats}, nil
+		in = BuildInput{Alg: sp.Alg, Sources: sp.Sources, Dist: res.Dist,
+			Hops: res.Hops, Parent: res.Parent, Stats: res.Stats}
 	case "bellman":
 		res, err := bellman.Run(g, bellman.Opts{Sources: sp.Sources, H: h, Workers: sp.Workers,
 			Scheduler: sp.Sched, Obs: sp.Obs, Network: network, Checkpoint: pol, Ctx: ctx})
@@ -161,10 +162,18 @@ func Compute(ctx context.Context, g *graph.Graph, sp ComputeSpec) (BuildInput, e
 		}
 		// Bellman–Ford records parents but not hop counts: path queries go
 		// through the walker's nil-Hops mode (distance tightness only).
-		return BuildInput{Alg: sp.Alg, Sources: sp.Sources, Dist: res.Dist,
-			Parent: res.Parent, Stats: res.Stats}, nil
+		in = BuildInput{Alg: sp.Alg, Sources: sp.Sources, Dist: res.Dist,
+			Parent: res.Parent, Stats: res.Stats}
+	default:
+		return BuildInput{}, fmt.Errorf("oracle: unknown algorithm %q", sp.Alg)
 	}
-	return BuildInput{}, fmt.Errorf("oracle: unknown algorithm %q", sp.Alg)
+	if fnet != nil {
+		// The shim's physical cost travels with the result: the serving
+		// layer exports it (retransmits, duplicate deliveries) per snapshot.
+		phys := fnet.Phys()
+		in.Phys = &phys
+	}
+	return in, nil
 }
 
 // LoadCheckpoint reads an apsprun checkpoint file, validates its metadata

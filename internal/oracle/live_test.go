@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/congest"
+)
+
+// readSSE consumes up to n `data:` events from an event-stream response.
+func readSSE(t *testing.T, url string, n int) []liveEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	var events []liveEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && len(events) < n {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev liveEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func TestServerLiveStream(t *testing.T) {
+	ts, srv, snap := newTestServer(t, func(s *Server) {
+		s.Progress = &congest.Progress{}
+	})
+	src := snap.Sources()[0]
+	if status := getJSON(t, fmt.Sprintf("%s/dist?src=%d&dst=1", ts.URL, src), nil); status != http.StatusOK {
+		t.Fatalf("warm-up query status %d", status)
+	}
+
+	events := readSSE(t, ts.URL+"/debug/live?interval=50ms&n=3", 3)
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Gen != snap.Gen() {
+			t.Fatalf("event %d gen %d, want %d", i, ev.Gen, snap.Gen())
+		}
+		if ev.Alg != snap.Alg() {
+			t.Fatalf("event %d alg %q, want %q", i, ev.Alg, snap.Alg())
+		}
+		if ev.Queries < 1 {
+			t.Fatalf("event %d queries %d, want >= 1", i, ev.Queries)
+		}
+		if ev.Recomputing {
+			t.Fatalf("event %d claims a recompute is running", i)
+		}
+		if ev.Progress == nil {
+			t.Fatalf("event %d lacks an engine progress snapshot", i)
+		}
+	}
+
+	// The heartbeat reflects engine progress while a "recompute" runs.
+	srv.Progress.Reset()
+	srv.Progress.RunStart(snap.N())
+	for i := 0; i < 4; i++ {
+		srv.Progress.RoundDone(congest.RoundEvent{Round: i + 1, Sent: 10})
+	}
+	ev := readSSE(t, ts.URL+"/debug/live?interval=50ms&n=1", 1)[0]
+	if !ev.Progress.Running || ev.Progress.Rounds != 4 || ev.Progress.Messages != 40 {
+		t.Fatalf("mid-recompute progress %+v", ev.Progress)
+	}
+	if int64(snap.Stats().Rounds) > 4 && ev.EtaNS <= 0 {
+		t.Fatalf("no ETA despite %d expected rounds: %+v", snap.Stats().Rounds, ev)
+	}
+	srv.Progress.Done()
+	ev = readSSE(t, ts.URL+"/debug/live?interval=50ms&n=1", 1)[0]
+	if ev.Progress.Running || ev.EtaNS != 0 {
+		t.Fatalf("post-recompute event still running: %+v", ev)
+	}
+}
+
+func TestServerLiveBadParams(t *testing.T) {
+	ts, _, _ := newTestServer(t, nil)
+	for _, q := range []string{"interval=banana", "interval=-1s", "n=banana", "n=-2"} {
+		if status := getJSON(t, ts.URL+"/debug/live?"+q, nil); status != http.StatusBadRequest {
+			t.Errorf("/debug/live?%s: status %d, want 400", q, status)
+		}
+	}
+}
+
+func TestServerLiveNoProgressWired(t *testing.T) {
+	ts, _, _ := newTestServer(t, nil) // Progress left nil
+	ev := readSSE(t, ts.URL+"/debug/live?n=1", 1)[0]
+	if ev.Progress != nil || ev.EtaNS != 0 {
+		t.Fatalf("progress reported without a wired Progress: %+v", ev)
+	}
+}

@@ -3,6 +3,7 @@ package oracle
 import (
 	"io"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -34,6 +35,14 @@ type Metrics struct {
 	Generation obs.Gauge
 	Swaps      obs.Counter
 	Inflight   obs.Gauge
+	// CheckpointLoad is the startup checkpoint's load wall time in seconds
+	// (0 = the daemon did not load one).
+	CheckpointLoad obs.Gauge
+	// physRetransmits / physDupDeliveries / physDataSends describe the
+	// delivery shim's physical cost for the serving snapshot's computation
+	// (all 0 when it ran over perfect delivery). Gauges, not counters: each
+	// publish replaces them with the new snapshot's totals.
+	physRetransmits, physDupDeliveries, physDataSends obs.Gauge
 }
 
 // NewMetrics registers the apspd instrument set on a fresh registry.
@@ -55,7 +64,31 @@ func NewMetrics() *Metrics {
 	m.Generation = reg.Gauge("apspd_snapshot_generation", "serving snapshot generation (0 = none)")
 	m.Swaps = reg.Counter("apspd_snapshot_swaps_total", "snapshot publishes")
 	m.Inflight = reg.Gauge("apspd_inflight_requests", "requests currently admitted")
+	m.CheckpointLoad = reg.Gauge("apspd_checkpoint_load_seconds", "startup checkpoint load wall time (0 = none loaded)")
+	m.physRetransmits = reg.Gauge("apspd_compute_phys_retransmits", "delivery-shim retransmissions during the serving snapshot's computation")
+	m.physDupDeliveries = reg.Gauge("apspd_compute_phys_dup_deliveries", "duplicate deliveries discarded during the serving snapshot's computation")
+	m.physDataSends = reg.Gauge("apspd_compute_phys_data_sends", "first data transmissions during the serving snapshot's computation")
 	return m
+}
+
+// SetPhys republishes the serving snapshot's physical-delivery cost
+// (called on every publish; nil resets the gauges to perfect delivery).
+func (m *Metrics) SetPhys(p *faults.PhysStats) {
+	if p == nil {
+		m.physRetransmits.Set(0)
+		m.physDupDeliveries.Set(0)
+		m.physDataSends.Set(0)
+		return
+	}
+	m.physRetransmits.Set(float64(p.Retransmits))
+	m.physDupDeliveries.Set(float64(p.DupDeliveries))
+	m.physDataSends.Set(float64(p.DataSends))
+}
+
+// QueriesTotal sums the per-kind finished-query counters (the /debug/live
+// QPS source).
+func (m *Metrics) QueriesTotal() float64 {
+	return m.distQ.Value() + m.pathQ.Value() + m.batchQ.Value()
 }
 
 // Query returns the (counter, histogram) pair for a query kind.
@@ -82,5 +115,9 @@ func (m *Metrics) SyncCache(c *PathCache) {
 	m.cacheMisses.Add(float64(misses) - m.cacheMisses.Value())
 }
 
-// Write renders the instrument set in Prometheus text format.
+// Write renders the instrument set in classic Prometheus text format.
 func (m *Metrics) Write(w io.Writer) error { return m.reg.Write(w) }
+
+// WriteOpenMetrics renders the instrument set in OpenMetrics format, with
+// trace-ID exemplars on the latency histogram buckets.
+func (m *Metrics) WriteOpenMetrics(w io.Writer) error { return m.reg.WriteOpenMetrics(w) }

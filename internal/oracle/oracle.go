@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/graph"
 )
 
@@ -52,6 +53,9 @@ type BuildInput struct {
 	Parent [][]int
 	// Stats is the CONGEST cost paid to compute the matrices.
 	Stats congest.Stats
+	// Phys is the delivery shim's physical cost when the computation ran
+	// under a fault plan (nil = perfect delivery).
+	Phys *faults.PhysStats
 }
 
 // shard holds a contiguous block of source rows, row-major.
@@ -72,6 +76,7 @@ type Snapshot struct {
 	shards    []shard
 	g         *graph.Graph
 	stats     congest.Stats
+	phys      *faults.PhysStats
 	fp        uint64 // graph fingerprint (checkpoint.Fingerprint)
 }
 
@@ -127,6 +132,7 @@ func Build(g *graph.Graph, in BuildInput, opts BuildOpts) (*Snapshot, error) {
 		shards:    make([]shard, nShards),
 		g:         g,
 		stats:     in.Stats,
+		phys:      in.Phys,
 		fp:        opts.Fingerprint,
 	}
 
@@ -223,6 +229,10 @@ func (s *Snapshot) Sources() []int { return s.sources }
 
 // Stats is the CONGEST cost paid to compute the snapshot.
 func (s *Snapshot) Stats() congest.Stats { return s.stats }
+
+// Phys is the delivery shim's physical cost for the computation (nil when
+// it ran over perfect delivery).
+func (s *Snapshot) Phys() *faults.PhysStats { return s.phys }
 
 // Fingerprint is the graph fingerprint the snapshot was built against.
 func (s *Snapshot) Fingerprint() uint64 { return s.fp }

@@ -5,15 +5,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Defaults for the Server knobs (applied when the field is zero).
@@ -56,12 +61,26 @@ type Server struct {
 	// background goroutine, single-flight) to build a replacement
 	// snapshot; the server publishes whatever it returns.
 	Recompute func(ctx context.Context) (*Snapshot, error)
-	// Logf receives operational messages (nil = silent).
-	Logf func(format string, args ...any)
+	// Log receives operational and per-query records (nil = silent). Wrap
+	// the handler with trace.LogHandler so records carry trace IDs.
+	Log *slog.Logger
+	// Tracer records request span trees (nil = tracing off; every call
+	// site tolerates the nil tracer at zero cost).
+	Tracer *trace.Tracer
+	// SlowQuery is the slow-query log threshold: any query at least this
+	// slow is logged at WARN with its trace ID (0 = off).
+	SlowQuery time.Duration
+	// LogEvery debug-logs one in every N completed queries (0 = off) —
+	// a sampled request log that stays readable under load.
+	LogEvery int
+	// Progress, when set, observes recompute runs for /debug/live (wire
+	// the same Progress into the recompute spec's engine observer).
+	Progress *congest.Progress
 
 	initOnce    sync.Once
 	sem         chan struct{}
 	recomputing atomic.Bool
+	logSeq      atomic.Uint64
 }
 
 func (s *Server) init() {
@@ -85,9 +104,11 @@ func (s *Server) init() {
 	})
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
+// logAt emits one record when a logger is configured; the context carries
+// the current span, so a trace.LogHandler-wrapped logger stamps trace IDs.
+func (s *Server) logAt(ctx context.Context, level slog.Level, msg string, attrs ...slog.Attr) {
+	if s.Log != nil {
+		s.Log.LogAttrs(ctx, level, msg, attrs...)
 	}
 }
 
@@ -99,7 +120,10 @@ func (s *Server) Publish(snap *Snapshot) uint64 {
 	gen := s.Store.Publish(snap)
 	s.Met.Generation.Set(float64(gen))
 	s.Met.Swaps.Inc()
-	s.logf("published snapshot gen=%d alg=%s n=%d k=%d", gen, snap.Alg(), snap.N(), snap.K())
+	s.Met.SetPhys(snap.Phys())
+	s.logAt(context.Background(), slog.LevelInfo, "published snapshot",
+		slog.Uint64("gen", gen), slog.String("alg", snap.Alg()),
+		slog.Int("n", snap.N()), slog.Int("k", snap.K()))
 	return gen
 }
 
@@ -112,6 +136,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /batch", s.query("batch", s.handleBatch))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/live", s.handleLive)
 	mux.HandleFunc("POST /admin/recompute", s.handleRecompute)
 	// pprof needs explicit wiring: the daemon serves its own mux, not
 	// http.DefaultServeMux.
@@ -123,50 +148,103 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// query wraps a query handler with admission control, the per-request
-// deadline, and the per-kind latency/throughput instruments.
+// query wraps a query handler with tracing, admission control, the
+// per-request deadline, and the per-kind latency/throughput instruments.
+//
+// Tracing: the root span ("serve.<kind>") opens before admission, adopts an
+// incoming W3C traceparent when present, and the server-side header is
+// echoed on the response so callers learn their trace ID. Head-sampled
+// queries additionally attach their trace ID as an exemplar on the latency
+// histogram bucket they land in — the metrics-to-trace join.
 func (s *Server) query(kind string, h func(http.ResponseWriter, *http.Request, *Snapshot) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, root := s.Tracer.StartRequest(r.Context(), "serve."+kind, r.Header.Get(trace.TraceparentHeader))
+		if root != nil {
+			w.Header().Set(trace.TraceparentHeader, root.Traceparent())
+		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			// No free slot: wait up to AdmitWait before shedding.
+			// No free slot: wait up to AdmitWait before shedding. The
+			// admit span only exists on this contended path — uncontended
+			// admission is one channel send and leaves no span.
+			admit := root.Child("admit")
 			t := time.NewTimer(s.AdmitWait)
 			select {
 			case s.sem <- struct{}{}:
 				t.Stop()
+				admit.End()
 			case <-t.C:
 				s.Met.Shed.Inc()
+				admit.End()
+				root.Error(errors.New("shed: admission queue full"))
+				root.End()
 				writeErr(w, http.StatusTooManyRequests, "overloaded, retry later")
 				return
 			case <-r.Context().Done():
 				t.Stop()
 				s.Met.Shed.Inc()
+				admit.End()
+				root.Error(errors.New("shed: client gave up in admission queue"))
+				root.End()
 				writeErr(w, http.StatusTooManyRequests, "client gave up in admission queue")
 				return
 			}
 		}
 		s.Met.Inflight.Add(1)
 		start := time.Now()
+		status := http.StatusOK
 		defer func() {
 			<-s.sem
 			s.Met.Inflight.Add(-1)
+			dur := time.Since(start)
 			qc, lat := s.Met.Query(kind)
 			qc.Inc()
-			lat.Observe(time.Since(start).Seconds())
+			if root != nil && root.Sampled() {
+				lat.ObserveExemplar(dur.Seconds(), obs.L("trace_id", root.TraceID()))
+			} else {
+				lat.Observe(dur.Seconds())
+			}
+			root.SetInt("http.status", int64(status))
+			root.End()
+			s.logQuery(ctx, kind, status, dur)
 		}()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.Deadline)
+		dctx, cancel := context.WithTimeout(ctx, s.Deadline)
 		defer cancel()
 		snap := s.Store.Current() // the request's one and only pointer read
 		if snap == nil {
 			s.Met.Errors.Inc()
-			writeErr(w, http.StatusServiceUnavailable, "no snapshot published yet")
+			root.Error(errors.New("no snapshot published yet"))
+			status = writeErr(w, http.StatusServiceUnavailable, "no snapshot published yet")
 			return
 		}
-		if status := h(w, r.WithContext(ctx), snap); status >= 400 {
+		root.SetInt("gen", int64(snap.Gen()))
+		status = h(w, r.WithContext(dctx), snap)
+		if status >= 400 {
 			s.Met.Errors.Inc()
+			root.Error(fmt.Errorf("HTTP %d", status))
 		}
+	}
+}
+
+// logQuery is the per-query log policy: slow queries at WARN, server
+// faults at ERROR, and a 1-in-LogEvery sample at DEBUG. The context
+// carries the root span, so every record lands with its trace ID.
+func (s *Server) logQuery(ctx context.Context, kind string, status int, dur time.Duration) {
+	if s.Log == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("kind", kind), slog.Int("status", status), slog.Duration("dur", dur),
+	}
+	switch {
+	case s.SlowQuery > 0 && dur >= s.SlowQuery:
+		s.logAt(ctx, slog.LevelWarn, "slow query", attrs...)
+	case status >= 500:
+		s.logAt(ctx, slog.LevelError, "query failed", attrs...)
+	case s.LogEvery > 0 && (s.logSeq.Add(1)-1)%uint64(s.LogEvery) == 0:
+		s.logAt(ctx, slog.LevelDebug, "query", attrs...)
 	}
 }
 
@@ -215,8 +293,11 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request, snap *Snapsh
 	if status != 0 {
 		return status
 	}
+	_, sp := trace.Start(r.Context(), "lookup")
+	d := snap.DistAt(row, dst)
+	sp.End()
 	resp := distResp{Src: snap.Sources()[row], Dst: dst, Gen: snap.Gen()}
-	if d := snap.DistAt(row, dst); d < graph.Inf {
+	if d < graph.Inf {
 		resp.Reachable = true
 		resp.Dist = &d
 	}
@@ -231,7 +312,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request, snap *Snapsh
 	if !snap.HasPaths() {
 		return writeErr(w, http.StatusNotImplemented, "%s snapshots record no parent pointers; only /dist is served", snap.Alg())
 	}
-	path, err := s.lookupPath(snap, row, dst)
+	path, err := s.lookupPath(r.Context(), snap, row, dst)
 	if err != nil {
 		return writeErr(w, pathStatus(err), "%v", err)
 	}
@@ -243,13 +324,29 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request, snap *Snapsh
 
 // lookupPath consults the LRU before walking; walker errors are cached
 // alongside successes (both are deterministic for a given generation).
-func (s *Server) lookupPath(snap *Snapshot, row, dst int) ([]int, error) {
+// When the context carries a span, the cache probe and the parent walk
+// each get a child (batch queries pass a spanless context — the segment
+// span is their granularity).
+func (s *Server) lookupPath(ctx context.Context, snap *Snapshot, row, dst int) ([]int, error) {
+	parent := trace.FromContext(ctx)
 	if s.Cache != nil {
-		if path, err, ok := s.Cache.Get(snap.Gen(), row, dst); ok {
+		probe := parent.Child("cache.probe")
+		path, err, ok := s.Cache.Get(snap.Gen(), row, dst)
+		if probe != nil {
+			probe.Set("hit", strconv.FormatBool(ok))
+			probe.End()
+		}
+		if ok {
 			return path, err
 		}
 	}
+	walk := parent.Child("walk")
 	path, err := snap.Path(row, dst)
+	walk.Error(err)
+	if len(path) > 0 {
+		walk.SetInt("hops", int64(len(path)-1))
+	}
+	walk.End()
 	if s.Cache != nil {
 		s.Cache.Put(snap.Gen(), row, dst, path, err)
 	}
@@ -312,19 +409,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, snap *Snaps
 		return writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds budget %d", len(req.Queries), s.BatchBudget)
 	}
 	ctx := r.Context()
+	sp := trace.FromContext(ctx)
+	sp.SetInt("queries", int64(len(req.Queries)))
+	// Individual queries run without spans: a 10k-query batch traced per
+	// query would blow the span budget and drown the tree. The 256-query
+	// segment is the tracing granularity.
+	qctx := trace.ContextWith(ctx, nil)
 	resp := batchResp{Gen: snap.Gen(), Results: make([]batchResult, len(req.Queries))}
+	var seg *trace.Span
 	for qi, q := range req.Queries {
 		// The deadline is checked between queries so a huge path batch
 		// cannot hold its admission slot past the request budget.
-		if qi&255 == 0 && ctx.Err() != nil {
-			return writeErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d queries", qi, len(req.Queries))
+		if qi&255 == 0 {
+			seg.End()
+			if ctx.Err() != nil {
+				return writeErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d queries", qi, len(req.Queries))
+			}
+			seg = sp.Child("batch.segment")
+			seg.SetInt("offset", int64(qi))
 		}
-		resp.Results[qi] = s.batchOne(snap, q)
+		resp.Results[qi] = s.batchOne(qctx, snap, q)
 	}
+	seg.End()
 	return writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) batchOne(snap *Snapshot, q batchItem) batchResult {
+func (s *Server) batchOne(ctx context.Context, snap *Snapshot, q batchItem) batchResult {
 	res := batchResult{Src: q.Src, Dst: q.Dst}
 	fail := func(status int, format string, args ...any) batchResult {
 		res.Error = fmt.Sprintf(format, args...)
@@ -348,7 +458,7 @@ func (s *Server) batchOne(snap *Snapshot, q batchItem) batchResult {
 		if !snap.HasPaths() {
 			return fail(http.StatusNotImplemented, "%s snapshots record no parent pointers", snap.Alg())
 		}
-		path, err := s.lookupPath(snap, row, q.Dst)
+		path, err := s.lookupPath(ctx, snap, row, q.Dst)
 		if err != nil {
 			return fail(pathStatus(err), "%v", err)
 		}
@@ -389,9 +499,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.init()
 	s.Met.SyncCache(s.Cache)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if err := s.Met.Write(w); err != nil {
-		s.logf("metrics write: %v", err)
+	var err error
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		// OpenMetrics carries the trace-ID exemplars; classic scrapers get
+		// the plain text format unchanged.
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		err = s.Met.WriteOpenMetrics(w)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		err = s.Met.Write(w)
+	}
+	if err != nil {
+		s.logAt(r.Context(), slog.LevelWarn, "metrics write", slog.Any("err", err))
 	}
 }
 
@@ -408,14 +527,34 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "recompute already running")
 		return
 	}
+	// The recompute trace outlives the HTTP request: its root span is born
+	// from the request's traceparent (so a caller can follow its own
+	// trigger into the rebuild) but runs on a background context.
+	rctx, sp := s.Tracer.StartRequest(context.Background(), "recompute", r.Header.Get(trace.TraceparentHeader))
+	if sp != nil {
+		w.Header().Set(trace.TraceparentHeader, sp.Traceparent())
+	}
 	go func() {
 		defer s.recomputing.Store(false)
-		snap, err := s.Recompute(context.Background())
+		if s.Progress != nil {
+			s.Progress.Reset()
+		}
+		start := time.Now()
+		snap, err := s.Recompute(rctx)
+		if s.Progress != nil {
+			s.Progress.Done()
+		}
 		if err != nil {
-			s.logf("recompute failed: %v", err)
+			sp.Error(err)
+			sp.End()
+			s.logAt(rctx, slog.LevelError, "recompute failed", slog.Any("err", err))
 			return
 		}
-		s.Publish(snap)
+		gen := s.Publish(snap)
+		sp.SetInt("gen", int64(gen))
+		sp.End()
+		s.logAt(rctx, slog.LevelInfo, "recompute finished",
+			slog.Uint64("gen", gen), slog.Duration("dur", time.Since(start)))
 	}()
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recompute started"})
 }

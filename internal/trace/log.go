@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler wraps a slog.Handler so every record logged with a traced
+// context is stamped with trace_id and span_id — the join key between the
+// slow-query log, the JSONL span trace and the histogram exemplars. Build
+// the base handler with obs.NewLogHandler and wrap it once at startup.
+func LogHandler(h slog.Handler) slog.Handler { return logHandler{h} }
+
+type logHandler struct{ slog.Handler }
+
+func (lh logHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sp := FromContext(ctx); sp != nil {
+		r.AddAttrs(slog.String("trace_id", sp.TraceID()), slog.String("span_id", sp.ID()))
+	}
+	return lh.Handler.Handle(ctx, r)
+}
+
+func (lh logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return logHandler{lh.Handler.WithAttrs(attrs)}
+}
+
+func (lh logHandler) WithGroup(name string) slog.Handler {
+	return logHandler{lh.Handler.WithGroup(name)}
+}

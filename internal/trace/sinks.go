@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// JSONL streams every emitted span as one JSON line — the same
+// grep-friendly convention as the engine's obs.JSONL event trace, keyed by
+// trace ID instead of phase.
+type JSONL struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	flush func() error
+	close func() error
+}
+
+// NewJSONL wraps an io.Writer. If w is also an io.Closer it is closed by
+// Close.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	j := &JSONL{enc: json.NewEncoder(bw), flush: bw.Flush}
+	if c, ok := w.(io.Closer); ok {
+		j.close = c.Close
+	}
+	return j
+}
+
+// CreateJSONL opens (truncating) path and returns a JSONL span sink.
+func CreateJSONL(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: create jsonl: %w", err)
+	}
+	return NewJSONL(f), nil
+}
+
+// Trace implements Sink.
+func (j *JSONL) Trace(spans []SpanRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range spans {
+		if err := j.enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.flush()
+	if j.close != nil {
+		if cerr := j.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ServePID is the trace_event process ID for serving-request spans —
+// distinct from obs.EnginePID so both render side by side in one file.
+const ServePID = 2
+
+// chromeTracks bounds the serving-side thread tracks: each trace's spans
+// land on one track, traces rotate across this many (concurrent requests
+// on one track would overlap illegibly).
+const chromeTracks = 24
+
+// Chrome converts emitted traces to Chrome trace_event slices and hands
+// them to an obs.Chrome sink — the engine's encoder — so serving spans
+// (PID 2) and engine phase rounds (PID 1) share one timeline. The target
+// sink's Close (not this sink's) writes the file; close the Tracer before
+// the obs side.
+type Chrome struct {
+	dst  *obs.Chrome
+	once sync.Once
+	seq  uint64
+	mu   sync.Mutex
+}
+
+// NewChrome wraps the destination obs.Chrome sink.
+func NewChrome(dst *obs.Chrome) *Chrome { return &Chrome{dst: dst} }
+
+// Trace implements Sink.
+func (c *Chrome) Trace(spans []SpanRecord) error {
+	c.once.Do(func() {
+		meta := make([]obs.ChromeEvent, 0, chromeTracks+1)
+		meta = append(meta, obs.ChromeEvent{
+			Name: "process_name", Ph: "M", PID: ServePID,
+			Args: map[string]any{"name": "apspd serving"},
+		})
+		for tid := 1; tid <= chromeTracks; tid++ {
+			meta = append(meta, obs.ChromeEvent{
+				Name: "thread_name", Ph: "M", PID: ServePID, TID: tid,
+				Args: map[string]any{"name": fmt.Sprintf("requests %02d", tid)},
+			})
+		}
+		c.dst.AddEvents(meta...)
+	})
+	c.mu.Lock()
+	c.seq++
+	tid := int(c.seq%chromeTracks) + 1
+	c.mu.Unlock()
+
+	out := make([]obs.ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := map[string]any{"trace": s.TraceID, "span": s.SpanID}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		out = append(out, obs.ChromeEvent{
+			Name: s.Name, Ph: "X",
+			TS: s.StartUS, Dur: s.DurUS,
+			PID: ServePID, TID: tid,
+			Args: args,
+		})
+	}
+	c.dst.AddEvents(out...)
+	return nil
+}
+
+// Close implements Sink; the destination obs.Chrome owns the file.
+func (c *Chrome) Close() error { return nil }
+
+// Agg aggregates span durations by span name — the per-span
+// latency-attribution table behind the E-SERVE experiment: where inside
+// the serving path did the time go, across every traced request.
+type Agg struct {
+	mu     sync.Mutex
+	byName map[string]*AggRow
+}
+
+// AggRow is one span name's accumulated timing.
+type AggRow struct {
+	Name    string
+	Count   int64
+	TotalUS int64
+	MaxUS   int64
+	Errs    int64
+}
+
+// AvgUS is the mean span duration in microseconds.
+func (r *AggRow) AvgUS() float64 {
+	if r.Count == 0 {
+		return 0
+	}
+	return float64(r.TotalUS) / float64(r.Count)
+}
+
+// NewAgg returns an empty aggregator.
+func NewAgg() *Agg { return &Agg{byName: make(map[string]*AggRow)} }
+
+// Trace implements Sink.
+func (a *Agg) Trace(spans []SpanRecord) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range spans {
+		r, ok := a.byName[s.Name]
+		if !ok {
+			r = &AggRow{Name: s.Name}
+			a.byName[s.Name] = r
+		}
+		r.Count++
+		r.TotalUS += s.DurUS
+		if s.DurUS > r.MaxUS {
+			r.MaxUS = s.DurUS
+		}
+		if s.Err != "" {
+			r.Errs++
+		}
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (a *Agg) Close() error { return nil }
+
+// Rows returns the aggregation sorted by total time descending — the
+// attribution order an operator wants.
+func (a *Agg) Rows() []AggRow {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]AggRow, 0, len(a.byName))
+	for _, r := range a.byName {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalUS != out[j].TotalUS {
+			return out[i].TotalUS > out[j].TotalUS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,68 @@
+package trace
+
+import "strings"
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) traceparent
+// handling: version 00, `00-<16-byte trace-id>-<8-byte parent-id>-<flags>`
+// in lowercase hex. Extraction keeps an upstream caller's trace ID so a
+// front-end router fanning a /batch out to shard backends yields one
+// coherent tree; injection lets apspd's own clients (and the future
+// cluster's scatter-gather legs) carry the context onward.
+
+// TraceparentHeader is the canonical header name.
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent decodes a traceparent header value. ok is false for
+// anything malformed (wrong shape, non-hex, all-zero IDs) or for versions
+// other than 00 — per spec, unknown versions with the 00 shape could be
+// accepted, but rejecting keeps downstream behavior deterministic.
+func ParseTraceparent(h string) (traceID, parentID string, sampled, ok bool) {
+	h = strings.TrimSpace(h)
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false, false
+	}
+	ver, tid, pid, flags := h[:2], h[3:35], h[36:52], h[53:]
+	if ver != "00" || !isLowerHex(tid) || !isLowerHex(pid) || !isLowerHex(flags) {
+		return "", "", false, false
+	}
+	if tid == strings.Repeat("0", 32) || pid == strings.Repeat("0", 16) {
+		return "", "", false, false
+	}
+	return tid, pid, hexNibble(flags[1])&1 == 1, true
+}
+
+// FormatTraceparent encodes a traceparent value for outbound propagation.
+func FormatTraceparent(traceID, spanID string, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + traceID + "-" + spanID + "-" + flags
+}
+
+// Traceparent renders the span's outbound propagation header ("" for a nil
+// span): inject it into downstream requests, and echo it on responses so
+// callers learn the server-assigned trace ID.
+func (sp *Span) Traceparent() string {
+	if sp == nil {
+		return ""
+	}
+	return FormatTraceparent(sp.tr.id, sp.id, sp.Sampled())
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func hexNibble(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Smoke test for request tracing: boot apspd with -trace, fire traced
+# queries (one continuing an upstream W3C traceparent, one minting its
+# own), check the header echo and the /debug/live heartbeat, drain on
+# SIGTERM, then validate the emitted span JSONL with tracecheck (spans
+# close, parents resolve, children nest) and confirm the Chrome timeline
+# carries both the engine (pid 1) and serving (pid 2) tracks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/apspd" ./cmd/apspd
+go build -o "$tmp/tracecheck" ./cmd/tracecheck
+
+"$tmp/apspd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -n 48 -m 160 -seed 7 \
+    -trace "$tmp/spans.jsonl" -trace-sample 1 \
+    -log json -log-level debug -log-every 1 2>"$tmp/log" &
+pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "trace-smoke: apspd exited before binding" >&2
+        cat "$tmp/log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! [ -s "$tmp/addr" ]; then
+    echo "trace-smoke: apspd never wrote its address" >&2
+    kill "$pid" 2>/dev/null
+    exit 1
+fi
+addr=$(cat "$tmp/addr")
+echo "trace-smoke: apspd listening on $addr"
+
+upstream=4bf92f3577b34da6a3ce929d0e0e4736
+echo_hdr=$(curl -fsS -D - -o /dev/null \
+    -H "traceparent: 00-$upstream-00f067aa0ba902b7-01" \
+    "http://$addr/dist?src=0&dst=5" | tr -d '\r' | grep -i '^traceparent:' || true)
+echo "trace-smoke: dist echoed '$echo_hdr'"
+case "$echo_hdr" in
+*"$upstream"*) ;;
+*)
+    echo "trace-smoke: response does not continue the upstream trace" >&2
+    kill "$pid" 2>/dev/null
+    exit 1
+    ;;
+esac
+
+path_hdr=$(curl -fsS -D - -o /dev/null "http://$addr/path?src=0&dst=9" |
+    tr -d '\r' | grep -ci '^traceparent:' || true)
+if [ "$path_hdr" -ne 1 ]; then
+    echo "trace-smoke: headerless /path request was not assigned a trace" >&2
+    kill "$pid" 2>/dev/null
+    exit 1
+fi
+# A few more queries so the span file has substance.
+for dst in 1 2 3 4; do
+    curl -fsS "http://$addr/dist?src=0&dst=$dst" >/dev/null
+    curl -fsS "http://$addr/path?src=0&dst=$dst" >/dev/null
+done
+
+live=$(curl -fsS "http://$addr/debug/live?interval=50ms&n=1")
+echo "trace-smoke: live $live"
+case "$live" in
+*'"gen":1'*) ;;
+*)
+    echo "trace-smoke: /debug/live heartbeat missing the serving generation" >&2
+    kill "$pid" 2>/dev/null
+    exit 1
+    ;;
+esac
+
+kill -TERM "$pid"
+wait "$pid" # propagates the daemon's exit status
+
+"$tmp/tracecheck" -min-traces 10 "$tmp/spans.jsonl"
+
+if ! grep -q "$upstream" "$tmp/spans.jsonl"; then
+    echo "trace-smoke: upstream trace ID absent from the span file" >&2
+    exit 1
+fi
+if ! grep -q '"trace_id"' "$tmp/log"; then
+    echo "trace-smoke: structured log carries no trace_id stamps" >&2
+    exit 1
+fi
+chrome="$tmp/spans.chrome.json"
+if ! [ -s "$chrome" ]; then
+    echo "trace-smoke: Chrome timeline missing" >&2
+    exit 1
+fi
+if ! grep -q '"pid":2' "$chrome" || ! grep -q '"pid":1' "$chrome"; then
+    echo "trace-smoke: Chrome timeline lacks engine or serving events" >&2
+    exit 1
+fi
+echo "trace-smoke: spans validate, timeline shared, logs stamped"
