@@ -6,7 +6,7 @@ GO ?= go
 # scheduled job).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race cover bench bench-engine experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke clean
+.PHONY: all build test race cover bench bench-engine bench-gate bench-baseline experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke clean
 
 all: build test
 
@@ -38,6 +38,22 @@ bench:
 # shim's cost, and the checkpoint hook's overhead.
 bench-engine:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint' -benchtime 1x .
+
+# Engine benchmark regression gate: run the engine benchmark set with
+# -benchmem and compare against the committed BENCH_engine.json baseline
+# via cmd/benchgate. B/op and allocs/op are gated everywhere; ns/op only
+# on the machine that recorded the baseline (matching fingerprint). The
+# intermediate file (gitignored) is kept for post-mortems and because sh
+# make recipes have no pipefail — a crashed bench run must not feed an
+# empty stream to the gate.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint' -benchmem -benchtime 10x -count 2 . > bench_engine.out
+	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json < bench_engine.out
+
+# Rewrite the baseline from a fresh run (commit the result deliberately).
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint' -benchmem -benchtime 10x -count 2 . > bench_engine.out
+	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json -update < bench_engine.out
 
 # The full-size experiment sweep (writes the tables EXPERIMENTS.md records).
 experiments:

@@ -240,6 +240,29 @@ func BenchmarkEngineWorkers8Observed(b *testing.B) {
 	benchEngineWorkers(b, 8, func() congest.Observer { return obs.NewRecorder() })
 }
 
+// benchEngineWorkersAdaptive runs the sparse active-set workload (most
+// rounds step only a handful of nodes) at a given Workers setting. The
+// engine sizes its fork to the round being stepped — one worker per 64
+// active nodes, serial below that — so the 8-worker variant must match the
+// 1-worker variant here: a high Workers cap costs nothing on rounds too
+// small to parallelize. A static fork (or the old whole-graph n<128
+// cutoff) would pay goroutine fork/join on thousands of near-empty rounds.
+func benchEngineWorkersAdaptive(b *testing.B, workers int) {
+	n := 256
+	g := graph.Random(n, 4*n, graph.GenOpts{Seed: 9, MaxW: 4096, MinW: 1, Directed: true})
+	delta := graph.Delta(g)
+	sources := []int{0, 64, 128, 192}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(g, core.Opts{Sources: sources, H: n - 1, Delta: delta, Scheduler: congest.SchedulerActive, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineWorkersAdaptive1(b *testing.B) { benchEngineWorkersAdaptive(b, 1) }
+func BenchmarkEngineWorkersAdaptive8(b *testing.B) { benchEngineWorkersAdaptive(b, 8) }
+
 // ---------------------------------------------------------------------------
 // Scheduler benchmarks: dense (every node stepped every round) vs the
 // active-set scheduler, on the two activity extremes. Both produce

@@ -1,0 +1,256 @@
+// Command benchgate compares `go test -bench` output against a committed
+// baseline and fails on regression. It is the repo's stand-in for
+// benchstat in a network-less build: a small, dependency-free comparator
+// with the semantics CI actually needs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem -count 3 . | benchgate -baseline BENCH_engine.json
+//	go test -run '^$' -bench ... -benchmem -count 3 . | benchgate -baseline BENCH_engine.json -update
+//
+// The baseline records, per benchmark, the best (minimum) ns/op, B/op and
+// allocs/op over the input's -count repetitions, plus a machine
+// fingerprint (goos/goarch/cpu from the bench header). On compare:
+//
+//   - B/op and allocs/op are gated unconditionally: they are machine-
+//     independent, so exceeding the baseline by more than -threshold
+//     (default 15%) fails. These are the teeth — the flat message plane's
+//     allocation discipline cannot silently erode.
+//   - ns/op is gated only when the current machine's fingerprint matches
+//     the baseline's, and with its own looser -time-threshold (default
+//     30%): wall-clock is at the mercy of scheduler noise even on the
+//     right machine, while alloc counts are deterministic. On a foreign
+//     machine timing differences are reported but do not fail the gate.
+//   - A benchmark present in the baseline but missing from the input
+//     fails: coverage cannot silently disappear.
+//
+// Exit status 0 when within bounds, 1 on any regression or missing
+// benchmark, 2 on usage/parse errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's best-of-count measurements.
+type result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	hasMem   bool
+}
+
+// baseline is the committed BENCH_engine.json document.
+type baseline struct {
+	// Fingerprint identifies the machine the baseline was measured on:
+	// "goos/goarch cpu-model". ns/op is only gated when it matches.
+	Fingerprint string `json:"fingerprint"`
+	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to
+	// its best-of-count measurements.
+	Benchmarks map[string]*result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	baselinePath := flag.String("baseline", "BENCH_engine.json", "baseline file to compare against (or write with -update)")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional regression for B/op and allocs/op")
+	timeThreshold := flag.Float64("time-threshold", 0.30, "allowed fractional regression for ns/op (same machine only)")
+	flag.Parse()
+
+	cur, fp, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		return 2
+	}
+
+	if *update {
+		doc := baseline{Fingerprint: fp, Benchmarks: cur}
+		buf, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			return 2
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*baselinePath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			return 2
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks, fingerprint %q)\n", *baselinePath, len(cur), fp)
+		return 0
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	sameMachine := fp == base.Fingerprint
+	if !sameMachine {
+		fmt.Printf("benchgate: fingerprint %q != baseline %q: ns/op reported but not gated\n", fp, base.Fingerprint)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline but not in input\n", name)
+			failed = true
+			continue
+		}
+		verdict := "ok  "
+		var notes []string
+		if c.hasMem {
+			if over(float64(c.BOp), float64(b.BOp), *threshold) {
+				notes = append(notes, fmt.Sprintf("B/op %d > %d+%.0f%%", c.BOp, b.BOp, *threshold*100))
+			}
+			if over(float64(c.AllocsOp), float64(b.AllocsOp), *threshold) {
+				notes = append(notes, fmt.Sprintf("allocs/op %d > %d+%.0f%%", c.AllocsOp, b.AllocsOp, *threshold*100))
+			}
+		}
+		timeNote := ""
+		if over(c.NsOp, b.NsOp, *timeThreshold) {
+			timeNote = fmt.Sprintf("ns/op %.0f > %.0f+%.0f%%", c.NsOp, b.NsOp, *timeThreshold*100)
+			if sameMachine {
+				notes = append(notes, timeNote)
+			}
+		}
+		if len(notes) > 0 {
+			verdict = "FAIL"
+			failed = true
+		}
+		line := fmt.Sprintf("%s %s: ns/op %.0f (base %.0f) B/op %d (base %d) allocs/op %d (base %d)",
+			verdict, name, c.NsOp, b.NsOp, c.BOp, b.BOp, c.AllocsOp, b.AllocsOp)
+		if len(notes) > 0 {
+			line += " — " + strings.Join(notes, "; ")
+		} else if timeNote != "" {
+			line += " — " + timeNote + " (not gated: different machine)"
+		}
+		fmt.Println(line)
+	}
+	for name := range cur {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("new  %s: not in baseline (run with -update to record)\n", name)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// over reports whether cur exceeds base by more than the fractional
+// threshold. A zero base gates any increase (there is no meaningful
+// percentage of zero — and "was allocation-free, now allocates" is
+// exactly the regression the gate exists for).
+func over(cur, base, threshold float64) bool {
+	if base == 0 {
+		return cur > 0
+	}
+	return cur > base*(1+threshold)
+}
+
+// parseBench reads `go test -bench` text output: header lines (goos,
+// goarch, cpu) form the fingerprint; each "Benchmark..." line contributes
+// one measurement, and repetitions (-count > 1) collapse to the minimum
+// per metric. GOMAXPROCS suffixes ("-8") are stripped so baselines
+// transfer across -cpu settings.
+func parseBench(sc *bufio.Scanner) (map[string]*result, string, error) {
+	res := make(map[string]*result)
+	var goos, goarch, cpu string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		name = strings.TrimPrefix(name, "Benchmark")
+		one := result{}
+		seen := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad value %q in %q", f[i], line)
+			}
+			switch f[i+1] {
+			case "ns/op":
+				one.NsOp = v
+				seen = true
+			case "B/op":
+				one.BOp = int64(v)
+				one.hasMem = true
+			case "allocs/op":
+				one.AllocsOp = int64(v)
+				one.hasMem = true
+			}
+		}
+		if !seen {
+			continue
+		}
+		if prev, ok := res[name]; ok {
+			if one.NsOp < prev.NsOp {
+				prev.NsOp = one.NsOp
+			}
+			if one.hasMem && (!prev.hasMem || one.BOp < prev.BOp) {
+				prev.BOp = one.BOp
+			}
+			if one.hasMem && (!prev.hasMem || one.AllocsOp < prev.AllocsOp) {
+				prev.AllocsOp = one.AllocsOp
+			}
+			prev.hasMem = prev.hasMem || one.hasMem
+		} else {
+			c := one
+			res[name] = &c
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	return res, fmt.Sprintf("%s/%s %s", goos, goarch, cpu), nil
+}

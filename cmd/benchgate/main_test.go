@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineWorkers1-8 	      20	  48587183 ns/op	 3934779 B/op	   49927 allocs/op
+BenchmarkEngineWorkers1-8 	      20	  46297307 ns/op	 3934772 B/op	   49927 allocs/op
+BenchmarkEngineSchedulerSparseActive 	       5	   1996195 ns/op	        4242 rounds	 1689041 B/op	    9753 allocs/op
+BenchmarkNoMem 	     100	      1234 ns/op
+PASS
+ok  	repro	1.209s
+`
+
+func TestParseBench(t *testing.T) {
+	res, fp, err := parseBench(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "linux/amd64 Intel(R) Xeon(R) Processor @ 2.10GHz"; fp != want {
+		t.Fatalf("fingerprint %q, want %q", fp, want)
+	}
+	w, ok := res["EngineWorkers1"]
+	if !ok {
+		t.Fatalf("EngineWorkers1 missing (GOMAXPROCS suffix not stripped?): %v", res)
+	}
+	if w.NsOp != 46297307 {
+		t.Fatalf("count collapse kept %v, want the minimum 46297307", w.NsOp)
+	}
+	if w.BOp != 3934772 || w.AllocsOp != 49927 || !w.hasMem {
+		t.Fatalf("mem metrics wrong: %+v", w)
+	}
+	s := res["EngineSchedulerSparseActive"]
+	if s == nil || s.BOp != 1689041 || s.AllocsOp != 9753 {
+		t.Fatalf("custom-metric line (rounds) misparsed: %+v", s)
+	}
+	n := res["NoMem"]
+	if n == nil || n.hasMem || n.NsOp != 1234 {
+		t.Fatalf("plain line misparsed: %+v", n)
+	}
+}
+
+func TestOver(t *testing.T) {
+	cases := []struct {
+		cur, base float64
+		want      bool
+	}{
+		{100, 100, false},
+		{114, 100, false}, // within 15%
+		{116, 100, true},  // beyond 15%
+		{0, 0, false},
+		{1, 0, true}, // was allocation-free, now allocates
+		{50, 100, false},
+	}
+	for _, c := range cases {
+		if got := over(c.cur, c.base, 0.15); got != c.want {
+			t.Errorf("over(%v, %v) = %v, want %v", c.cur, c.base, got, c.want)
+		}
+	}
+}

@@ -66,26 +66,32 @@ type Result struct {
 type node struct {
 	id   int
 	opts *Opts
+	pool congest.Pool[estimate] // sender-owned: broadcasts allocate nothing in steady state
 
 	dist      []int64 // live merged estimates
 	snap      []int64 // snapshot at the start of the current block: d^(t-1)
 	snapBlock int     // block whose start snap reflects
 	lastSent  []int64 // last broadcast value per source (Inf = never)
 	parent    []int
-	srcIdx    map[int]int
-	inW       map[int]int64
-	cur       int // last round executed
+	// srcOf is the shared source-ID → index table (see core for the
+	// rationale); inFrom/inWt the sorted min-weight in-arcs, merge-joined
+	// against the sender-sorted inbox instead of probing a map per message.
+	srcOf  []int32
+	inFrom []int32
+	inWt   []int64
+	cur    int // last round executed
 }
 
 func (nd *node) Init(ctx *congest.Context) {
+	if ctx.PayloadReuse() {
+		nd.pool.Prewarm(4)
+	}
 	k := len(nd.opts.Sources)
 	nd.dist = make([]int64, k)
 	nd.snap = make([]int64, k)
 	nd.lastSent = make([]int64, k)
 	nd.parent = make([]int, k)
-	nd.srcIdx = make(map[int]int, k)
 	for i, s := range nd.opts.Sources {
-		nd.srcIdx[s] = i
 		nd.dist[i] = graph.Inf
 		nd.lastSent[i] = graph.Inf
 		nd.parent[i] = -1
@@ -102,12 +108,7 @@ func (nd *node) Init(ctx *congest.Context) {
 	// Round 1's inbox is necessarily empty, so this copy IS block 1's
 	// snapshot.
 	nd.snapBlock = 1
-	nd.inW = make(map[int]int64)
-	for _, e := range ctx.InEdges() {
-		if w, ok := nd.inW[e.From]; !ok || e.W < w {
-			nd.inW[e.From] = e.W
-		}
-	}
+	nd.inFrom, nd.inWt = graph.MinInArcs(ctx.InEdges())
 }
 
 // Round implements one slot of the round-robin schedule. The snapshot taken
@@ -130,17 +131,21 @@ func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 		copy(nd.snap, nd.dist)
 		nd.snapBlock = t
 	}
+	inPos := 0
 	for _, m := range inbox {
-		est := m.Payload.(estimate)
-		w, ok := nd.inW[m.From]
-		if !ok {
+		est := m.Payload.(*estimate)
+		for inPos < len(nd.inFrom) && int(nd.inFrom[inPos]) < m.From {
+			inPos++
+		}
+		if inPos == len(nd.inFrom) || int(nd.inFrom[inPos]) != m.From {
 			continue
 		}
-		i, ok := nd.srcIdx[est.src]
-		if !ok {
+		w := nd.inWt[inPos]
+		if est.src < 0 || est.src >= len(nd.srcOf) || nd.srcOf[est.src] < 0 {
 			ctx.Failf("estimate for unknown source %d", est.src)
 			return
 		}
+		i := int(nd.srcOf[est.src])
 		if d := est.d + w; d < nd.dist[i] {
 			nd.dist[i] = d
 			nd.parent[i] = m.From
@@ -155,7 +160,10 @@ func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 	}
 	j := (r - 1) % k
 	if nd.snap[j] < graph.Inf && nd.snap[j] != nd.lastSent[j] {
-		ctx.Broadcast(estimate{src: nd.opts.Sources[j], d: nd.snap[j]})
+		p := nd.pool.Get(ctx, r)
+		p.src = nd.opts.Sources[j]
+		p.d = nd.snap[j]
+		ctx.Broadcast(p)
 		nd.lastSent[j] = nd.snap[j]
 	}
 }
@@ -218,6 +226,37 @@ func (nd *node) NextWake() int {
 	return next
 }
 
+// NewNode returns the engine node factory for one run with the given
+// options (Sources and H set). Stepwise engine drivers — the congest
+// allocation guards and benchmarks — use it directly; Run remains the
+// standard entry point. The factory shares opts, which must not change
+// during the run.
+func NewNode(opts *Opts) func(v int) congest.Node {
+	srcOf := sourceIndex(opts.Sources)
+	return func(v int) congest.Node {
+		return &node{id: v, opts: opts, srcOf: srcOf}
+	}
+}
+
+// sourceIndex builds the dense source-ID → source-index table shared by
+// every node of a run (-1 marks non-sources).
+func sourceIndex(sources []int) []int32 {
+	maxS := 0
+	for _, s := range sources {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	srcOf := make([]int32, maxS+1)
+	for i := range srcOf {
+		srcOf[i] = -1
+	}
+	for i, s := range sources {
+		srcOf[s] = int32(i)
+	}
+	return srcOf
+}
+
 // Run executes distributed Bellman–Ford per Opts.
 func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	if len(opts.Sources) == 0 {
@@ -235,8 +274,9 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 		return nil, fmt.Errorf("bellman: Seed rows %d != sources %d", len(opts.Seed), len(opts.Sources))
 	}
 	nodes := make([]*node, g.N())
+	srcOf := sourceIndex(opts.Sources)
 	stats, err := congest.Run(g, func(v int) congest.Node {
-		nodes[v] = &node{id: v, opts: &opts}
+		nodes[v] = &node{id: v, opts: &opts, srcOf: srcOf}
 		return nodes[v]
 	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx})
 	if err != nil {

@@ -11,14 +11,18 @@ import (
 )
 
 func init() {
-	congest.RegisterPayloadCodec("bellman.estimate", estimate{},
+	// The codec name and field bytes predate the pooled *estimate payload:
+	// keeping both identical is what keeps old checkpoint files loading
+	// (the registry keys on the concrete type only in the encode
+	// direction, and the name only in the decode direction).
+	congest.RegisterPayloadCodec("bellman.estimate", &estimate{},
 		func(enc *congest.StateEncoder, p congest.Payload) {
-			m := p.(estimate)
+			m := p.(*estimate)
 			enc.Int(m.src)
 			enc.Int64(m.d)
 		},
 		func(dec *congest.StateDecoder) (congest.Payload, error) {
-			m := estimate{src: dec.Int(), d: dec.Int64()}
+			m := &estimate{src: dec.Int(), d: dec.Int64()}
 			return m, dec.Err()
 		})
 }

@@ -25,10 +25,23 @@
 // the Observer event stream are bit-identical to the dense engine
 // (RoundEvent.Elapsed, wall clock, excepted); Config.Scheduler selects the
 // dense engine for differential testing.
+//
+// # The message plane
+//
+// The engine's hot path is struct-of-arrays and arena-backed, reused
+// across rounds (see DESIGN.md, "The message plane"). Sends are staged in
+// one flat outbox arena sized to the total communication degree — node v's
+// stage is the fixed sub-slice outBuf[sendOff[v]:sendOff[v+1]], capacity
+// exactly deg(v), with link indices staged in a parallel plane so routing
+// never searches the adjacency — and inboxes are carved out of one flat,
+// double-buffered receive plane by a count-then-scatter pass: the messages
+// for a node are a contiguous sub-slice addressed by per-node (end, len)
+// cursors, not n append-grown slices. Steady-state rounds allocate
+// nothing; protocols that also want allocation-free payloads use the
+// pooled payload path (Pool, Context.PayloadReuse).
 package congest
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -64,6 +77,10 @@ type Message struct {
 // network.go) that order is reconstructed from per-link sequence numbers
 // by the reliability shim — physical arrival order carries no meaning,
 // and protocols must not be exposed to it.
+//
+// Inbox slices are views into an engine-owned plane reused across rounds:
+// nodes must not retain the slice — or the Payload values it carries —
+// past the Round call that delivered them.
 //
 // Quiescent must report true when the node will send no further messages
 // unless it first receives one; the engine halts when every node is
@@ -120,10 +137,19 @@ const (
 // send primitives. Nodes must not retain references to inbox slices across
 // rounds.
 type Context struct {
-	id  int
-	g   *graph.Graph
-	eng *engine
+	id   int
+	g    *graph.Graph
+	eng  *engine
+	nbrs []int // communication neighbors, cached once at engine init
+
+	// out and li are the node's staged sends for the current round: fixed
+	// sub-slices of the engine's flat outbox arena (capacity = degree, so
+	// a model-respecting node never reallocates them) plus the parallel
+	// link-index plane that lets routing skip the adjacency search. A
+	// model-violating node (two messages on one link, or a send without a
+	// link) spills into a transient heap slice and is rejected by routing.
 	out []Message
+	li  []int32
 	err error
 }
 
@@ -141,23 +167,35 @@ func (c *Context) OutEdges() []graph.Edge { return c.g.Out(c.id) }
 func (c *Context) InEdges() []graph.Edge { return c.g.In(c.id) }
 
 // Neighbors returns this node's neighbors in the communication graph,
-// ascending.
-func (c *Context) Neighbors() []int { return c.g.CommNeighbors(c.id) }
+// ascending (a view cached at engine init; callers must not mutate it).
+func (c *Context) Neighbors() []int { return c.nbrs }
 
 // Degree returns the communication degree of this node.
-func (c *Context) Degree() int { return c.g.Degree(c.id) }
+func (c *Context) Degree() int { return len(c.nbrs) }
 
 // Send stages a message to neighbor "to" for delivery next round.
 func (c *Context) Send(to int, p Payload) {
 	c.out = append(c.out, Message{From: c.id, To: to, Payload: p})
+	c.li = append(c.li, int32(c.g.CommIndex(c.id, to)))
 }
 
-// Broadcast stages the same message to every communication neighbor.
+// Broadcast stages the same message to every communication neighbor. The
+// payload value is shared across all staged copies (payloads are
+// read-only on the receive side), and the cached neighbor view doubles as
+// the link-index sequence, so a broadcast costs no lookups at all.
 func (c *Context) Broadcast(p Payload) {
-	for _, to := range c.g.CommNeighbors(c.id) {
+	for i, to := range c.nbrs {
 		c.out = append(c.out, Message{From: c.id, To: to, Payload: p})
+		c.li = append(c.li, int32(i))
 	}
 }
+
+// PayloadReuse reports whether sender-owned payload reuse (see Pool) is
+// safe in this run: true on the engine's built-in delivery path, false
+// when a Network substrate is installed (delayed deliveries and
+// retransmit queues may hold a payload arbitrarily long, so reusing it
+// would corrupt traffic still in flight).
+func (c *Context) PayloadReuse() bool { return c.eng.net == nil }
 
 // Fail records an algorithm-level error; the engine aborts the run and
 // returns it.
@@ -182,11 +220,12 @@ type Config struct {
 	// a CONGEST message is O(log n) bits, i.e. O(1) words of log n bits).
 	MaxWordsPerMessage int
 	// Workers bounds the goroutines stepping nodes within a round. The
-	// default is adaptive: 1 for networks under 128 nodes (the per-round
-	// barrier costs more than the tiny per-node work; see
-	// BenchmarkEngineWorkers*), GOMAXPROCS above. Work is sharded over the
-	// round's active list, so clustered activity parallelizes too. Results
-	// are bit-identical regardless.
+	// default is GOMAXPROCS; the effective parallelism is adaptive per
+	// round — the engine shards the round's active list (not the ID
+	// space) and steps small lists serially (one worker per
+	// workersPerChunk active nodes), so huge graphs with tiny active sets
+	// never pay the parallel-barrier tax (see BenchmarkEngineWorkers*).
+	// Results are bit-identical regardless.
 	Workers int
 	// Scheduler selects the stepping strategy (default SchedulerActive).
 	Scheduler Scheduler
@@ -214,7 +253,7 @@ type Config struct {
 	Ctx context.Context
 }
 
-func (c Config) withDefaults(n int) Config {
+func (c Config) withDefaults() Config {
 	if c.MaxRounds == 0 {
 		c.MaxRounds = 1 << 22
 	}
@@ -222,14 +261,19 @@ func (c Config) withDefaults(n int) Config {
 		c.MaxWordsPerMessage = 8
 	}
 	if c.Workers == 0 {
-		if n < 128 {
-			c.Workers = 1
-		} else {
-			c.Workers = runtime.GOMAXPROCS(0)
-		}
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
+
+// workersPerChunk is the minimum number of active nodes per worker: a
+// round with fewer than 2·workersPerChunk active nodes runs serially,
+// because the fork/join barrier costs more than the per-node work. This
+// is the per-round adaptive replacement for the old static "parallel only
+// when n ≥ 128" cutoff — the decision now follows the round's active-set
+// size, so a 100k-node graph whose rounds touch 30 nodes steps them on
+// one goroutine.
+const workersPerChunk = 64
 
 // Stats reports the cost of a run in the model's terms.
 type Stats struct {
@@ -281,44 +325,136 @@ type wakeHeap struct {
 	pos   []int // node -> index in items; -1 when absent
 }
 
-func (h *wakeHeap) Len() int { return len(h.items) }
-func (h *wakeHeap) Less(i, j int) bool {
+// The sift code is container/heap's algorithm with concrete types: the
+// stdlib API moves items through interface{} values, which boxes (heap-
+// allocates) a wakeItem on every push — on the engine's zero-alloc round
+// path that is the whole ballgame. (round, node) is a strict total order,
+// so the pop sequence is layout-independent and restore may rebuild the
+// array in any valid heap shape.
+func (h *wakeHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	return a.round < b.round || (a.round == b.round && a.node < b.node)
 }
-func (h *wakeHeap) Swap(i, j int) {
+
+func (h *wakeHeap) swap(i, j int) {
 	h.items[i], h.items[j] = h.items[j], h.items[i]
 	h.pos[h.items[i].node] = i
 	h.pos[h.items[j].node] = j
 }
-func (h *wakeHeap) Push(x interface{}) {
-	it := x.(wakeItem)
+
+func (h *wakeHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h *wakeHeap) down(i, n int) bool {
+	i0 := i
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h.less(j2, j) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (h *wakeHeap) push(it wakeItem) {
 	h.pos[it.node] = len(h.items)
 	h.items = append(h.items, it)
+	h.up(len(h.items) - 1)
 }
-func (h *wakeHeap) Pop() interface{} {
-	n := len(h.items)
-	it := h.items[n-1]
-	h.items = h.items[:n-1]
+
+// popMin removes and returns the earliest wake.
+func (h *wakeHeap) popMin() wakeItem {
+	n := len(h.items) - 1
+	h.swap(0, n)
+	h.down(0, n)
+	it := h.items[n]
+	h.items = h.items[:n]
 	h.pos[it.node] = -1
 	return it
 }
 
+// fix restores the heap after items[i].round changed in place.
+func (h *wakeHeap) fix(i int) {
+	if !h.down(i, len(h.items)) {
+		h.up(i)
+	}
+}
+
+// remove deletes the entry at index i.
+func (h *wakeHeap) remove(i int) {
+	n := len(h.items) - 1
+	if n != i {
+		h.swap(i, n)
+		if !h.down(i, n) {
+			h.up(i)
+		}
+	}
+	it := h.items[n]
+	h.items = h.items[:n]
+	h.pos[it.node] = -1
+}
+
+// engine holds a run's state in struct-of-arrays form: every per-node
+// quantity is a parallel slice indexed by node ID (activity flags,
+// quiescence cache, wake rounds, send counters, inbox cursors), message
+// storage is flat arenas reused across rounds, and the Contexts themselves
+// live in one contiguous slice.
 type engine struct {
 	g     *graph.Graph
 	cfg   Config
 	obs   Observer
 	net   Network
 	nodes []Node
-	ctxs  []*Context
+	ctxs  []Context // contiguous; node v's view is &ctxs[v]
+
+	// Flat send plane. Node v's staged sends live in the fixed arena
+	// region outBuf[sendOff[v]:sendOff[v+1]] (capacity = its degree; the
+	// Context holds the capped sub-slice), with link indices staged in
+	// the parallel outLi region by Send/Broadcast. linkLoad is the flat
+	// per-(sender, neighbor-index) congestion plane over the same
+	// offsets.
+	outBuf   []Message
+	outLi    []int32
+	sendOff  []int32 // n+1 prefix sums of communication degree
+	linkLoad []int32
 
 	// netBatch stages the round's validated sends when a Network is
-	// installed (the built-in path routes into nextIn instead).
+	// installed (the built-in path scatters into the receive plane
+	// instead).
 	netBatch []Message
 
-	inbox     [][]Message
-	nextIn    [][]Message
-	linkLoad  [][]int32 // per (sender, neighbor-index) message counts
+	// Flat receive plane, double-buffered and reused across rounds. The
+	// round's inbox for node v is the contiguous sub-slice
+	// recvCur[inEnd[v]-inLen[v]:inEnd[v]] (inLen[v] == 0 means empty; the
+	// cursors of nodes outside recvList are stale and never read). The
+	// routing pass counts next-round messages per destination into
+	// nxtLen, carves disjoint regions of recvNxt, and scatters in
+	// ascending sender order — which is exactly the inbox-sorted-by-
+	// sender delivery contract, with no per-destination slices and no
+	// sort. recvList names the nodes with a non-empty inbox this round;
+	// recvNext the destinations of the round being routed.
+	recvCur, recvNxt []Message
+	inEnd, inLen     []int32
+	nxtEnd, nxtLen   []int32
+	recvList         []int
+	recvNext         []int
+
 	nodeSends []int
 	seenStamp []int // per-destination round stamp for duplicate-link checks
 
@@ -338,8 +474,6 @@ type engine struct {
 	wakes      wakeHeap
 	alwaysOn   []bool // non-Waker node is on the every-round list
 	alwaysList []int
-	recvList   []int // nodes whose inbox is non-empty this round
-	recvNext   []int // destinations receiving messages routed this round
 	work       []int // the round's active list (sorted ascending)
 	mark       []int // epoch stamps deduplicating work-list inserts
 	epoch      int
@@ -363,55 +497,79 @@ func (e *engine) phaseName() string {
 	return ""
 }
 
-// Run executes the algorithm created by mk (called once per node, in node
-// order) until every node is quiescent and no messages are in flight, or
-// until cfg.MaxRounds is exceeded.
-func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
-	n := g.N()
-	cfg = cfg.withDefaults(n)
-	pol := cfg.Checkpoint
-	runIdx := 0
-	if pol != nil {
-		runIdx = pol.beginRun()
+// inboxOf returns node v's inbox for the current round: a contiguous view
+// into the receive plane.
+func (e *engine) inboxOf(v int) []Message {
+	l := e.inLen[v]
+	if l == 0 {
+		return nil
 	}
+	end := e.inEnd[v]
+	return e.recvCur[end-l : end]
+}
+
+// newEngine builds and initializes an engine: nodes constructed and
+// Init-ed (the model's round 0), planes carved, scheduler state seeded.
+func newEngine(g *graph.Graph, mk func(v int) Node, cfg Config) (*engine, error) {
+	n := g.N()
 	e := &engine{
 		g:         g,
 		cfg:       cfg,
 		obs:       cfg.Observer,
 		net:       cfg.Network,
 		nodes:     make([]Node, n),
-		ctxs:      make([]*Context, n),
-		inbox:     make([][]Message, n),
-		nextIn:    make([][]Message, n),
-		linkLoad:  make([][]int32, n),
+		ctxs:      make([]Context, n),
+		sendOff:   make([]int32, n+1),
+		inEnd:     make([]int32, n),
+		inLen:     make([]int32, n),
+		nxtEnd:    make([]int32, n),
+		nxtLen:    make([]int32, n),
 		nodeSends: make([]int, n),
 		seenStamp: make([]int, n),
 		quiescent: make([]bool, n),
 	}
 	for v := 0; v < n; v++ {
-		e.linkLoad[v] = make([]int32, g.Degree(v))
+		e.sendOff[v+1] = e.sendOff[v] + int32(g.Degree(v))
 		e.seenStamp[v] = -1
 	}
+	deg2 := int(e.sendOff[n]) // sum of degrees = 2m undirected arcs
+	e.outBuf = make([]Message, deg2)
+	e.outLi = make([]int32, deg2)
+	e.linkLoad = make([]int32, deg2)
+	// Receive planes and routing scratch, sized for the model's worst case
+	// up front (≤1 message per arc per round, ≤n destinations): the steady
+	// state never grows them, so rounds never re-allocate — the property
+	// the allocation guards in alloc_test.go enforce.
+	e.recvCur = make([]Message, 0, deg2)
+	e.recvNxt = make([]Message, 0, deg2)
+	e.recvList = make([]int, 0, n)
+	e.recvNext = make([]int, 0, n)
+	e.work = make([]int, 0, n)
 	for v := 0; v < n; v++ {
 		e.nodes[v] = mk(v)
-		e.ctxs[v] = &Context{id: v, g: g, eng: e}
+		lo, hi := e.sendOff[v], e.sendOff[v+1]
+		e.ctxs[v] = Context{
+			id:   v,
+			g:    g,
+			eng:  e,
+			nbrs: g.CommNeighbors(v),
+			out:  e.outBuf[lo:lo:hi],
+			li:   e.outLi[lo:lo:hi],
+		}
 	}
 	if e.net != nil {
 		e.net.Reset(n)
 	}
 	if e.obs != nil {
 		e.obs.RunStart(n)
-		// RunDone fires on every exit path — normal quiescence, MaxRounds
-		// and algorithm failures alike — with the stats accumulated so far.
-		defer func() { e.obs.RunDone(e.stats) }()
 	}
 	for v := 0; v < n; v++ {
-		e.nodes[v].Init(e.ctxs[v])
+		e.nodes[v].Init(&e.ctxs[v])
 		if err := e.ctxs[v].err; err != nil {
-			return e.stats, fmt.Errorf("congest: node %d failed in Init: %w", v, err)
+			return e, fmt.Errorf("congest: node %d failed in Init: %w", v, err)
 		}
 		if len(e.ctxs[v].out) != 0 {
-			return e.stats, fmt.Errorf("congest: node %d sent during Init (the model's round 0 has no sends)", v)
+			return e, fmt.Errorf("congest: node %d sent during Init (the model's round 0 has no sends)", v)
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -421,16 +579,16 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 		}
 	}
 
-	dense := cfg.Scheduler == SchedulerDense
 	e.allNodes = make([]int, n)
 	for v := range e.allNodes {
 		e.allNodes[v] = v
 	}
-	if !dense {
+	if cfg.Scheduler != SchedulerDense {
 		e.wakers = make([]Waker, n)
 		e.wakeAt = make([]int, n)
 		e.alwaysOn = make([]bool, n)
 		e.mark = make([]int, n)
+		e.wakes.items = make([]wakeItem, 0, n)
 		e.wakes.pos = make([]int, n)
 		for v := range e.wakes.pos {
 			e.wakes.pos[v] = -1
@@ -445,6 +603,28 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 			}
 		}
 	}
+	return e, nil
+}
+
+// Run executes the algorithm created by mk (called once per node, in node
+// order) until every node is quiescent and no messages are in flight, or
+// until cfg.MaxRounds is exceeded.
+func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	pol := cfg.Checkpoint
+	runIdx := 0
+	if pol != nil {
+		runIdx = pol.beginRun()
+	}
+	e, err := newEngine(g, mk, cfg)
+	if e != nil && e.obs != nil {
+		// RunDone fires on every exit path — normal quiescence, MaxRounds
+		// and algorithm failures alike — with the stats accumulated so far.
+		defer func() { e.obs.RunDone(e.stats) }()
+	}
+	if err != nil {
+		return e.stats, err
+	}
 
 	startR := 1
 	if pol != nil && pol.Resume != nil && pol.Resume.RunIdx == runIdx {
@@ -453,7 +633,16 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 		}
 		startR = pol.Resume.Round
 	}
+	return e.loop(startR, runIdx)
+}
+
+// loop is the round loop, from round startR until quiescence or abort.
+func (e *engine) loop(startR, runIdx int) (Stats, error) {
+	cfg := e.cfg
+	pol := cfg.Checkpoint
+	dense := cfg.Scheduler == SchedulerDense
 	crasher, _ := e.net.(Crasher)
+	n := len(e.nodes)
 
 	for r := startR; ; r++ {
 		if r > cfg.MaxRounds {
@@ -497,15 +686,7 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 			}
 		}
 		if e.net != nil {
-			// Deliver the traffic the network holds for this round. Every
-			// receiver lands on recvList, so the active scheduler steps it
-			// exactly as it would a built-in delivery.
-			for _, m := range e.net.Collect(r) {
-				if !dense && len(e.inbox[m.To]) == 0 {
-					e.recvList = append(e.recvList, m.To)
-				}
-				e.inbox[m.To] = append(e.inbox[m.To], m)
-			}
+			e.collectNet(r, dense)
 		}
 		work := e.allNodes
 		if !dense {
@@ -565,6 +746,34 @@ func Run(g *graph.Graph, mk func(v int) Node, cfg Config) (Stats, error) {
 	}
 }
 
+// collectNet drains the Network's round-r deliveries into the receive
+// plane. The batch arrives sorted by (To, From) — the delivery-order
+// invariant — so each destination's messages are already a contiguous run
+// and the plane is filled by one sequential copy.
+func (e *engine) collectNet(r int, dense bool) {
+	batch := e.net.Collect(r)
+	if len(batch) == 0 {
+		return
+	}
+	if cap(e.recvCur) < len(batch) {
+		e.recvCur = make([]Message, len(batch))
+	} else {
+		e.recvCur = e.recvCur[:len(batch)]
+	}
+	copy(e.recvCur, batch)
+	for i := 0; i < len(batch); {
+		to := batch[i].To
+		j := i + 1
+		for j < len(batch) && batch[j].To == to {
+			j++
+		}
+		e.inEnd[to] = int32(j)
+		e.inLen[to] = int32(j - i)
+		e.recvList = append(e.recvList, to)
+		i = j
+	}
+}
+
 // arm records node v's next self-declared wake round after a step in round
 // r (0 for the post-Init arm). Returns ≤ r are clamped to r+1; a previous
 // request is updated in place via the heap's node index.
@@ -573,7 +782,7 @@ func (e *engine) arm(v, r int) {
 	if w < 0 {
 		// WakeOnReceive: only an incoming message steps v.
 		if p := e.wakes.pos[v]; p >= 0 {
-			heap.Remove(&e.wakes, p)
+			e.wakes.remove(p)
 		}
 		e.wakeAt[v] = 0
 		return
@@ -587,9 +796,9 @@ func (e *engine) arm(v, r int) {
 	e.wakeAt[v] = w
 	if p := e.wakes.pos[v]; p >= 0 {
 		e.wakes.items[p].round = w
-		heap.Fix(&e.wakes, p)
+		e.wakes.fix(p)
 	} else {
-		heap.Push(&e.wakes, wakeItem{round: w, node: v})
+		e.wakes.push(wakeItem{round: w, node: v})
 	}
 }
 
@@ -627,7 +836,7 @@ func (e *engine) collectActive(r int) []int {
 	}
 	e.alwaysList = kept
 	for len(e.wakes.items) > 0 && e.wakes.items[0].round <= r {
-		it := heap.Pop(&e.wakes).(wakeItem)
+		it := e.wakes.popMin()
 		e.wakeAt[it.node] = 0
 		add(it.node)
 	}
@@ -654,25 +863,23 @@ func (e *engine) stepNode(v, r int) {
 			e.crashMu.Unlock()
 		}
 	}()
-	e.nodes[v].Round(e.ctxs[v], r, e.inbox[v])
+	e.nodes[v].Round(&e.ctxs[v], r, e.inboxOf(v))
 }
 
 // step runs one synchronous round over the given work list (all nodes under
 // the dense scheduler, the active set otherwise): each listed node consumes
 // its inbox and stages sends; the engine then validates and routes the
-// sends into next-round inboxes. Returns the number of messages sent this
-// round and the number of nodes that sent.
+// sends into the next round's receive plane. Returns the number of
+// messages sent this round and the number of nodes that sent.
 func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 	workers := e.cfg.Workers
-	if workers > len(work) {
-		workers = len(work)
-	}
 	// Shard the work list, not the ID space: active nodes cluster, and a
-	// static lo..hi split over 0..n would leave most workers idle. Tiny
-	// lists stay serial — the barrier costs more than the work.
-	const minChunk = 16
+	// static lo..hi split over 0..n would leave most workers idle. The
+	// worker count adapts to the round's active-set size — small lists
+	// stay serial, because the fork/join barrier costs more than the
+	// per-node work (see workersPerChunk and BenchmarkEngineWorkers*).
 	if workers > 1 {
-		if maxW := (len(work) + minChunk - 1) / minChunk; workers > maxW {
+		if maxW := (len(work) + workersPerChunk - 1) / workersPerChunk; workers > maxW {
 			workers = maxW
 		}
 	}
@@ -707,79 +914,116 @@ func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 		return 0, 0, ce
 	}
 
-	// Validate and route. Single-threaded: it touches shared inboxes.
-	// Routing visits senders in ascending node order (work is sorted), so
-	// each destination's next-round inbox is built already sorted by sender
-	// — the delivery order the Node contract promises — without a sort.
+	// Validate and count. Single-threaded: it touches the shared
+	// congestion and destination planes. Senders are visited in ascending
+	// node order (work is sorted); link indices were staged at send time,
+	// so no adjacency search happens here.
 	n := len(e.nodes)
 	sent, active := 0, 0
-	if !dense {
-		e.recvNext = e.recvNext[:0]
-	}
+	e.recvNext = e.recvNext[:0]
 	for _, v := range work {
-		ctx := e.ctxs[v]
+		ctx := &e.ctxs[v]
 		if ctx.err != nil {
 			return sent, active, fmt.Errorf("congest: node %d failed in round %d: %w", v, r, ctx.err)
 		}
-		if len(ctx.out) == 0 {
+		out := ctx.out
+		if len(out) == 0 {
 			continue
 		}
 		// stamp = v*maxRounds+r would overflow; a (round, sender)-unique
 		// stamp suffices since we check one sender's batch at a time.
 		stamp := r*n + v
-		for _, m := range ctx.out {
-			li := e.g.CommIndex(m.From, m.To)
+		base := e.sendOff[v]
+		for i := range out {
+			to := out[i].To
+			li := ctx.li[i]
 			if li < 0 {
-				return sent, active, fmt.Errorf("congest: round %d: node %d sent to %d without a link", r, m.From, m.To)
+				return sent, active, fmt.Errorf("congest: round %d: node %d sent to %d without a link", r, v, to)
 			}
-			if e.seenStamp[m.To] == stamp {
-				return sent, active, fmt.Errorf("congest: round %d: node %d sent two messages on link to %d", r, m.From, m.To)
+			if e.seenStamp[to] == stamp {
+				return sent, active, fmt.Errorf("congest: round %d: node %d sent two messages on link to %d", r, v, to)
 			}
-			e.seenStamp[m.To] = stamp
-			w := m.Payload.Words()
+			e.seenStamp[to] = stamp
+			w := out[i].Payload.Words()
 			if w > e.cfg.MaxWordsPerMessage {
 				return sent, active, fmt.Errorf("congest: round %d: node %d sent %d-word message to %d (bound %d)",
-					r, m.From, w, m.To, e.cfg.MaxWordsPerMessage)
+					r, v, w, to, e.cfg.MaxWordsPerMessage)
 			}
 			if w > e.stats.MaxWords {
 				e.stats.MaxWords = w
 			}
-			e.linkLoad[m.From][li]++
-			if int(e.linkLoad[m.From][li]) > e.stats.MaxLinkCongestion {
-				e.stats.MaxLinkCongestion = int(e.linkLoad[m.From][li])
+			ll := base + li
+			e.linkLoad[ll]++
+			if int(e.linkLoad[ll]) > e.stats.MaxLinkCongestion {
+				e.stats.MaxLinkCongestion = int(e.linkLoad[ll])
 				if e.obs != nil {
-					e.obs.LinkPeak(r, m.From, m.To, e.stats.MaxLinkCongestion)
+					e.obs.LinkPeak(r, v, to, e.stats.MaxLinkCongestion)
 				}
 			}
 			if e.net != nil {
 				// Hand the message to the delivery substrate instead of the
-				// built-in next-round inbox; the batch stays in canonical
-				// order because work is sorted and ctx.out is send-ordered.
-				e.netBatch = append(e.netBatch, m)
+				// built-in receive plane; the batch stays in canonical
+				// order because work is sorted and out is send-ordered.
+				e.netBatch = append(e.netBatch, out[i])
+			} else if e.nxtLen[to] == 0 {
+				e.nxtLen[to] = 1
+				e.recvNext = append(e.recvNext, to)
 			} else {
-				if !dense && len(e.nextIn[m.To]) == 0 {
-					e.recvNext = append(e.recvNext, m.To)
-				}
-				e.nextIn[m.To] = append(e.nextIn[m.To], m)
+				e.nxtLen[to]++
 			}
 			sent++
 		}
 		active++
 		if e.obs != nil {
-			e.obs.NodeSends(r, v, len(ctx.out))
+			e.obs.NodeSends(r, v, len(out))
 		}
-		e.nodeSends[v] += len(ctx.out)
+		e.nodeSends[v] += len(out)
 		if e.nodeSends[v] > e.stats.MaxNodeSends {
 			e.stats.MaxNodeSends = e.nodeSends[v]
 		}
-		ctx.out = ctx.out[:0]
 	}
 	e.stats.Messages += int64(sent)
-	if e.net != nil && len(e.netBatch) > 0 {
-		if err := e.net.Send(r, e.netBatch); err != nil {
-			return sent, active, fmt.Errorf("congest: network delivery failed in round %d: %w", r, err)
+
+	if e.net != nil {
+		if len(e.netBatch) > 0 {
+			if err := e.net.Send(r, e.netBatch); err != nil {
+				return sent, active, fmt.Errorf("congest: network delivery failed in round %d: %w", r, err)
+			}
+			e.netBatch = e.netBatch[:0]
 		}
-		e.netBatch = e.netBatch[:0]
+		for _, v := range work {
+			ctx := &e.ctxs[v]
+			ctx.out = ctx.out[:0]
+			ctx.li = ctx.li[:0]
+		}
+	} else if sent > 0 {
+		// Carve the next round's receive plane: disjoint per-destination
+		// regions sized by the counts above, then scatter in ascending
+		// sender order — each destination's sub-slice is born sorted by
+		// sender, the delivery order the Node contract promises.
+		total := int32(0)
+		for _, to := range e.recvNext {
+			c := e.nxtLen[to]
+			e.nxtEnd[to] = total
+			total += c
+		}
+		if cap(e.recvNxt) < int(total) {
+			e.recvNxt = make([]Message, total)
+		} else {
+			e.recvNxt = e.recvNxt[:total]
+		}
+		for _, v := range work {
+			ctx := &e.ctxs[v]
+			out := ctx.out
+			for i := range out {
+				to := out[i].To
+				p := e.nxtEnd[to]
+				e.recvNxt[p] = out[i]
+				e.nxtEnd[to] = p + 1
+			}
+			ctx.out = out[:0]
+			ctx.li = ctx.li[:0]
+		}
 	}
 
 	// Refresh the cached quiescence of every stepped node and, for the
@@ -804,7 +1048,7 @@ func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 			// for a wake now is pure overhead. Any wake left armed from an
 			// earlier step fires as a harmless extra step — the active set
 			// may exceed the dense set's busy nodes, never undershoot it.
-			if len(e.nextIn[v]) == 0 {
+			if e.nxtLen[v] == 0 {
 				e.arm(v, r)
 			}
 		} else if q == e.alwaysOn[v] {
@@ -817,30 +1061,28 @@ func (e *engine) step(r int, work []int, dense bool) (int, int, error) {
 		}
 	}
 
-	// Deliver: every stepped inbox was consumed; swap in the next-round
-	// inboxes (already sorted by sender). Every message routed above is in
-	// some nextIn, and every destination will be stepped next round, so the
-	// inflight count is exactly this round's send count.
-	if dense {
-		for v := 0; v < n; v++ {
-			e.inbox[v] = e.inbox[v][:0]
-			e.inbox[v], e.nextIn[v] = e.nextIn[v], e.inbox[v]
-		}
-	} else {
-		for _, v := range work {
-			e.inbox[v] = e.inbox[v][:0]
-		}
-		for _, to := range e.recvNext {
-			e.inbox[to], e.nextIn[to] = e.nextIn[to], e.inbox[to]
-		}
-		e.recvList, e.recvNext = e.recvNext, e.recvList
+	// Deliver: every inbox of this round was consumed, so retire its
+	// cursors and swap in the next round's plane (already sorted by
+	// sender). Every message scattered above is in the new plane, and
+	// every destination will be stepped next round, so the inflight count
+	// is exactly this round's send count.
+	for _, v := range e.recvList {
+		e.inLen[v] = 0
 	}
-	// With a Network installed, in-flight traffic is whatever it has
-	// accepted but not yet delivered: drops shrink it, delayed and
-	// duplicated deliveries extend it beyond the next round.
+	e.recvList = e.recvList[:0]
 	if e.net != nil {
+		// With a Network installed, round-(r+1) traffic is whatever the
+		// substrate chooses to deliver (collectNet fills the plane at the
+		// top of the next executed round); in-flight is what it has
+		// accepted but not yet delivered — drops shrink it, delayed and
+		// duplicated deliveries extend it beyond the next round.
+		e.recvCur = e.recvCur[:0]
 		e.inflight = e.net.Pending()
 	} else {
+		e.recvCur, e.recvNxt = e.recvNxt, e.recvCur
+		e.inEnd, e.nxtEnd = e.nxtEnd, e.inEnd
+		e.inLen, e.nxtLen = e.nxtLen, e.inLen
+		e.recvList, e.recvNext = e.recvNext, e.recvList
 		e.inflight = sent
 	}
 	return sent, active, nil

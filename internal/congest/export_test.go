@@ -1,0 +1,51 @@
+package congest
+
+import "repro/internal/graph"
+
+// Stepper drives an engine one round at a time. Test-only: the allocation
+// guards and worker-adaptivity benchmarks need to execute individual
+// rounds inside testing.AllocsPerRun / b.N loops, which the all-in-one Run
+// entry point cannot do.
+type Stepper struct {
+	e *engine
+	r int
+}
+
+// NewStepper builds and Init-s an engine without starting the round loop.
+func NewStepper(g *graph.Graph, mk func(v int) Node, cfg Config) (*Stepper, error) {
+	cfg = cfg.withDefaults()
+	e, err := newEngine(g, mk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stepper{e: e}, nil
+}
+
+// StepRound executes the next round (idle rounds included — no
+// fast-forward, so round numbering matches the dense engine) and reports
+// the number of messages sent.
+func (s *Stepper) StepRound() (int, error) {
+	s.r++
+	e := s.e
+	dense := e.cfg.Scheduler == SchedulerDense
+	if e.net != nil {
+		e.collectNet(s.r, dense)
+	}
+	work := e.allNodes
+	if !dense {
+		work = e.collectActive(s.r)
+		if len(work) == 0 {
+			return 0, nil
+		}
+	}
+	sent, _, err := e.step(s.r, work, dense)
+	return sent, err
+}
+
+// Done reports engine quiescence (all nodes quiescent, nothing in flight).
+func (s *Stepper) Done() bool {
+	return s.e.quiCount == len(s.e.nodes) && s.e.inflight == 0
+}
+
+// Round reports the last executed round.
+func (s *Stepper) Round() int { return s.r }

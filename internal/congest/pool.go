@@ -1,0 +1,98 @@
+// Sender-owned payload recycling: the allocation-free half of the flat
+// message plane (DESIGN.md, "The message plane").
+//
+// The engine's buffers are arenas reused across rounds, but the payloads
+// riding in them are protocol-owned heap objects: a protocol that
+// allocates a payload per send still allocates every round. A Pool lets
+// the SENDER recycle them, which is the only side that safely can —
+// Broadcast stages one shared payload value on every outgoing link, so
+// receiver-side recycling would free the same object once per neighbor.
+//
+// The safety argument is the engine's round barrier. A payload handed out
+// in round s is staged in s, delivered at the start of round s+1, and the
+// Node contract forbids receivers from retaining it past their round-(s+1)
+// step — which has fully completed (worker barrier included) by the time
+// the sender is stepped in any round r ≥ s+2. Pool therefore recycles a
+// payload exactly when its stamp is ≤ r−2 and allocates otherwise, so a
+// steady-state protocol cycles between two generations of payloads and
+// allocates none.
+package congest
+
+// Pool recycles payload objects of one concrete type for one sending
+// node. It is not safe for concurrent use — which matches the engine:
+// each node is stepped by exactly one goroutine per round, and a pool
+// must be owned by a single node (embed one in the node's state).
+//
+// Get returns a payload usable for a send in round r: recycled when an
+// object from round ≤ r−2 is available and reuse is safe in this run
+// (see Context.PayloadReuse — under a Network substrate, retransmit
+// queues may hold payloads arbitrarily long, so the pool falls back to
+// plain allocation and stays correct, just not allocation-free).
+type Pool[T any] struct {
+	last int  // round of the most recent Get
+	free []*T // stamped ≤ last−2: consumed, safe to hand out
+	prev []*T // stamped last−1: delivered this round, possibly being read
+	cur  []*T // stamped last: staged, not yet delivered
+}
+
+// Get returns a payload for a send in round r, recycled when safe.
+// Callers must overwrite every field before staging it.
+func (p *Pool[T]) Get(ctx *Context, r int) *T {
+	if !ctx.PayloadReuse() {
+		return new(T)
+	}
+	if r != p.last {
+		p.advance(r)
+	}
+	var v *T
+	if n := len(p.free); n > 0 {
+		v = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		v = new(T)
+	}
+	p.cur = append(p.cur, v)
+	return v
+}
+
+// advance retires generations older than r−1. Rounds only move forward,
+// so on a +1 advance the prev generation (now two barriers old) is freed
+// and cur becomes prev; on a larger jump (fast-forwarded idle rounds)
+// both generations are two or more barriers old and everything is freed.
+func (p *Pool[T]) advance(r int) {
+	p.free = append(p.free, p.prev...)
+	if r == p.last+1 {
+		clearPtrs(p.prev)
+		p.prev, p.cur = p.cur, p.prev[:0]
+	} else {
+		p.free = append(p.free, p.cur...)
+		clearPtrs(p.prev)
+		clearPtrs(p.cur)
+		p.prev = p.prev[:0]
+		p.cur = p.cur[:0]
+	}
+	p.last = r
+}
+
+// Prewarm stocks the free generation with n fresh objects and reserves
+// matching slice capacity, so a node's first sends recycle instead of
+// allocating. Call from Node.Init (typically gated on Context.PayloadReuse,
+// since a pool under a Network substrate never recycles). A steady sender
+// needs 3 objects in flight across the two-round barrier; n=4 covers that
+// with slack.
+func (p *Pool[T]) Prewarm(n int) {
+	block := make([]T, n)
+	p.free = make([]*T, n, 2*n)
+	for i := range block {
+		p.free[i] = &block[i]
+	}
+	p.prev = make([]*T, 0, n)
+	p.cur = make([]*T, 0, n)
+}
+
+func clearPtrs[T any](s []*T) {
+	for i := range s {
+		s[i] = nil
+	}
+}

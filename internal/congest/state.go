@@ -713,7 +713,12 @@ func (e *engine) snapshot(r, runIdx int) (*Snapshot, error) {
 		Inbox:     make([][]byte, n),
 	}
 	for v := 0; v < n; v++ {
-		s.LinkLoad[v] = append([]int32(nil), e.linkLoad[v]...)
+		// Per-node rows are carved out of the flat congestion and receive
+		// planes: the encoded stream is identical to the historical
+		// per-node-slice layout, which is the on-disk compatibility
+		// contract (see checkpoint_compat_test.go).
+		lo, hi := e.sendOff[v], e.sendOff[v+1]
+		s.LinkLoad[v] = append([]int32(nil), e.linkLoad[lo:hi]...)
 		st, ok := e.nodes[v].(Stateful)
 		if !ok {
 			return nil, fmt.Errorf("congest: checkpoint: node %d (%T) does not implement Stateful", v, e.nodes[v])
@@ -721,10 +726,10 @@ func (e *engine) snapshot(r, runIdx int) (*Snapshot, error) {
 		enc := &StateEncoder{}
 		st.EncodeState(enc)
 		s.Nodes[v] = enc.Bytes()
-		if len(e.inbox[v]) > 0 {
+		if inbox := e.inboxOf(v); len(inbox) > 0 {
 			enc := &StateEncoder{}
-			enc.Int(len(e.inbox[v]))
-			for _, m := range e.inbox[v] {
+			enc.Int(len(inbox))
+			for _, m := range inbox {
 				if err := EncodeMessage(enc, m); err != nil {
 					return nil, fmt.Errorf("congest: checkpoint: inbox of node %d: %w", v, err)
 				}
@@ -788,10 +793,11 @@ func (e *engine) restore(s *Snapshot) error {
 		if dec.Len() != 0 {
 			return fmt.Errorf("node %d state has %d trailing bytes", v, dec.Len())
 		}
-		if len(s.LinkLoad[v]) != len(e.linkLoad[v]) {
-			return fmt.Errorf("node %d link-load width %d, want %d", v, len(s.LinkLoad[v]), len(e.linkLoad[v]))
+		lo, hi := e.sendOff[v], e.sendOff[v+1]
+		if len(s.LinkLoad[v]) != int(hi-lo) {
+			return fmt.Errorf("node %d link-load width %d, want %d", v, len(s.LinkLoad[v]), hi-lo)
 		}
-		copy(e.linkLoad[v], s.LinkLoad[v])
+		copy(e.linkLoad[lo:hi], s.LinkLoad[v])
 	}
 	e.stats = s.Stats
 	copy(e.nodeSends, s.NodeSends)
@@ -803,14 +809,20 @@ func (e *engine) restore(s *Snapshot) error {
 		}
 	}
 	e.inflight = s.Inflight
-	if !dense {
-		e.recvList = e.recvList[:0]
+	// Rebuild the receive plane: each node's staged messages are appended
+	// as one contiguous run (nodes visited ascending, so the plane layout
+	// matches what a live routing pass would have scattered) and the
+	// (end, len) cursors plus the destination list are restored with it.
+	for _, v := range e.recvList {
+		e.inLen[v] = 0
 	}
+	e.recvList = e.recvList[:0]
+	e.recvCur = e.recvCur[:0]
 	for v := 0; v < n; v++ {
-		e.inbox[v] = e.inbox[v][:0]
 		if v < len(s.Inbox) && len(s.Inbox[v]) > 0 {
 			dec := NewStateDecoder(s.Inbox[v])
 			cnt := dec.Int()
+			start := len(e.recvCur)
 			for i := 0; i < cnt; i++ {
 				m, err := DecodeMessage(dec)
 				if err != nil {
@@ -819,12 +831,14 @@ func (e *engine) restore(s *Snapshot) error {
 				if m.To != v {
 					return fmt.Errorf("inbox of node %d holds a message for %d", v, m.To)
 				}
-				e.inbox[v] = append(e.inbox[v], m)
+				e.recvCur = append(e.recvCur, m)
 			}
 			if err := dec.Err(); err != nil {
 				return fmt.Errorf("inbox of node %d: %w", v, err)
 			}
-			if !dense {
+			if len(e.recvCur) > start {
+				e.inEnd[v] = int32(len(e.recvCur))
+				e.inLen[v] = int32(len(e.recvCur) - start)
 				e.recvList = append(e.recvList, v)
 			}
 		}

@@ -24,7 +24,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"sort"
@@ -121,6 +120,15 @@ type Opts struct {
 	// Audit enables per-insert Invariant 1 and per-round Invariant 2
 	// verification (costs time; violations are counted in the Result).
 	Audit bool
+	// Prealloc, when positive, pre-sizes each node's entry storage for that
+	// many concurrent entries at Init: the freelist is stocked with a
+	// contiguous block and the list, per-source sets, send heap and scratch
+	// slices get matching capacity. Rounds then allocate nothing until a
+	// node's live entry count first exceeds the hint (growth falls back to
+	// ordinary allocation — correct, just no longer allocation-free). The
+	// steady-state allocation guards rely on this; the default 0 keeps
+	// memory proportional to actual demand.
+	Prealloc int
 	// MaxRounds, Workers and Scheduler are passed to the engine. MaxRounds
 	// defaults to a slack multiple of the paper bound.
 	MaxRounds int
@@ -205,13 +213,54 @@ func (h sendHeap) Len() int { return len(h) }
 func (h sendHeap) Less(i, j int) bool {
 	return h[i].time < h[j].time || (h[i].time == h[j].time && h[i].seq < h[j].seq)
 }
-func (h sendHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *sendHeap) Push(x interface{}) { *h = append(*h, x.(sendItem)) }
-func (h *sendHeap) Pop() interface{} {
+func (h sendHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// The sift code below is container/heap's algorithm verbatim on the
+// concrete type, for two reasons: the stdlib API boxes every pushed
+// sendItem into an interface{} (a heap allocation per schedule() on the
+// engine's zero-alloc round path), and the heap ARRAY — not just the pop
+// order — is serialized by EncodeState, so the element movements must
+// match the historical ones exactly for checkpoint byte-compatibility.
+func (h sendHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+func (h sendHeap) down(i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h.Less(j2, j) {
+			j = j2
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
+}
+
+func (h *sendHeap) push(it sendItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+func (h *sendHeap) popMin() sendItem {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old.Swap(0, n)
+	old.down(0, n)
+	it := old[n]
+	*h = old[:n]
 	return it
 }
 
@@ -227,9 +276,18 @@ type node struct {
 	id   int
 	opts *Opts
 
-	gamma  key.Gamma
-	srcIdx map[int]int
-	inW    map[int]int64
+	gamma key.Gamma
+	// srcOf maps a source node ID to its index in Sources (-1 absent);
+	// one slice shared by every node of the run (see NewNode). The dense
+	// lookup replaces a per-node map: the receive loop resolves a source
+	// per message, and hashing dominated the engine's hot-path profile.
+	srcOf []int32
+	// inFrom/inWt are the node's in-neighbors ascending with the minimum
+	// arc weight per neighbor. The inbox is sorted by sender (an engine
+	// invariant), so the receive loop resolves weights with a linear
+	// merge-join instead of a map probe per message.
+	inFrom []int32
+	inWt   []int64
 
 	list    []*entry
 	perSrc  [][]*entry
@@ -247,23 +305,73 @@ type node struct {
 	dupDrops                 int64
 
 	snaps map[int][]int64 // snapshot round -> copy of best distances
+
+	// Steady-state allocation control (see the AllocsPerRun guards in
+	// internal/congest): outgoing payloads are pool-recycled, dropped and
+	// retired entries go through a freelist, and the per-round transient
+	// slices are node-owned scratch reused across rounds.
+	pool     congest.Pool[wire]
+	freeEnts []*entry
+	victims  []*entry
+	requeue  []sendItem
+	gate     entry // scratch for the Step 13 gate key (never inserted)
+}
+
+// newEntry returns a zeroed entry, recycled when one is available.
+func (nd *node) newEntry() *entry {
+	if n := len(nd.freeEnts); n > 0 {
+		z := nd.freeEnts[n-1]
+		nd.freeEnts[n-1] = nil
+		nd.freeEnts = nd.freeEnts[:n-1]
+		*z = entry{}
+		return z
+	}
+	return &entry{}
+}
+
+// recycle returns an entry that never entered the list (a receive-path
+// drop) straight to the freelist.
+func (nd *node) recycle(z *entry) {
+	nd.freeEnts = append(nd.freeEnts, z)
+}
+
+// maybeFree recycles a dead entry once nothing references it: the lazy
+// send heap has dropped its last item for it (heapRefs 0) and it is not
+// a best record's carrier. Callers invoke it after marking dead and
+// after every heapRefs decrement.
+func (nd *node) maybeFree(z *entry) {
+	if z.dead && z.heapRefs == 0 && nd.bests[z.srcIdx].e != z {
+		nd.freeEnts = append(nd.freeEnts, z)
+	}
 }
 
 func (nd *node) Init(ctx *congest.Context) {
 	k := len(nd.opts.Sources)
-	nd.srcIdx = make(map[int]int, k)
+	if p := nd.opts.Prealloc; p > 0 {
+		block := make([]entry, p)
+		nd.freeEnts = make([]*entry, p, 2*p)
+		for i := range block {
+			nd.freeEnts[i] = &block[i]
+		}
+		nd.list = make([]*entry, 0, p)
+		nd.h = make(sendHeap, 0, 2*p)
+		nd.victims = make([]*entry, 0, p)
+		nd.requeue = make([]sendItem, 0, p)
+	}
+	if ctx.PayloadReuse() {
+		nd.pool.Prewarm(4)
+	}
 	nd.bests = make([]best, k)
 	nd.perSrc = make([][]*entry, k)
-	for i, s := range nd.opts.Sources {
-		nd.srcIdx[s] = i
-		nd.bests[i] = best{d: graph.Inf, l: -1, parent: -1}
-	}
-	nd.inW = make(map[int]int64)
-	for _, e := range ctx.InEdges() {
-		if w, ok := nd.inW[e.From]; !ok || e.W < w {
-			nd.inW[e.From] = e.W
+	if p := nd.opts.Prealloc; p > 0 {
+		for i := range nd.perSrc {
+			nd.perSrc[i] = make([]*entry, 0, p)
 		}
 	}
+	for i := range nd.opts.Sources {
+		nd.bests[i] = best{d: graph.Inf, l: -1, parent: -1}
+	}
+	nd.inFrom, nd.inWt = graph.MinInArcs(ctx.InEdges())
 	for i := range nd.opts.Sources {
 		d := int64(-1)
 		if nd.opts.Sources[i] == nd.id {
@@ -288,7 +396,8 @@ func (nd *node) Init(ctx *congest.Context) {
 // schedule pushes an entry's current send time onto the lazy heap.
 func (nd *node) schedule(z *entry) {
 	nd.seq++
-	heap.Push(&nd.h, sendItem{time: z.ceilK + int64(z.idx) + 1, seq: nd.seq, e: z})
+	z.heapRefs++
+	nd.h.push(sendItem{time: z.ceilK + int64(z.idx) + 1, seq: nd.seq, e: z})
 }
 
 // insertAt places z at position p, shifting the tail and fixing indices.
@@ -332,6 +441,7 @@ func (nd *node) removeEntry(z *entry) {
 	}
 	z.dead = true
 	nd.evicts++
+	nd.maybeFree(z)
 }
 
 // searchPos returns the position at which z belongs in the list order.
@@ -387,7 +497,9 @@ func (nd *node) insert(z *entry, r int) {
 			}
 		}
 		if victim != nil {
-			nd.trace("v%d EVICT (d=%d l=%d src=%d) sent=%v", nd.id, victim.d, victim.l, nd.opts.Sources[victim.srcIdx], !victim.needSend)
+			if nd.tracing() {
+				nd.trace("v%d EVICT (d=%d l=%d src=%d) sent=%v", nd.id, victim.d, victim.l, nd.opts.Sources[victim.srcIdx], !victim.needSend)
+			}
 			nd.removeEntry(victim)
 		}
 	}
@@ -411,12 +523,16 @@ func (nd *node) receivePareto(z *entry, r int, from int) {
 				b.e.parent = from
 			}
 		}
+		nd.recycle(z)
 		return
 	}
 	for _, e := range nd.perSrc[i] {
 		if e.d <= z.d && e.l <= z.l {
 			nd.nuDrops++
-			nd.trace("r%d v%d PARETODROP (d=%d l=%d src=%d)", r, nd.id, z.d, z.l, nd.opts.Sources[i])
+			if nd.tracing() {
+				nd.trace("r%d v%d PARETODROP (d=%d l=%d src=%d)", r, nd.id, z.d, z.l, nd.opts.Sources[i])
+			}
+			nd.recycle(z)
 			return
 		}
 	}
@@ -430,21 +546,31 @@ func (nd *node) receivePareto(z *entry, r int, from int) {
 	z.needSend = true
 	p := nd.searchPos(z)
 	nd.insertAt(z, p)
-	nd.trace("r%d v%d INSERT pareto (d=%d l=%d src=%d) sp=%v", r, nd.id, z.d, z.l, nd.opts.Sources[i], z.flagSP)
+	if nd.tracing() {
+		nd.trace("r%d v%d INSERT pareto (d=%d l=%d src=%d) sp=%v", r, nd.id, z.d, z.l, nd.opts.Sources[i], z.flagSP)
+	}
 	// Remove the entries z dominates; they are strictly above z in the
 	// list order (κ(z) ≤ κ(e) with a strict component).
-	var victims []*entry
+	nd.victims = nd.victims[:0]
 	for _, e := range nd.perSrc[i] {
 		if e != z && e.d >= z.d && e.l >= z.l {
-			victims = append(victims, e)
+			nd.victims = append(nd.victims, e)
 		}
 	}
-	for _, e := range victims {
-		nd.trace("v%d DOMINATED-REMOVE (d=%d l=%d src=%d) sent=%v", nd.id, e.d, e.l, nd.opts.Sources[i], !e.needSend)
+	for _, e := range nd.victims {
+		if nd.tracing() {
+			nd.trace("v%d DOMINATED-REMOVE (d=%d l=%d src=%d) sent=%v", nd.id, e.d, e.l, nd.opts.Sources[i], !e.needSend)
+		}
 		nd.removeEntry(e)
 	}
 	nd.schedule(z)
 }
+
+// tracing reports whether Opts.Trace is set. Hot-path callers must check
+// it BEFORE building a trace call: passing integers through the variadic
+// ...interface{} boxes them onto the heap at the call site even when the
+// sink is nil, which would break the steady-state zero-allocation guards.
+func (nd *node) tracing() bool { return nd.opts.Trace != nil }
 
 // trace emits a debug line when Opts.Trace is set.
 func (nd *node) trace(format string, args ...interface{}) {
@@ -455,18 +581,24 @@ func (nd *node) trace(format string, args ...interface{}) {
 
 func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 	nd.cur = r
-	// Receive (Steps 3–13). Inbox is sorted by sender for determinism.
+	// Receive (Steps 3–13). The inbox is sorted ascending by sender (an
+	// engine invariant), so the in-arc weight lookup is a merge-join over
+	// the equally-sorted inFrom: the cursor only ever advances.
+	inPos := 0
 	for _, m := range inbox {
-		msg := m.Payload.(wire)
-		w, ok := nd.inW[m.From]
-		if !ok {
+		msg := m.Payload.(*wire)
+		for inPos < len(nd.inFrom) && int(nd.inFrom[inPos]) < m.From {
+			inPos++
+		}
+		if inPos == len(nd.inFrom) || int(nd.inFrom[inPos]) != m.From {
 			continue // link without an arc into this node
 		}
-		i, ok := nd.srcIdx[msg.src]
-		if !ok {
+		w := nd.inWt[inPos]
+		if msg.src < 0 || msg.src >= len(nd.srcOf) || nd.srcOf[msg.src] < 0 {
 			ctx.Failf("entry for unknown source %d", msg.src)
 			return
 		}
+		i := int(nd.srcOf[msg.src])
 		d := msg.d + w
 		l := msg.l + 1
 		if l > int64(nd.opts.H) {
@@ -481,7 +613,8 @@ func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 		if nd.id == nd.opts.Sources[i] {
 			continue // nothing improves the source's own (0,0) record
 		}
-		z := &entry{d: d, l: l, srcIdx: i, parent: m.From}
+		z := nd.newEntry()
+		z.d, z.l, z.srcIdx, z.parent = d, l, i, m.From
 		z.ceilK = nd.gamma.CeilKappa(d, l)
 
 		if nd.opts.Mode == ModePareto {
@@ -502,7 +635,9 @@ func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 			z.needSend = true
 			*b = best{d: d, l: l, parent: m.From, e: z}
 			nd.insert(z, r)
-			nd.trace("r%d v%d INSERT SP (d=%d l=%d src=%d) from %d", r, nd.id, d, l, msg.src, m.From)
+			if nd.tracing() {
+				nd.trace("r%d v%d INSERT SP (d=%d l=%d src=%d) from %d", r, nd.id, d, l, msg.src, m.From)
+			}
 			continue
 		}
 		// Step 13: non-SP entry; insert only if fewer than ν⁻ entries for
@@ -516,21 +651,28 @@ func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 		}
 		if dup {
 			nd.dupDrops++
+			nd.recycle(z)
 			continue
 		}
 		gate := z
 		if !nd.opts.GateByUpdatedKey {
 			// Count entries below the sender's key κ(Z⁻) instead of the
 			// updated κ(Z); see Opts.GateByUpdatedKey.
-			gate = &entry{d: msg.d, l: msg.l, srcIdx: i}
+			nd.gate = entry{d: msg.d, l: msg.l, srcIdx: i}
+			gate = &nd.gate
 		}
 		if nd.countBefore(gate) < int(msg.nu) {
 			z.needSend = true
 			nd.insert(z, r)
-			nd.trace("r%d v%d INSERT nonSP (d=%d l=%d src=%d) from %d nu=%d", r, nd.id, d, l, msg.src, m.From, msg.nu)
+			if nd.tracing() {
+				nd.trace("r%d v%d INSERT nonSP (d=%d l=%d src=%d) from %d nu=%d", r, nd.id, d, l, msg.src, m.From, msg.nu)
+			}
 		} else {
 			nd.nuDrops++
-			nd.trace("r%d v%d NUDROP (d=%d l=%d src=%d) from %d nu=%d below=%d", r, nd.id, d, l, msg.src, m.From, msg.nu, nd.countBefore(gate))
+			if nd.tracing() {
+				nd.trace("r%d v%d NUDROP (d=%d l=%d src=%d) from %d nu=%d below=%d", r, nd.id, d, l, msg.src, m.From, msg.nu, nd.countBefore(gate))
+			}
+			nd.recycle(z)
 		}
 	}
 
@@ -559,11 +701,13 @@ func (nd *node) Round(ctx *congest.Context, r int, inbox []congest.Message) {
 func (nd *node) sendPhase(ctx *congest.Context, r int) {
 	var candidate *entry
 	var candSched int64
-	requeue := nd.h[:0:0] // collected due-but-not-sent items to re-push
+	requeue := nd.requeue[:0] // collected due-but-not-sent items to re-push
 	for nd.h.Len() > 0 && nd.h[0].time <= int64(r) {
-		it := heap.Pop(&nd.h).(sendItem)
+		it := nd.h.popMin()
 		z := it.e
+		z.heapRefs--
 		if z.dead || !z.needSend {
+			nd.maybeFree(z)
 			continue
 		}
 		sched := z.ceilK + int64(z.idx) + 1
@@ -602,8 +746,10 @@ func (nd *node) sendPhase(ctx *congest.Context, r int) {
 		requeue = append(requeue, sendItem{time: int64(r) + 1, seq: nd.seq, e: other})
 	}
 	for _, it := range requeue {
-		heap.Push(&nd.h, it)
+		it.e.heapRefs++
+		nd.h.push(it)
 	}
+	nd.requeue = requeue[:0]
 	if candidate == nil {
 		return
 	}
@@ -613,8 +759,12 @@ func (nd *node) sendPhase(ctx *congest.Context, r int) {
 	z := candidate
 	z.needSend = false
 	nd.pending--
-	nd.trace("r%d v%d SEND (d=%d l=%d src=%d) sp=%v nu=%d sched=%d", r, nd.id, z.d, z.l, nd.opts.Sources[z.srcIdx], z.flagSP, nd.nu(z), candSched)
-	ctx.Broadcast(wire{d: z.d, l: z.l, src: nd.opts.Sources[z.srcIdx], sp: z.flagSP, nu: int32(nd.nu(z))})
+	if nd.tracing() {
+		nd.trace("r%d v%d SEND (d=%d l=%d src=%d) sp=%v nu=%d sched=%d", r, nd.id, z.d, z.l, nd.opts.Sources[z.srcIdx], z.flagSP, nd.nu(z), candSched)
+	}
+	w := nd.pool.Get(ctx, r)
+	w.d, w.l, w.src, w.sp, w.nu = z.d, z.l, nd.opts.Sources[z.srcIdx], z.flagSP, int32(nd.nu(z))
+	ctx.Broadcast(w)
 }
 
 // auditInv2 checks Lemma II.11: per-source entry count ≤ h/γ + 1, i.e.
@@ -673,6 +823,38 @@ func (nd *node) NextWake() int {
 }
 
 // Run executes Algorithm 1 on g.
+// NewNode returns the engine node factory for one run with the given
+// options. Callers must set Sources, H and Delta (Run normalizes them
+// first; stepwise engine drivers — the congest allocation guards and
+// benchmarks — call this directly with explicit values). The factory
+// shares opts, which must not change during the run.
+func NewNode(opts *Opts) func(v int) congest.Node {
+	gamma := key.New(len(opts.Sources), opts.H, opts.Delta)
+	srcOf := sourceIndex(opts.Sources)
+	return func(v int) congest.Node {
+		return &node{id: v, opts: opts, gamma: gamma, srcOf: srcOf}
+	}
+}
+
+// sourceIndex builds the dense source-ID → source-index table shared by
+// every node of a run (-1 marks non-sources).
+func sourceIndex(sources []int) []int32 {
+	maxS := 0
+	for _, s := range sources {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	srcOf := make([]int32, maxS+1)
+	for i := range srcOf {
+		srcOf[i] = -1
+	}
+	for i, s := range sources {
+		srcOf[s] = int32(i)
+	}
+	return srcOf
+}
+
 func Run(g *graph.Graph, opts Opts) (*Result, error) {
 	if len(opts.Sources) == 0 {
 		return nil, fmt.Errorf("core: no sources")
@@ -731,8 +913,9 @@ func Run(g *graph.Graph, opts Opts) (*Result, error) {
 
 	res := &Result{Sources: append([]int(nil), opts.Sources...), Bound: bound, Delta: opts.Delta}
 	nodes := make([]*node, g.N())
+	srcOf := sourceIndex(opts.Sources)
 	stats, err := congest.Run(g, func(v int) congest.Node {
-		nodes[v] = &node{id: v, opts: &opts, gamma: gamma}
+		nodes[v] = &node{id: v, opts: &opts, gamma: gamma, srcOf: srcOf}
 		return nodes[v]
 	}, congest.Config{MaxRounds: opts.MaxRounds, Workers: opts.Workers, Scheduler: opts.Scheduler, Observer: opts.Obs, Network: opts.Network, Checkpoint: opts.Checkpoint, Ctx: opts.Ctx})
 	res.Stats = stats

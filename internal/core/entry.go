@@ -16,8 +16,9 @@ type entry struct {
 	needSend bool // scheduled but not yet sent
 	dead     bool // removed from the list (heap entries are lazy)
 
-	idx   int   // current position in the list (0-based; pos = idx+1)
-	ceilK int64 // cached ⌈κ⌉ = ⌈d·γ⌉ + l
+	idx      int   // current position in the list (0-based; pos = idx+1)
+	ceilK    int64 // cached ⌈κ⌉ = ⌈d·γ⌉ + l
+	heapRefs int32 // live sendItems pointing here; recycling waits for 0
 }
 
 // less is the total list order (κ, d, x): keys ascending, ties by distance,

@@ -5,7 +5,7 @@
 // order and must round-trip for bit-exact resume), the shortest-path
 // records, the lazy send heap in heap-array order (a heap array restored
 // verbatim is the same heap), and the diagnostics counters. Derived
-// fields (srcIdx, inW, gamma, cached ⌈κ⌉) are rebuilt, not stored.
+// fields (srcOf, inFrom/inWt, gamma, cached ⌈κ⌉) are rebuilt, not stored.
 package core
 
 import (
@@ -15,9 +15,11 @@ import (
 )
 
 func init() {
-	congest.RegisterPayloadCodec("core.wire", wire{},
+	// The codec name and field bytes predate the pooled *wire payload:
+	// keeping both identical keeps historical checkpoint files loading.
+	congest.RegisterPayloadCodec("core.wire", &wire{},
 		func(enc *congest.StateEncoder, p congest.Payload) {
-			m := p.(wire)
+			m := p.(*wire)
 			enc.Int64(m.d)
 			enc.Int64(m.l)
 			enc.Int(m.src)
@@ -25,7 +27,7 @@ func init() {
 			enc.Int64(int64(m.nu))
 		},
 		func(dec *congest.StateDecoder) (congest.Payload, error) {
-			m := wire{d: dec.Int64(), l: dec.Int64(), src: dec.Int(), sp: dec.Bool(), nu: int32(dec.Int64())}
+			m := &wire{d: dec.Int64(), l: dec.Int64(), src: dec.Int(), sp: dec.Bool(), nu: int32(dec.Int64())}
 			return m, dec.Err()
 		})
 }
@@ -215,6 +217,7 @@ func (nd *node) DecodeState(dec *congest.StateDecoder) error {
 			}
 			it.e = deadSentinel
 		}
+		it.e.heapRefs++
 		nd.h = append(nd.h, it)
 	}
 

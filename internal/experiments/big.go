@@ -15,9 +15,13 @@ func init() {
 // eBig is the scaling study: Algorithm 1 APSP rounds as n grows with the
 // weight scale held fixed, against the 2n√Δ+2n curve. The interesting
 // quantity is the fitted exponent of rounds in n (the paper predicts ~1
-// when Δ is n-independent, since rounds ≈ 2√Δ·n).
+// when Δ is n-independent, since rounds ≈ 2√Δ·n). The ladder is a clean
+// power-of-two progression to n=4096 — uniform log-spacing, so the
+// consecutive-pair exponents are directly comparable. The top sizes are
+// what the flat message plane buys: at n=4096 the run moves hundreds of
+// millions of messages, which the object-inbox engine could not hold.
 func eBig(cfg Config) (*Table, error) {
-	sizes := []int{64, 128, 192, 256, 512}
+	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
 	if cfg.Small {
 		sizes = []int{32, 64}
 	}

@@ -294,3 +294,35 @@ func (g *Graph) CommDiameter() int {
 	}
 	return diam
 }
+
+// MinInArcs flattens an in-edge list into parallel arrays: the unique
+// senders in ascending order, each with its minimum arc weight (parallel
+// edges collapse to the cheapest). Protocol receive loops use the pair for
+// an allocation-free merge-join against the engine's sender-sorted inbox,
+// replacing a per-message map probe.
+func MinInArcs(edges []Edge) (from []int32, w []int64) {
+	if len(edges) == 0 {
+		return nil, nil
+	}
+	type arc struct {
+		from int32
+		w    int64
+	}
+	arcs := make([]arc, 0, len(edges))
+	for _, e := range edges {
+		arcs = append(arcs, arc{from: int32(e.From), w: e.W})
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		return arcs[i].from < arcs[j].from || (arcs[i].from == arcs[j].from && arcs[i].w < arcs[j].w)
+	})
+	from = make([]int32, 0, len(arcs))
+	w = make([]int64, 0, len(arcs))
+	for _, a := range arcs {
+		if n := len(from); n > 0 && from[n-1] == a.from {
+			continue // sorted: first occurrence carries the minimum weight
+		}
+		from = append(from, a.from)
+		w = append(w, a.w)
+	}
+	return from, w
+}
