@@ -6,7 +6,7 @@ GO ?= go
 # scheduled job).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race cover bench bench-engine bench-gate bench-baseline experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke clean
+.PHONY: all build test race cover cover-gate cover-baseline bench bench-engine bench-gate bench-baseline experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke clean
 
 all: build test
 
@@ -28,6 +28,23 @@ race-crash:
 cover:
 	$(GO) test -cover ./...
 
+# Per-package coverage regression gate: cmd/covergate compares the
+# -cover output against the committed COVERAGE.json floors and fails on
+# any package dropping below its floor (or disappearing). The merged
+# statement profile (cover.out, gitignored) is kept for
+# `go tool cover -html=cover.out`; the intermediate text file survives
+# for post-mortems, same rationale as bench-gate.
+cover-gate:
+	$(GO) test -cover -coverprofile=cover.out ./... > cover_test.out
+	$(GO) run ./cmd/covergate -baseline COVERAGE.json < cover_test.out
+
+# Rewrite the coverage floors from a fresh run (commit the result
+# deliberately); the default 2-point margin absorbs run-to-run jitter
+# from timing-dependent branches.
+cover-baseline:
+	$(GO) test -cover -coverprofile=cover.out ./... > cover_test.out
+	$(GO) run ./cmd/covergate -baseline COVERAGE.json -update < cover_test.out
+
 # One iteration of every benchmark (each regenerates a paper table/figure
 # at reduced size and self-validates against the sequential oracles).
 bench:
@@ -37,7 +54,7 @@ bench:
 # active-set scheduler comparison on both activity extremes, the fault
 # shim's cost, and the checkpoint hook's overhead.
 bench-engine:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend' -benchtime 1x .
 
 # Engine benchmark regression gate: run the engine benchmark set with
 # -benchmem and compare against the committed BENCH_engine.json baseline
@@ -47,12 +64,12 @@ bench-engine:
 # make recipes have no pipefail — a crashed bench run must not feed an
 # empty stream to the gate.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint' -benchmem -benchtime 10x -count 2 . > bench_engine.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend' -benchmem -benchtime 10x -count 2 . > bench_engine.out
 	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json < bench_engine.out
 
 # Rewrite the baseline from a fresh run (commit the result deliberately).
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint' -benchmem -benchtime 10x -count 2 . > bench_engine.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend' -benchmem -benchtime 10x -count 2 . > bench_engine.out
 	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json -update < bench_engine.out
 
 # The full-size experiment sweep (writes the tables EXPERIMENTS.md records).
@@ -107,13 +124,15 @@ trace-smoke:
 	./scripts/trace_smoke.sh
 
 # Short fuzzing bursts for the parser, the exact key arithmetic, the
-# reliability shim and the checkpoint kill/serialize/resume cycle.
+# reliability shim, the checkpoint kill/serialize/resume cycle and the
+# parallel compute kernels (differential vs CONGEST Bellman–Ford).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run xxx -fuzz FuzzCmpCeil -fuzztime $(FUZZTIME) ./internal/key/
 	$(GO) test -run xxx -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run xxx -fuzz FuzzReliableLink -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run xxx -fuzz FuzzCheckpointRoundTrip -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz FuzzParallelDijkstra -fuzztime $(FUZZTIME) ./internal/compute/
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/compute"
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -238,6 +239,50 @@ func BenchmarkEngineWorkers1Observed(b *testing.B) {
 }
 func BenchmarkEngineWorkers8Observed(b *testing.B) {
 	benchEngineWorkers(b, 8, func() congest.Observer { return obs.NewRecorder() })
+}
+
+// BenchmarkComputeBackend* is the CONGEST-vs-centralized crossover pair
+// (ISSUE 8 / ROADMAP item 4): the same saturated all-sources APSP
+// instance through the simulated engine and through internal/compute's
+// two kernels at 8 workers. The committed BENCH_engine.json baseline
+// keeps the gap honest — the parallel backend must stay the fast
+// recompute path (≥5× the engine; measured well above), and its
+// allocation budget is gated like every other entry. E-XOVER reports the
+// same comparison as a table across sizes.
+func benchComputeBackend(b *testing.B, run func(g *graph.Graph, sources []int) error) {
+	n := 128
+	g := graph.Random(n, 4*n, graph.GenOpts{Seed: 7, MaxW: 8, ZeroFrac: 0.25, Directed: true})
+	sources := make([]int, n)
+	for v := range sources {
+		sources[v] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(g, sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeBackendEngine8(b *testing.B) {
+	benchComputeBackend(b, func(g *graph.Graph, sources []int) error {
+		_, err := core.Run(g, core.Opts{Sources: sources, H: g.N() - 1, Workers: 8})
+		return err
+	})
+}
+
+func BenchmarkComputeBackendDijkstra8(b *testing.B) {
+	benchComputeBackend(b, func(g *graph.Graph, sources []int) error {
+		_, err := compute.APSP(g, compute.Opts{Workers: 8, Kernel: compute.Dijkstra})
+		return err
+	})
+}
+
+func BenchmarkComputeBackendFloyd8(b *testing.B) {
+	benchComputeBackend(b, func(g *graph.Graph, sources []int) error {
+		_, err := compute.APSP(g, compute.Opts{Workers: 8, Kernel: compute.Floyd})
+		return err
+	})
 }
 
 // benchEngineWorkersAdaptive runs the sparse active-set workload (most

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,43 +28,60 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "apspbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command body, factored so tests can drive it with arbitrary
+// arguments and capture the output. Tables go to stdout; progress notes
+// (profile and JSON paths) go to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("apspbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		small      = flag.Bool("small", false, "run reduced-size experiments")
-		exp        = flag.String("exp", "", "run a single experiment by ID")
-		list       = flag.Bool("list", false, "list experiment IDs and exit")
-		seed       = flag.Int64("seed", 1, "deterministic seed")
-		md         = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
-		jsonPath   = flag.String("json", "", "also write the result tables as JSON to this path")
-		workers    = flag.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
-		faultsArg  = flag.String("faults", "", `restrict E-FAULTS to one adversarial plan (e.g. "all" or "delay=4,drop=0.2")`)
-		faultSeed  = flag.Int64("fault-seed", 0, "fault PRF seed for E-FAULTS (when the plan has no seed term)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run here")
-		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run here")
+		small      = fs.Bool("small", false, "run reduced-size experiments")
+		exp        = fs.String("exp", "", "run a single experiment by ID")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		seed       = fs.Int64("seed", 1, "deterministic seed")
+		md         = fs.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+		jsonPath   = fs.String("json", "", "also write the result tables as JSON to this path")
+		workers    = fs.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
+		faultsArg  = fs.String("faults", "", `restrict E-FAULTS to one adversarial plan (e.g. "all" or "delay=4,drop=0.2")`)
+		faultSeed  = fs.Int64("fault-seed", 0, "fault PRF seed for E-FAULTS (when the plan has no seed term)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run here")
+		memProfile = fs.String("memprofile", "", "write a heap profile taken after the run here")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return nil
 	}
 	cfg := experiments.Config{Small: *small, Seed: *seed, Workers: *workers, Faults: *faultsArg, FaultSeed: *faultSeed}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			if err := f.Close(); err != nil {
-				fail(err)
-			}
-			fmt.Fprintf(os.Stderr, "cpu profile: %s\n", *cpuProfile)
+			f.Close()
+			fmt.Fprintf(stderr, "cpu profile: %s\n", *cpuProfile)
 		}()
 	}
 
@@ -71,53 +89,51 @@ func main() {
 	if *exp != "" {
 		t, err := experiments.Run(*exp, cfg)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		tables = []*experiments.Table{t}
 	} else {
 		ts, err := experiments.Collect(cfg)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		tables = ts
 	}
 	for _, t := range tables {
 		if *md {
-			t.Markdown(os.Stdout)
+			t.Markdown(stdout)
 		} else {
-			t.Format(os.Stdout)
+			t.Format(stdout)
 		}
 	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := experiments.WriteJSON(f, tables); err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "tables: %s\n", *jsonPath)
+		fmt.Fprintf(stderr, "tables: %s\n", *jsonPath)
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "heap profile: %s\n", *memProfile)
+		fmt.Fprintf(stderr, "heap profile: %s\n", *memProfile)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "apspbench: %v\n", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListIsDeterministicAndComplete: -list prints the sorted experiment
+// registry; scripts grep it, so IDs must be stable line-oriented output.
+func TestListIsDeterministicAndComplete(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-list"}, &a, io.Discard); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if err := run([]string{"-list"}, &b, io.Discard); err != nil {
+		t.Fatalf("-list second pass: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("-list output not deterministic")
+	}
+	ids := strings.Fields(a.String())
+	if len(ids) < 10 {
+		t.Fatalf("suspiciously few experiments listed: %v", ids)
+	}
+	for _, want := range []string{"E-BIG", "E-XOVER", "SCORECARD"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("-list missing %s:\n%s", want, a.String())
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("-list not sorted: %s before %s", ids[i-1], ids[i])
+		}
+	}
+}
+
+// TestSingleExperimentRunsAndPersists: one small experiment runs through
+// the extracted run() body, prints its table, and lands in the JSON file.
+func TestSingleExperimentRunsAndPersists(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "tables.json")
+	var out, errOut bytes.Buffer
+	args := []string{"-exp", "E-XOVER", "-small", "-seed", "3", "-workers", "2", "-json", jsonPath}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(out.String(), "E-XOVER") || !strings.Contains(out.String(), "speedup") {
+		t.Fatalf("table output unexpected:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	if !strings.Contains(string(raw), "E-XOVER") {
+		t.Fatalf("json content missing table id: %s", raw)
+	}
+	if !strings.Contains(errOut.String(), jsonPath) {
+		t.Fatalf("json path note missing on stderr:\n%s", errOut.String())
+	}
+	// Markdown mode renders the same table with pipe separators.
+	var mdOut bytes.Buffer
+	if err := run([]string{"-exp", "E-XOVER", "-small", "-md"}, &mdOut, io.Discard); err != nil {
+		t.Fatalf("-md: %v", err)
+	}
+	if !strings.Contains(mdOut.String(), "|") {
+		t.Fatalf("markdown output has no table:\n%s", mdOut.String())
+	}
+}
+
+// TestFlagErrors: bad flags, unknown experiments and stray arguments
+// return errors instead of exiting the test process.
+func TestFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"stray"},
+		{"-exp", "E-NOPE"},
+		{"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "x.pprof"), "-exp", "E-XOVER", "-small"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

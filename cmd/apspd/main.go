@@ -9,6 +9,7 @@
 //	apspd -addr :8080 -alg pipeline -n 256 -m 1024 -sources 0,5,9
 //	apspd -addr :8080 -graph g.txt -alg blocker           # dist-only family
 //	apspd -addr :8080 -graph g.txt -load run.ckpt          # resume apsprun checkpoint
+//	apspd -addr :8080 -backend parallel -n 2048 -m 16384   # shared-memory bootstrap
 //	apspd -addr 127.0.0.1:0 -addr-file port.txt -n 64 -m 256
 //
 // Endpoints: /dist, /path, /batch, /healthz, /metrics (Prometheus text, or
@@ -89,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		seed = fs.Int64("seed", 1, "seed (generated graphs)")
 
 		alg       = fs.String("alg", "pipeline", "pipeline | blocker | scaling | shortrange | bellman")
+		backend   = fs.String("backend", "congest", "compute substrate: congest (simulated engine) | parallel (shared-memory internal/compute; production sizes)")
 		srcsArg   = fs.String("sources", "", "comma-separated sources (empty = all)")
 		h         = fs.Int("h", 0, "hop parameter (0 = per-algorithm default)")
 		workers   = fs.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
@@ -190,7 +192,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	}
 
 	spec := oracle.ComputeSpec{
-		Alg: *alg, Sources: sources, H: *h, Workers: *workers, Sched: sched,
+		Alg: *alg, Backend: *backend, Sources: sources, H: *h, Workers: *workers, Sched: sched,
 		Plan: *faultsArg, FaultSeed: *faultSeed,
 		Obs: engineObs,
 	}

@@ -201,6 +201,82 @@ func TestDaemonRejectsBadCheckpoint(t *testing.T) {
 	}
 }
 
+// TestDaemonParallelBackend boots the daemon on the shared-memory
+// compute backend and verifies the snapshot label, Dijkstra-validated
+// distances, a served /path, and that /admin/recompute re-runs on the
+// same backend and publishes a new generation.
+func TestDaemonParallelBackend(t *testing.T) {
+	url, errc := startDaemon(t, "-backend", "parallel", "-n", "24", "-m", "80", "-seed", "5", "-sources", "0,3,9")
+
+	var h struct {
+		Status string `json:"status"`
+		Alg    string `json:"alg"`
+		Gen    uint64 `json:"gen"`
+	}
+	if status := getJSON(t, url+"/healthz", &h); status != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: status %d body %+v", status, h)
+	}
+	if !strings.HasPrefix(h.Alg, "parallel/") {
+		t.Fatalf("snapshot alg %q, want parallel/*", h.Alg)
+	}
+
+	g := graph.Random(24, 80, graph.GenOpts{MaxW: 8, ZeroFrac: 0.25, Seed: 5, Directed: true})
+	for _, src := range []int{0, 3, 9} {
+		want := graph.Dijkstra(g, src)
+		for v := 0; v < g.N(); v++ {
+			var d struct {
+				Reachable bool   `json:"reachable"`
+				Dist      *int64 `json:"dist"`
+			}
+			if status := getJSON(t, fmt.Sprintf("%s/dist?src=%d&dst=%d", url, src, v), &d); status != http.StatusOK {
+				t.Fatalf("dist(%d,%d) status %d", src, v, status)
+			}
+			switch {
+			case want[v] >= graph.Inf:
+				if d.Reachable {
+					t.Fatalf("dist(%d,%d) should be unreachable, got %+v", src, v, d)
+				}
+			case d.Dist == nil || *d.Dist != want[v]:
+				t.Fatalf("dist(%d,%d) = %+v, Dijkstra %d", src, v, d, want[v])
+			}
+		}
+	}
+
+	// The parallel backend records parents: /path must serve.
+	var p struct {
+		Path []int `json:"path"`
+	}
+	if status := getJSON(t, url+"/path?src=3&dst=9", &p); status != http.StatusOK || len(p.Path) == 0 {
+		t.Fatalf("path(3,9): status %d body %+v", status, p)
+	}
+
+	resp, err := http.Post(url+"/admin/recompute", "application/json", nil)
+	if err != nil {
+		t.Fatalf("recompute: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		var h2 struct {
+			Gen uint64 `json:"gen"`
+			Alg string `json:"alg"`
+		}
+		getJSON(t, url+"/healthz", &h2)
+		if h2.Gen > h.Gen {
+			if !strings.HasPrefix(h2.Alg, "parallel/") {
+				t.Fatalf("recompute switched backends: alg %q", h2.Alg)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recompute never published a new generation")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stopDaemon(t, errc)
+}
+
 // TestRunFlagErrors: bad flags and stray arguments exit non-zero (the
 // run() error becomes exit code 1 in main) with usage on stderr.
 func TestRunFlagErrors(t *testing.T) {
@@ -210,6 +286,9 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-grid", "3by4"},
 		{"-sources", "0,x"},
 		{"-alg", "frobnicate"},
+		{"-backend", "gpu"},
+		{"-backend", "parallel", "-faults", "delay=2"},
+		{"-backend", "parallel", "-alg", "blocker"},
 		{"stray-positional"},
 	}
 	for _, args := range cases {

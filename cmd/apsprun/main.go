@@ -21,6 +21,15 @@
 //	apsprun -alg bellman -n 32 -m 96 -h 6 -sources 0,1,2 -check
 //	apsprun -alg pipeline -n 256 -m 1024 -sched dense -workers 4
 //	apsprun -alg blocker -n 48 -m 160 -faults all -fault-seed 7 -check
+//	apsprun -backend parallel -n 1024 -m 8192 -quiet
+//
+// -backend selects the compute substrate: "congest" (default) simulates
+// the message-passing engine round by round; "parallel" runs the
+// shared-memory backend of internal/compute (work-stealing per-source
+// Dijkstra or cache-blocked Floyd–Warshall, auto-picked by density) for
+// the same exact distances at production sizes. The parallel backend has
+// no rounds, faults, or checkpoints; flags that configure those are
+// rejected rather than ignored.
 //
 // -sched selects the engine scheduler (active-set by default; dense steps
 // every node every round) and -workers the per-round goroutine count; both
@@ -59,6 +68,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -71,6 +81,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/bellman"
 	"repro/internal/checkpoint"
+	"repro/internal/compute"
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -81,69 +92,116 @@ import (
 	"repro/internal/shortrange"
 )
 
-// logger carries all status output (never result data, which stays on
-// stdout); -log selects its format or silences it.
-var logger *slog.Logger
-
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "apsprun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command body, factored so tests can drive it with arbitrary
+// arguments and capture the output. Status lines go to stderr through the
+// structured logger; result data goes to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("apsprun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		alg       = flag.String("alg", "pipeline", "pipeline | blocker | scaling | approx | shortrange | bellman")
-		file      = flag.String("graph", "", "graph file (empty = generate)")
-		grid      = flag.String("grid", "", "ROWSxCOLS: generate a grid graph instead of a random one")
-		n         = flag.Int("n", 32, "nodes (generated graphs)")
-		m         = flag.Int("m", 96, "edges (generated graphs)")
-		maxW      = flag.Int64("maxw", 8, "max weight (generated graphs)")
-		zero      = flag.Float64("zero", 0.25, "zero-weight fraction (generated graphs)")
-		seed      = flag.Int64("seed", 1, "seed (generated graphs)")
-		srcsArg   = flag.String("sources", "", "comma-separated sources (empty = all)")
-		h         = flag.Int("h", 0, "hop parameter (0 = automatic where applicable)")
-		eps       = flag.Float64("eps", 0.5, "target stretch − 1 (approx)")
-		check     = flag.Bool("check", false, "validate against Dijkstra")
-		quiet     = flag.Bool("quiet", false, "suppress the distance matrix")
-		timeline  = flag.Bool("timeline", false, "print a per-round message sparkline (pipeline only)")
-		listTrace = flag.Bool("listtrace", false, "dump per-node list events to stderr (pipeline only; single-worker)")
-		tracePath = flag.String("trace", "", "write a JSONL event trace here, plus a Chrome trace_event file at <base>.chrome.json")
-		metrics   = flag.String("metrics", "", "write a Prometheus text metrics dump here")
-		statsJSON = flag.String("stats-json", "", "write the aggregate + per-phase stats report (JSON) here")
-		jsonOut   = flag.Bool("json", false, "print the stats report as JSON on stdout (suppresses the human summary)")
-		phases    = flag.Bool("phases", false, "print the per-phase cost breakdown table")
-		workers   = flag.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
-		schedArg  = flag.String("sched", "active", "engine scheduler: active | dense")
-		faultsArg = flag.String("faults", "", `adversarial network plan: "all", or terms like "delay=4,drop=0.2,dup=0.1,reorder" (empty = perfect delivery)`)
-		faultSeed = flag.Int64("fault-seed", 0, "fault PRF seed (used when the -faults plan has no seed term)")
-		ckptPath  = flag.String("checkpoint", "", "write engine checkpoints to this file (atomic; SIGINT/SIGTERM write a final one)")
-		ckptEvery = flag.Int("checkpoint-every", 0, "snapshot every N rounds (0 = only on signal)")
-		ckptStop  = flag.Int("checkpoint-stop", 0, "snapshot at exactly this round of the first engine run, then stop")
-		resumeArg = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
-		crashArg  = flag.String("crash", "", `scripted crash-stop faults: "v@r" (node v crashes at round r, unrecoverable) or "v@r+k" (restart allowed k rounds later), comma-separated`)
-		restarts  = flag.Int("restarts", 3, "restart budget for recoverable crashes")
-		logFmt    = flag.String("log", "text", "status log format on stderr: text | json | off")
-		logLevel  = flag.String("log-level", "info", "status log level: debug | info | warn | error")
+		alg       = fs.String("alg", "pipeline", "pipeline | blocker | scaling | approx | shortrange | bellman")
+		backend   = fs.String("backend", "congest", "compute substrate: congest (simulated engine) | parallel (shared-memory internal/compute)")
+		file      = fs.String("graph", "", "graph file (empty = generate)")
+		grid      = fs.String("grid", "", "ROWSxCOLS: generate a grid graph instead of a random one")
+		n         = fs.Int("n", 32, "nodes (generated graphs)")
+		m         = fs.Int("m", 96, "edges (generated graphs)")
+		maxW      = fs.Int64("maxw", 8, "max weight (generated graphs)")
+		zero      = fs.Float64("zero", 0.25, "zero-weight fraction (generated graphs)")
+		seed      = fs.Int64("seed", 1, "seed (generated graphs)")
+		srcsArg   = fs.String("sources", "", "comma-separated sources (empty = all)")
+		h         = fs.Int("h", 0, "hop parameter (0 = automatic where applicable)")
+		eps       = fs.Float64("eps", 0.5, "target stretch − 1 (approx)")
+		check     = fs.Bool("check", false, "validate against Dijkstra")
+		quiet     = fs.Bool("quiet", false, "suppress the distance matrix")
+		timeline  = fs.Bool("timeline", false, "print a per-round message sparkline (pipeline only)")
+		listTrace = fs.Bool("listtrace", false, "dump per-node list events to stderr (pipeline only; single-worker)")
+		tracePath = fs.String("trace", "", "write a JSONL event trace here, plus a Chrome trace_event file at <base>.chrome.json")
+		metrics   = fs.String("metrics", "", "write a Prometheus text metrics dump here")
+		statsJSON = fs.String("stats-json", "", "write the aggregate + per-phase stats report (JSON) here")
+		jsonOut   = fs.Bool("json", false, "print the stats report as JSON on stdout (suppresses the human summary)")
+		phases    = fs.Bool("phases", false, "print the per-phase cost breakdown table")
+		workers   = fs.Int("workers", 0, "worker goroutines (0 = automatic)")
+		schedArg  = fs.String("sched", "active", "engine scheduler: active | dense")
+		faultsArg = fs.String("faults", "", `adversarial network plan: "all", or terms like "delay=4,drop=0.2,dup=0.1,reorder" (empty = perfect delivery)`)
+		faultSeed = fs.Int64("fault-seed", 0, "fault PRF seed (used when the -faults plan has no seed term)")
+		ckptPath  = fs.String("checkpoint", "", "write engine checkpoints to this file (atomic; SIGINT/SIGTERM write a final one)")
+		ckptEvery = fs.Int("checkpoint-every", 0, "snapshot every N rounds (0 = only on signal)")
+		ckptStop  = fs.Int("checkpoint-stop", 0, "snapshot at exactly this round of the first engine run, then stop")
+		resumeArg = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+		crashArg  = fs.String("crash", "", `scripted crash-stop faults: "v@r" (node v crashes at round r, unrecoverable) or "v@r+k" (restart allowed k rounds later), comma-separated`)
+		restarts  = fs.Int("restarts", 3, "restart budget for recoverable crashes")
+		logFmt    = fs.String("log", "text", "status log format on stderr: text | json | off")
+		logLevel  = fs.String("log-level", "info", "status log level: debug | info | warn | error")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	level, err := obs.ParseLogLevel(*logLevel)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	handler, err := obs.NewLogHandler(os.Stderr, *logFmt, level)
+	handler, err := obs.NewLogHandler(stderr, *logFmt, level)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	logger = slog.New(handler)
+	logger := slog.New(handler)
 
 	sched, err := parseScheduler(*schedArg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	g, err := loadGraph(*file, *grid, *n, *m, *maxW, *zero, *seed)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	sources, err := parseSources(*srcsArg, g.N())
 	if err != nil {
-		fail(err)
+		return err
+	}
+
+	switch *backend {
+	case "congest":
+	case "parallel":
+		// The shared-memory backend has no rounds to fault, checkpoint,
+		// or trace; every engine-only flag is rejected loudly so a script
+		// never silently loses the semantics it asked for.
+		for flagName, set := range map[string]bool{
+			"-alg (only pipeline semantics)": *alg != "pipeline",
+			"-h":                             *h != 0,
+			"-faults":                        *faultsArg != "" && *faultsArg != "none",
+			"-crash":                         *crashArg != "",
+			"-checkpoint":                    *ckptPath != "",
+			"-checkpoint-every":              *ckptEvery > 0,
+			"-checkpoint-stop":               *ckptStop > 0,
+			"-resume":                        *resumeArg != "",
+			"-timeline":                      *timeline,
+			"-listtrace":                     *listTrace,
+			"-trace":                         *tracePath != "",
+			"-metrics":                       *metrics != "",
+			"-stats-json":                    *statsJSON != "",
+			"-json":                          *jsonOut,
+			"-phases":                        *phases,
+		} {
+			if set {
+				return fmt.Errorf("%s needs the congest backend (the parallel backend computes exact unrestricted APSP with no simulated rounds)", flagName)
+			}
+		}
+		return runParallel(stdout, logger, g, sources, *workers, *check, *quiet)
+	default:
+		return fmt.Errorf("unknown -backend %q (want congest | parallel)", *backend)
 	}
 
 	// Observability: attach a Recorder only when asked for, so the
@@ -155,19 +213,19 @@ func main() {
 		if *tracePath != "" {
 			j, err := obs.CreateJSONL(*tracePath)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			chrome = chromePath(*tracePath)
 			c, err := obs.CreateChrome(chrome)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			sinks = append(sinks, j, c)
 		}
 		if *metrics != "" {
 			ms, err := obs.CreateMetrics(*metrics)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			sinks = append(sinks, ms)
 		}
@@ -191,7 +249,7 @@ func main() {
 	if *faultsArg != "" && *faultsArg != "none" {
 		plan, err := faults.Parse(*faultsArg)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if plan.Seed == 0 {
 			plan.Seed = *faultSeed
@@ -207,7 +265,7 @@ func main() {
 	// crashes without a -faults plan engages the shim with a perfect wire.
 	crashes, err := parseCrashes(*crashArg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if len(crashes) > 0 {
 		if fnet == nil {
@@ -252,7 +310,7 @@ func main() {
 		loadStart := time.Now()
 		meta, snap, err := checkpoint.Load(*resumeArg)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if rec != nil {
 			var bytes int64
@@ -262,10 +320,10 @@ func main() {
 			rec.CheckpointLoad(time.Since(loadStart), bytes)
 		}
 		if meta.Alg != "" && meta.Alg != *alg {
-			fail(fmt.Errorf("checkpoint %s was taken by -alg %s, not %s", *resumeArg, meta.Alg, *alg))
+			return fmt.Errorf("checkpoint %s was taken by -alg %s, not %s", *resumeArg, meta.Alg, *alg)
 		}
 		if err := meta.ValidateAgainst(g, sources, *h, planStr, sched); err != nil {
-			fail(err)
+			return err
 		}
 		if fnet != nil {
 			fnet.DisarmCrashes(meta.Disarmed)
@@ -301,7 +359,7 @@ func main() {
 			copts := core.Opts{Sources: sources, H: hopBound, Workers: *workers, Scheduler: sched, Obs: observer, Network: network, Checkpoint: pol, Ctx: ctx}
 			if *listTrace {
 				copts.Trace = func(format string, args ...interface{}) {
-					fmt.Fprintf(os.Stderr, format+"\n", args...)
+					fmt.Fprintf(stderr, format+"\n", args...)
 				}
 			}
 			res, err := core.Run(g, copts)
@@ -377,19 +435,19 @@ func main() {
 		case errors.Is(runErr, congest.ErrCheckpointStop):
 			// The -checkpoint-stop drill: the snapshot is on disk, exit
 			// cleanly so scripts can resume it.
-			reportCheckpoint(keeper, *ckptPath, "stopped at checkpoint")
-			return
+			reportCheckpoint(stdout, logger, keeper, *ckptPath, "stopped at checkpoint")
+			return nil
 		case ctx.Err() != nil:
 			// SIGINT/SIGTERM: the engine wrote a final snapshot on its way
 			// out; report the partial cost from it and exit cleanly.
-			reportCheckpoint(keeper, *ckptPath, "interrupted")
-			return
+			reportCheckpoint(stdout, logger, keeper, *ckptPath, "interrupted")
+			return nil
 		default:
-			fail(runErr)
+			return runErr
 		}
 	}
 	if *timeline && *alg == "pipeline" {
-		fmt.Printf("activity (peak %d msgs/round): %s\n", tl.Peak(), tl.Sparkline(72))
+		fmt.Fprintf(stdout, "activity (peak %d msgs/round): %s\n", tl.Peak(), tl.Sparkline(72))
 	}
 	if approxRes != nil {
 		if *check {
@@ -400,12 +458,11 @@ func main() {
 		if !*quiet && !*jsonOut {
 			for i := range sources {
 				for v := 0; v < g.N(); v++ {
-					fmt.Printf("approx(%d,%d) = %.3f\n", sources[i], v, approxRes.Value(i, v))
+					fmt.Fprintf(stdout, "approx(%d,%d) = %.3f\n", sources[i], v, approxRes.Value(i, v))
 				}
 			}
 		}
-		finish(rec, fnet, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
-		return
+		return finish(stdout, logger, rec, fnet, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
 	}
 
 	if *check {
@@ -428,57 +485,93 @@ func main() {
 		logger.Info("check", "oracle", oracle, "wrong", wrong, "of", len(sources)*g.N())
 	}
 	if !*quiet && !*jsonOut {
+		printDistances(stdout, sources, dist, g.N())
+	}
+	return finish(stdout, logger, rec, fnet, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
+}
+
+// runParallel is the -backend parallel body: the shared-memory compute
+// backend on the same graph and sources, printing distances in the exact
+// format of the congest path so outputs diff cleanly across backends. The
+// cost summary reports the chosen kernel instead of rounds.
+func runParallel(stdout io.Writer, logger *slog.Logger, g *graph.Graph, sources []int, workers int, check, quiet bool) error {
+	start := time.Now()
+	res, err := compute.APSP(g, compute.Opts{Sources: sources, Workers: workers})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	if check {
+		wrong := 0
 		for i, s := range sources {
+			want := graph.Dijkstra(g, s)
 			for v := 0; v < g.N(); v++ {
-				d := "inf"
-				if dist[i][v] < graph.Inf {
-					d = strconv.FormatInt(dist[i][v], 10)
+				if res.Dist[i][v] != want[v] {
+					wrong++
 				}
-				fmt.Printf("d(%d,%d) = %s\n", s, v, d)
 			}
 		}
+		logger.Info("check", "oracle", "Dijkstra", "wrong", wrong, "of", len(sources)*g.N())
 	}
-	finish(rec, fnet, *alg, g, len(sources), stats, extra, *jsonOut, *phases, *statsJSON, *tracePath, chrome, *metrics)
+	if !quiet {
+		printDistances(stdout, sources, res.Dist, g.N())
+	}
+	fmt.Fprintf(stdout, "kernel=%s workers=%d wall=%s\n", res.Kernel, res.Workers, wall.Round(time.Microsecond))
+	return nil
+}
+
+// printDistances renders one "d(src,v) = dist" line per pair — the shared
+// result format of both backends.
+func printDistances(stdout io.Writer, sources []int, dist [][]int64, n int) {
+	for i, s := range sources {
+		for v := 0; v < n; v++ {
+			d := "inf"
+			if dist[i][v] < graph.Inf {
+				d = strconv.FormatInt(dist[i][v], 10)
+			}
+			fmt.Fprintf(stdout, "d(%d,%d) = %s\n", s, v, d)
+		}
+	}
 }
 
 // finish prints the cost summary, the optional per-phase table and JSON
 // report, and flushes the trace/metrics sinks.
-func finish(rec *obs.Recorder, fnet *faults.Network, alg string, g *graph.Graph, k int, stats congest.Stats, extra string,
-	jsonOut, phases bool, statsJSON, tracePath, chromePath, metricsPath string) {
+func finish(stdout io.Writer, logger *slog.Logger, rec *obs.Recorder, fnet *faults.Network, alg string, g *graph.Graph, k int, stats congest.Stats, extra string,
+	jsonOut, phases bool, statsJSON, tracePath, chromePath, metricsPath string) error {
 	if !jsonOut {
-		fmt.Printf("rounds=%d messages=%d maxCongestion=%d %s\n",
+		fmt.Fprintf(stdout, "rounds=%d messages=%d maxCongestion=%d %s\n",
 			stats.Rounds, stats.Messages, stats.MaxLinkCongestion, extra)
 		if fnet != nil {
 			p := fnet.Phys()
-			fmt.Printf("phys: plan=%s sends=%d retransmits=%d dataDrops=%d ackDrops=%d dupDeliveries=%d subRounds=%d\n",
+			fmt.Fprintf(stdout, "phys: plan=%s sends=%d retransmits=%d dataDrops=%d ackDrops=%d dupDeliveries=%d subRounds=%d\n",
 				fnet.Plan, p.DataSends, p.Retransmits, p.DataDrops, p.AckDrops, p.DupDeliveries, p.SubRounds)
 		}
 	}
 	if rec == nil {
-		return
+		return nil
 	}
 	rep := rec.ReportOf(alg, g.N(), g.M(), k)
 	if phases {
-		printPhases(rep)
+		printPhases(stdout, rep)
 	}
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if statsJSON != "" {
 		raw, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := os.WriteFile(statsJSON, append(raw, '\n'), 0o644); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if err := rec.Close(); err != nil {
-		fail(err)
+		return err
 	}
 	if tracePath != "" {
 		logger.Info("trace written", "jsonl", tracePath, "chrome", chromePath)
@@ -486,22 +579,23 @@ func finish(rec *obs.Recorder, fnet *faults.Network, alg string, g *graph.Graph,
 	if metricsPath != "" {
 		logger.Info("metrics written", "path", metricsPath)
 	}
+	return nil
 }
 
 // printPhases renders the per-phase breakdown; the totals row is the
 // Stats.Add fold of the rows above it and matches the algorithm's
 // aggregate exactly.
-func printPhases(rep obs.Report) {
-	fmt.Printf("%-12s %5s %7s %10s %8s %8s %10s\n",
+func printPhases(stdout io.Writer, rep obs.Report) {
+	fmt.Fprintf(stdout, "%-12s %5s %7s %10s %8s %8s %10s\n",
 		"phase", "runs", "rounds", "messages", "maxLink", "maxNode", "wall")
 	var total congest.Stats
 	for _, p := range rep.Phases {
 		total.Add(p.Stats)
-		fmt.Printf("%-12s %5d %7d %10d %8d %8d %10s\n",
+		fmt.Fprintf(stdout, "%-12s %5d %7d %10d %8d %8d %10s\n",
 			p.Phase, p.Runs, p.Stats.Rounds, p.Stats.Messages,
 			p.Stats.MaxLinkCongestion, p.Stats.MaxNodeSends, p.Wall.Round(10e3).String())
 	}
-	fmt.Printf("%-12s %5d %7d %10d %8d %8d\n",
+	fmt.Fprintf(stdout, "%-12s %5d %7d %10d %8d %8d\n",
 		"total", rep.Runs, total.Rounds, total.Messages,
 		total.MaxLinkCongestion, total.MaxNodeSends)
 }
@@ -570,7 +664,7 @@ func parseCrashes(arg string) ([]faults.Event, error) {
 // reportCheckpoint prints the partial cost carried by the latest snapshot
 // and where it was persisted, for runs that ended at a checkpoint (the
 // -checkpoint-stop drill or a SIGINT/SIGTERM).
-func reportCheckpoint(keeper *checkpoint.Keeper, path, what string) {
+func reportCheckpoint(stdout io.Writer, logger *slog.Logger, keeper *checkpoint.Keeper, path, what string) {
 	if keeper == nil {
 		logger.Warn(what, "saved", false, "reason", "no checkpoint policy")
 		return
@@ -580,10 +674,10 @@ func reportCheckpoint(keeper *checkpoint.Keeper, path, what string) {
 		logger.Warn(what, "saved", false, "reason", "ended before the first snapshot")
 		return
 	}
-	fmt.Printf("%s at run %d round %d: partial rounds=%d messages=%d maxCongestion=%d\n",
+	fmt.Fprintf(stdout, "%s at run %d round %d: partial rounds=%d messages=%d maxCongestion=%d\n",
 		what, snap.RunIdx, snap.Round, snap.Stats.Rounds, snap.Stats.Messages, snap.Stats.MaxLinkCongestion)
 	if path != "" {
-		fmt.Printf("checkpoint: %s (resume with -resume %s)\n", path, path)
+		fmt.Fprintf(stdout, "checkpoint: %s (resume with -resume %s)\n", path, path)
 	}
 }
 
@@ -615,11 +709,4 @@ func parseSources(arg string, n int) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fail(err error) {
-	// Failures must be visible even under -log off (or before the logger
-	// exists), so this is the one line that stays on bare stderr.
-	fmt.Fprintf(os.Stderr, "apsprun: %v\n", err)
-	os.Exit(1)
 }

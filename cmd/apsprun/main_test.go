@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/faults"
@@ -87,5 +90,149 @@ func TestLoadGraphFromFile(t *testing.T) {
 	}
 	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), "", 0, 0, 0, 0, 0); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRunBackendParity: the parallel backend must print exactly the same
+// distance lines as the congest engine on the same instance — byte
+// identity of the d(src,v) block is the contract that lets scripts swap
+// -backend freely.
+func TestRunBackendParity(t *testing.T) {
+	base := []string{"-n", "24", "-m", "80", "-zero", "0.25", "-seed", "9", "-log", "off"}
+	var congestOut, parallelOut bytes.Buffer
+	if err := run(append([]string{"-backend", "congest"}, base...), &congestOut, io.Discard); err != nil {
+		t.Fatalf("congest backend: %v", err)
+	}
+	if err := run(append([]string{"-backend", "parallel"}, base...), &parallelOut, io.Discard); err != nil {
+		t.Fatalf("parallel backend: %v", err)
+	}
+	distLines := func(out string) []string {
+		var ds []string
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "d(") {
+				ds = append(ds, l)
+			}
+		}
+		return ds
+	}
+	c, p := distLines(congestOut.String()), distLines(parallelOut.String())
+	if len(c) != 24*24 || len(p) != len(c) {
+		t.Fatalf("distance line counts: congest %d, parallel %d, want %d", len(c), len(p), 24*24)
+	}
+	for i := range c {
+		if c[i] != p[i] {
+			t.Fatalf("line %d diverges: congest %q, parallel %q", i, c[i], p[i])
+		}
+	}
+	if !strings.Contains(parallelOut.String(), "kernel=") {
+		t.Fatalf("parallel summary missing kernel: %s", parallelOut.String())
+	}
+	if !strings.Contains(congestOut.String(), "rounds=") {
+		t.Fatalf("congest summary missing rounds: %s", congestOut.String())
+	}
+}
+
+// TestRunParallelCheckAndSources: -check and -sources work on the
+// parallel backend, and the check line reports zero mismatches.
+func TestRunParallelCheckAndSources(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-backend", "parallel", "-n", "20", "-m", "60", "-seed", "4",
+		"-sources", "0,7,13", "-check", "-log", "text"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	lines := strings.Count(out.String(), "d(")
+	if lines != 3*20 {
+		t.Fatalf("got %d distance lines, want %d", lines, 3*20)
+	}
+	if !strings.Contains(errOut.String(), "wrong=0") {
+		t.Fatalf("check line missing or nonzero mismatches:\n%s", errOut.String())
+	}
+}
+
+// TestRunFlagMatrix: every engine algorithm runs through the extracted
+// run() body and prints the shared summary line.
+func TestRunFlagMatrix(t *testing.T) {
+	for _, alg := range []string{"pipeline", "blocker", "scaling", "shortrange", "bellman"} {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			var out bytes.Buffer
+			args := []string{"-alg", alg, "-n", "16", "-m", "48", "-seed", "2", "-quiet", "-log", "off", "-check"}
+			if err := run(args, &out, io.Discard); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+			if !strings.Contains(out.String(), "rounds=") {
+				t.Fatalf("summary line missing:\n%s", out.String())
+			}
+		})
+	}
+	// approx prints stretch values instead of exact distances.
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "approx", "-eps", "0.5", "-n", "16", "-m", "48", "-quiet", "-log", "off"}, &out, io.Discard); err != nil {
+		t.Fatalf("approx: %v", err)
+	}
+	if !strings.Contains(out.String(), "scales=") {
+		t.Fatalf("approx summary missing scales:\n%s", out.String())
+	}
+}
+
+// TestRunFlagErrors: invalid flag combinations fail with an error instead
+// of silently dropping semantics — in particular every engine-only flag
+// is rejected on the parallel backend.
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"stray"},
+		{"-alg", "escher"},
+		{"-sched", "lazy"},
+		{"-log", "yaml"},
+		{"-log-level", "loud"},
+		{"-backend", "gpu"},
+		{"-backend", "parallel", "-alg", "blocker"},
+		{"-backend", "parallel", "-h", "3"},
+		{"-backend", "parallel", "-faults", "delay=2"},
+		{"-backend", "parallel", "-crash", "3@5"},
+		{"-backend", "parallel", "-checkpoint", "x.ckpt"},
+		{"-backend", "parallel", "-resume", "x.ckpt"},
+		{"-backend", "parallel", "-timeline"},
+		{"-backend", "parallel", "-json"},
+		{"-sources", "0,bad"},
+		{"-grid", "3xx"},
+		{"-crash", "nope"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+	// The parallel rejections name the congest backend so the fix is
+	// obvious from the message alone.
+	err := run([]string{"-backend", "parallel", "-faults", "delay=2", "-log", "off"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "congest backend") {
+		t.Fatalf("parallel+faults error = %v, want mention of the congest backend", err)
+	}
+}
+
+// TestRunStatsJSONAndPhases: the observability flags flow through the
+// extracted run() — a stats JSON file lands on disk and the phase table
+// prints on stdout.
+func TestRunStatsJSONAndPhases(t *testing.T) {
+	dir := t.TempDir()
+	statsPath := filepath.Join(dir, "stats.json")
+	var out bytes.Buffer
+	args := []string{"-alg", "blocker", "-n", "16", "-m", "48", "-seed", "3", "-quiet",
+		"-phases", "-stats-json", statsPath, "-log", "off"}
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(out.String(), "phase") || !strings.Contains(out.String(), "total") {
+		t.Fatalf("phase table missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats json not written: %v", err)
+	}
+	if !strings.Contains(string(raw), "\"alg\"") && !strings.Contains(string(raw), "\"Alg\"") {
+		t.Fatalf("stats json content unexpected: %s", raw)
 	}
 }

@@ -1,0 +1,189 @@
+// Command covergate compares `go test -cover ./...` output against
+// committed per-package coverage floors and fails on regression. It is
+// benchgate's sibling: the same dependency-free stdin comparator shape,
+// applied to statement coverage instead of allocations.
+//
+// Usage:
+//
+//	go test -cover ./... | covergate -baseline COVERAGE.json
+//	go test -cover ./... | covergate -baseline COVERAGE.json -update
+//
+// The baseline maps each package to its coverage floor in percentage
+// points. On compare, a package measuring below its floor fails, and a
+// package present in the baseline but absent from the input fails too —
+// deleting a test file turns its package's "ok ... coverage: N%" line
+// into a bare 0.0% build line, which lands below any floor, and deleting
+// the package entirely trips the missing-package check, so coverage can
+// never silently disappear. Packages not in the baseline are reported as
+// new without failing (record them with -update).
+//
+// -update writes floor = measured − margin (default 2 points, clamped at
+// 0): the slack absorbs run-to-run jitter from timing-dependent branches
+// without letting a whole test file vanish unnoticed.
+//
+// Exit status 0 when every floor holds, 1 on any regression or missing
+// package, 2 on usage/parse errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline is the committed COVERAGE.json document: package import path →
+// coverage floor in percentage points.
+type baseline struct {
+	Floors map[string]float64 `json:"floors"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("covergate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "COVERAGE.json", "baseline file to compare against (or write with -update)")
+	update := fs.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	margin := fs.Float64("margin", 2.0, "floor slack in percentage points on -update (floor = measured − margin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		fmt.Fprintf(stderr, "covergate: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	cur, err := parseCover(bufio.NewScanner(stdin))
+	if err != nil {
+		fmt.Fprintln(stderr, "covergate:", err)
+		return 2
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(stderr, "covergate: no coverage lines on stdin")
+		return 2
+	}
+
+	if *update {
+		floors := make(map[string]float64, len(cur))
+		for pkg, pct := range cur {
+			f := pct - *margin
+			if f < 0 {
+				f = 0
+			}
+			floors[pkg] = f
+		}
+		buf, err := json.MarshalIndent(&baseline{Floors: floors}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "covergate:", err)
+			return 2
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*baselinePath, buf, 0o644); err != nil {
+			fmt.Fprintln(stderr, "covergate:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "covergate: wrote %s (%d packages, margin %.1f points)\n", *baselinePath, len(floors), *margin)
+		return 0
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "covergate:", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "covergate: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	pkgs := make([]string, 0, len(base.Floors))
+	for pkg := range base.Floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	failed := false
+	for _, pkg := range pkgs {
+		floor := base.Floors[pkg]
+		pct, ok := cur[pkg]
+		switch {
+		case !ok:
+			fmt.Fprintf(stdout, "FAIL %s: in baseline (floor %.1f%%) but not in input\n", pkg, floor)
+			failed = true
+		case pct < floor:
+			fmt.Fprintf(stdout, "FAIL %s: %.1f%% < floor %.1f%%\n", pkg, pct, floor)
+			failed = true
+		default:
+			fmt.Fprintf(stdout, "ok   %s: %.1f%% (floor %.1f%%)\n", pkg, pct, floor)
+		}
+	}
+	newPkgs := make([]string, 0)
+	for pkg := range cur {
+		if _, ok := base.Floors[pkg]; !ok {
+			newPkgs = append(newPkgs, pkg)
+		}
+	}
+	sort.Strings(newPkgs)
+	for _, pkg := range newPkgs {
+		fmt.Fprintf(stdout, "new  %s: %.1f%% not in baseline (run with -update to record)\n", pkg, cur[pkg])
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// parseCover reads `go test -cover` text output and returns package →
+// measured coverage. Two line shapes carry a package name:
+//
+//	ok  	repro/internal/graph	0.040s	coverage: 90.8% of statements
+//	    	repro/examples/quickstart		coverage: 0.0% of statements
+//
+// The second is a package with no test files, reported at 0.0% so a
+// deleted test file shows up as a floor violation rather than a vanished
+// line. Bare "coverage: N% of statements" lines (printed under a FAIL
+// banner without a package name) and everything else are skipped.
+func parseCover(sc *bufio.Scanner) (map[string]float64, error) {
+	res := make(map[string]float64)
+	for sc.Scan() {
+		line := sc.Text()
+		idx := strings.Index(line, "coverage:")
+		if idx < 0 || !strings.Contains(line, "% of statements") {
+			continue
+		}
+		head := strings.Fields(line[:idx])
+		var pkg string
+		switch {
+		case len(head) >= 2 && head[0] == "ok":
+			pkg = head[1]
+		case len(head) == 1 && head[0] != "ok" && head[0] != "FAIL":
+			pkg = head[0]
+		default:
+			continue // bare coverage line under a FAIL banner, or noise
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line[idx:], "coverage:"))
+		pctStr, _, ok := strings.Cut(rest, "%")
+		if !ok {
+			continue
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSpace(pctStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad coverage value in %q", line)
+		}
+		res[pkg] = pct
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const coverSample = `ok  	repro	2.229s	coverage: 84.4% of statements
+ok  	repro/cmd/graphgen	0.016s	coverage: 72.3% of statements
+	repro/examples/quickstart		coverage: 0.0% of statements
+ok  	repro/internal/graph	(cached)	coverage: 90.8% of statements
+--- FAIL: TestSomething (0.00s)
+FAIL
+coverage: 84.9% of statements
+FAIL	repro/internal/broken	0.560s
+ok  	repro/internal/notests	0.002s [no test files]
+PASS
+`
+
+func TestParseCover(t *testing.T) {
+	res, err := parseCover(bufio.NewScanner(strings.NewReader(coverSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"repro":                     84.4,
+		"repro/cmd/graphgen":        72.3,
+		"repro/examples/quickstart": 0.0,
+		"repro/internal/graph":      90.8,
+	}
+	if len(res) != len(want) {
+		t.Fatalf("parsed %v, want %v", res, want)
+	}
+	for pkg, pct := range want {
+		if res[pkg] != pct {
+			t.Errorf("%s = %v, want %v", pkg, res[pkg], pct)
+		}
+	}
+	if _, ok := res["repro/internal/broken"]; ok {
+		t.Error("bare coverage line under FAIL banner attributed to a package")
+	}
+}
+
+// gateRun drives run() with an in-memory stdin and a temp baseline.
+func gateRun(t *testing.T, stdin, baselinePath string, extra ...string) (int, string) {
+	t.Helper()
+	args := append([]string{"-baseline", baselinePath}, extra...)
+	var out strings.Builder
+	code := run(strings.NewReader(stdin), &out, io.Discard, args)
+	return code, out.String()
+}
+
+func TestUpdateThenPass(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "COVERAGE.json")
+	code, out := gateRun(t, coverSample, baseline, "-update", "-margin", "2.0")
+	if code != 0 {
+		t.Fatalf("-update exit %d:\n%s", code, out)
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\"repro/internal/graph\": 88.8") {
+		t.Fatalf("floor not measured−margin:\n%s", raw)
+	}
+	// The run that produced the baseline must pass its own gate.
+	code, out = gateRun(t, coverSample, baseline)
+	if code != 0 {
+		t.Fatalf("self-comparison exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok   repro/internal/graph: 90.8% (floor 88.8%)") {
+		t.Fatalf("ok line missing:\n%s", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "COVERAGE.json")
+	if code, _ := gateRun(t, coverSample, baseline, "-update"); code != 0 {
+		t.Fatal("update failed")
+	}
+	dropped := strings.Replace(coverSample, "coverage: 90.8% of statements", "coverage: 41.0% of statements", 1)
+	code, out := gateRun(t, dropped, baseline)
+	if code != 1 {
+		t.Fatalf("regression exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL repro/internal/graph: 41.0% < floor 88.8%") {
+		t.Fatalf("FAIL line missing:\n%s", out)
+	}
+}
+
+func TestMissingPackageFails(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "COVERAGE.json")
+	if code, _ := gateRun(t, coverSample, baseline, "-update"); code != 0 {
+		t.Fatal("update failed")
+	}
+	var kept []string
+	for _, l := range strings.Split(coverSample, "\n") {
+		if !strings.Contains(l, "repro/internal/graph") {
+			kept = append(kept, l)
+		}
+	}
+	code, out := gateRun(t, strings.Join(kept, "\n"), baseline)
+	if code != 1 {
+		t.Fatalf("missing package exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL repro/internal/graph: in baseline") {
+		t.Fatalf("missing-package FAIL line absent:\n%s", out)
+	}
+}
+
+func TestNewPackageReportsWithoutFailing(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "COVERAGE.json")
+	if code, _ := gateRun(t, coverSample, baseline, "-update"); code != 0 {
+		t.Fatal("update failed")
+	}
+	grown := coverSample + "ok  	repro/internal/fresh	0.01s	coverage: 50.0% of statements\n"
+	code, out := gateRun(t, grown, baseline)
+	if code != 0 {
+		t.Fatalf("new package should not fail the gate, exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "new  repro/internal/fresh: 50.0% not in baseline") {
+		t.Fatalf("new-package line missing:\n%s", out)
+	}
+}
+
+func TestUsageAndParseErrors(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "COVERAGE.json")
+	if code, _ := gateRun(t, coverSample, baseline, "-bogus"); code != 2 {
+		t.Error("bad flag not exit 2")
+	}
+	if code, _ := gateRun(t, coverSample, baseline, "stray"); code != 2 {
+		t.Error("stray arg not exit 2")
+	}
+	if code, _ := gateRun(t, "", baseline); code != 2 {
+		t.Error("empty stdin not exit 2")
+	}
+	if code, _ := gateRun(t, coverSample, filepath.Join(t.TempDir(), "missing.json")); code != 2 {
+		t.Error("missing baseline not exit 2")
+	}
+	if code, _ := gateRun(t, "ok  	repro	0.1s	coverage: nope% of statements\n", baseline); code != 2 {
+		t.Error("bad percentage not exit 2")
+	}
+}

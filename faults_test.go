@@ -56,12 +56,22 @@ func planName(p *faults.Plan) string {
 // sweepFaultConformance runs one protocol over the full
 // scheduler × fault-plan matrix on the difftest families, comparing every
 // cell against the fault-free dense run. run returns a deep-comparable
-// result payload plus the logical Stats.
+// result payload plus the logical Stats. Optional oracles are applied to
+// the fault-free baseline payload, anchoring the whole matrix to an
+// independent reference rather than only to itself.
 func sweepFaultConformance(t *testing.T, space difftest.Space,
-	run func(in difftest.Instance, sched congest.Scheduler, net congest.Network) (interface{}, congest.Stats, error)) {
+	run func(in difftest.Instance, sched congest.Scheduler, net congest.Network) (interface{}, congest.Stats, error),
+	oracles ...func(in difftest.Instance, baseRes interface{}) error) {
 	t.Helper()
 	difftest.Search(t, space, func(in difftest.Instance) error {
 		baseRes, baseStats, baseErr := run(in, congest.SchedulerDense, nil)
+		if baseErr == nil {
+			for _, oracle := range oracles {
+				if err := oracle(in, baseRes); err != nil {
+					return fmt.Errorf("fault-free dense baseline vs reference: %w", err)
+				}
+			}
+		}
 		for _, sched := range []congest.Scheduler{congest.SchedulerDense, congest.SchedulerActive} {
 			for _, plan := range faultSweepPlans(in.Seed + 1) {
 				if sched == congest.SchedulerDense && plan == nil {
@@ -110,6 +120,11 @@ func TestFaultConformancePosweight(t *testing.T) {
 				return nil, congest.Stats{}, err
 			}
 			return []interface{}{res.Dist, res.Parent, res.LateSends, res.MissedSends}, res.Stats, nil
+		},
+		// Unrestricted SSSP: the baseline must also match the parallel
+		// compute backend, not just survive the fault matrix.
+		func(in difftest.Instance, baseRes interface{}) error {
+			return difftest.SSSPOracle(in, baseRes.([]interface{})[0].([][]int64))
 		})
 }
 
@@ -154,6 +169,11 @@ func TestFaultConformanceScaling(t *testing.T) {
 				return nil, congest.Stats{}, err
 			}
 			return []interface{}{res.Dist, res.PhaseRounds}, res.Stats, nil
+		},
+		// Scaling is exact and unrestricted: anchor the baseline to the
+		// parallel compute backend.
+		func(in difftest.Instance, baseRes interface{}) error {
+			return difftest.SSSPOracle(in, baseRes.([]interface{})[0].([][]int64))
 		})
 }
 

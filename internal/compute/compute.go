@@ -1,0 +1,149 @@
+// Package compute is the centralized shared-memory APSP backend: the
+// non-CONGEST production path for bootstrapping the oracle at sizes where
+// simulating the message-passing engine is wasteful, and the independent
+// reference the CONGEST families are differentially validated against.
+//
+// Two kernels sit behind one entry point:
+//
+//   - A work-stealing per-source parallel Dijkstra: sources are fanned out
+//     over an atomic counter, each worker owns one 4-ary heap and writes
+//     its dist/hops/parent rows directly into the shared result (rows are
+//     disjoint, so there is no synchronization on the hot path).
+//   - A cache-blocked Floyd–Warshall for dense all-pairs workloads, tiled
+//     so the three classic phases run over B×B blocks that fit in cache,
+//     with the independent phase-2/phase-3 tiles spread across workers.
+//
+// Both kernels compute lexicographic (distance, hops) minima — exactly the
+// quantity the pipelined CONGEST families of the paper produce — so the
+// output is bit-identical to core.Run on dist and hops, and the parent
+// matrix passes the same core.WalkParents tightness validation. The row
+// layout ([][]int64 dist/hops, [][]int parent, one row per source) is the
+// layout oracle.BuildInput consumes, so a compute result feeds oracle.Build
+// without copying.
+package compute
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/graph"
+)
+
+// Kernel selects the algorithm behind APSP.
+type Kernel string
+
+const (
+	// Auto picks a kernel from the graph's density and the source count
+	// (see pick for the heuristic).
+	Auto Kernel = "auto"
+	// Dijkstra forces the work-stealing per-source parallel Dijkstra.
+	Dijkstra Kernel = "dijkstra"
+	// Floyd forces the cache-blocked Floyd–Warshall.
+	Floyd Kernel = "floyd"
+)
+
+// Opts configures APSP.
+type Opts struct {
+	// Sources lists the rows to compute. Nil or empty means every node.
+	Sources []int
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Kernel selects the algorithm; "" and Auto pick by density.
+	Kernel Kernel
+}
+
+// Result holds the computed matrices in the oracle.BuildInput row layout:
+// row i describes shortest paths from Sources[i]. Unreachable entries are
+// (graph.Inf, -1, -1); the source's own entry is (0, 0, src). Dist and
+// Hops are bit-identical to the CONGEST pipeline family (lexicographic
+// (distance, hops) minima); Parent is a valid shortest-path tree under
+// core.WalkParents tightness but not necessarily the same tree the
+// distributed run records (tie-broken paths may differ).
+type Result struct {
+	Sources []int
+	Dist    [][]int64
+	Hops    [][]int64
+	Parent  [][]int
+	// Kernel records the kernel that actually ran (never Auto).
+	Kernel Kernel
+	// Workers records the worker count actually used.
+	Workers int
+}
+
+// APSP computes shortest paths from every requested source using a
+// shared-memory kernel. It is deterministic: the same graph and options
+// produce the same matrices regardless of worker count.
+func APSP(g *graph.Graph, opts Opts) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("compute: nil graph")
+	}
+	n := g.N()
+	sources := opts.Sources
+	if len(sources) == 0 {
+		sources = make([]int, n)
+		for v := range sources {
+			sources[v] = v
+		}
+	} else {
+		sources = append([]int(nil), sources...)
+	}
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("compute: source %d out of range (n=%d)", s, n)
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) && len(sources) > 0 {
+		workers = len(sources)
+	}
+
+	kernel := opts.Kernel
+	if kernel == "" || kernel == Auto {
+		kernel = pick(g, len(sources))
+	}
+
+	res := &Result{Sources: sources, Kernel: kernel, Workers: workers}
+	k := len(sources)
+	distFlat := make([]int64, k*n)
+	hopsFlat := make([]int64, k*n)
+	parFlat := make([]int, k*n)
+	res.Dist = make([][]int64, k)
+	res.Hops = make([][]int64, k)
+	res.Parent = make([][]int, k)
+	for i := 0; i < k; i++ {
+		res.Dist[i] = distFlat[i*n : (i+1)*n : (i+1)*n]
+		res.Hops[i] = hopsFlat[i*n : (i+1)*n : (i+1)*n]
+		res.Parent[i] = parFlat[i*n : (i+1)*n : (i+1)*n]
+	}
+
+	switch kernel {
+	case Dijkstra:
+		parallelDijkstra(g, res, workers)
+	case Floyd:
+		blockedFloyd(g, res, workers)
+	default:
+		return nil, fmt.Errorf("compute: unknown kernel %q", kernel)
+	}
+	return res, nil
+}
+
+// pick chooses a kernel: blocked Floyd–Warshall costs Θ(n³) regardless of
+// density, per-source Dijkstra costs Θ(k·(m + n log n)). Floyd only wins
+// when most rows are wanted and the arc count approaches n², so it is
+// selected for near-all-sources runs on dense graphs and Dijkstra
+// everywhere else. The thresholds are deliberately conservative: Floyd
+// also allocates Θ(n²) scratch even for few sources.
+func pick(g *graph.Graph, k int) Kernel {
+	n, m := g.N(), g.M()
+	arcs := m
+	if !g.Directed() {
+		arcs = 2 * m
+	}
+	if n >= 2 && k*2 >= n && arcs*8 >= n*n {
+		return Floyd
+	}
+	return Dijkstra
+}

@@ -1,0 +1,226 @@
+package compute_test
+
+import (
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// testGraphs is the unit-test corpus: one representative per structural
+// class the kernels have to get right (sparse/dense, directed/undirected,
+// zero weights, disconnection).
+func testGraphs(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	gs := map[string]*graph.Graph{
+		"sparse-directed":   graph.Random(24, 60, graph.GenOpts{Seed: 1, MaxW: 9, Directed: true}),
+		"sparse-undirected": graph.Random(20, 50, graph.GenOpts{Seed: 2, MaxW: 7}),
+		"dense-directed":    graph.Random(16, 16*14, graph.GenOpts{Seed: 3, MaxW: 5, Directed: true}),
+		"zero-heavy":        graph.ZeroHeavy(18, 70, 0.5, graph.GenOpts{Seed: 4, MaxW: 4, Directed: true}),
+		"grid":              graph.Grid(4, 5, graph.GenOpts{Seed: 5, MaxW: 6}),
+		"disconnected":      twoComponents(12, 6),
+		"single-node":       graph.New(1, true),
+	}
+	return gs
+}
+
+// twoComponents builds a directed graph whose nodes split into two halves
+// with no arcs between them, exercising the unreachable (Inf, -1, -1)
+// convention.
+func twoComponents(n int, seed int64) *graph.Graph {
+	half := n / 2
+	a := graph.Random(half, 2*half, graph.GenOpts{Seed: seed, MaxW: 8, Directed: true})
+	b := graph.Random(n-half, 2*(n-half), graph.GenOpts{Seed: seed + 1, MaxW: 8, Directed: true})
+	g := graph.New(n, true)
+	for _, e := range a.Edges() {
+		g.MustAddEdge(e.From, e.To, e.W)
+	}
+	for _, e := range b.Edges() {
+		g.MustAddEdge(e.From+half, e.To+half, e.W)
+	}
+	return g
+}
+
+func allSources(n int) []int {
+	s := make([]int, n)
+	for v := range s {
+		s[v] = v
+	}
+	return s
+}
+
+// checkAgainstSequential validates a compute result row by row against the
+// sequential references: graph.Dijkstra for distances, graph.HHopDistHops
+// for the lexicographic hop counts, and core.WalkParents for parent-tree
+// tightness in both dist and hops.
+func checkAgainstSequential(t *testing.T, g *graph.Graph, res *compute.Result) {
+	t.Helper()
+	n := g.N()
+	pv := core.PathView{
+		Sources: res.Sources,
+		Dist:    func(i, v int) int64 { return res.Dist[i][v] },
+		Hops:    func(i, v int) int64 { return res.Hops[i][v] },
+		Parent:  func(i, v int) int { return res.Parent[i][v] },
+	}
+	for i, src := range res.Sources {
+		wantD := graph.Dijkstra(g, src)
+		_, wantH := graph.HHopDistHops(g, src, n)
+		for v := 0; v < n; v++ {
+			if res.Dist[i][v] != wantD[v] {
+				t.Fatalf("kernel %s: dist[%d][%d] = %d, want %d", res.Kernel, src, v, res.Dist[i][v], wantD[v])
+			}
+			if res.Hops[i][v] != int64(wantH[v]) {
+				t.Fatalf("kernel %s: hops[%d][%d] = %d, want %d", res.Kernel, src, v, res.Hops[i][v], wantH[v])
+			}
+			if wantD[v] >= graph.Inf {
+				if res.Parent[i][v] != -1 {
+					t.Fatalf("kernel %s: unreachable (%d,%d) has parent %d", res.Kernel, src, v, res.Parent[i][v])
+				}
+				continue
+			}
+			if _, err := core.WalkParents(g, pv, i, v); err != nil {
+				t.Fatalf("kernel %s: invalid parent tree at (%d,%d): %v", res.Kernel, src, v, err)
+			}
+		}
+	}
+}
+
+func TestKernelsAgainstSequential(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, kern := range []compute.Kernel{compute.Dijkstra, compute.Floyd} {
+			res, err := compute.APSP(g, compute.Opts{Kernel: kern, Workers: 4})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, kern, err)
+			}
+			if res.Kernel != kern {
+				t.Fatalf("%s: asked for kernel %s, ran %s", name, kern, res.Kernel)
+			}
+			checkAgainstSequential(t, g, res)
+		}
+	}
+}
+
+// TestBitIdenticalToPipeline is the core acceptance property: dist and
+// hops from compute.APSP match the pipelined CONGEST family entry for
+// entry. (Parents may differ — both trees are validated, not compared.)
+func TestBitIdenticalToPipeline(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		n := g.N()
+		h := n - 1
+		if h < 1 {
+			h = 1
+		}
+		ref, err := core.Run(g, core.Opts{Sources: allSources(n), H: h, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: core.Run: %v", name, err)
+		}
+		for _, kern := range []compute.Kernel{compute.Dijkstra, compute.Floyd} {
+			res, err := compute.APSP(g, compute.Opts{Kernel: kern})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, kern, err)
+			}
+			for i := 0; i < n; i++ {
+				for v := 0; v < n; v++ {
+					if res.Dist[i][v] != ref.Dist[i][v] {
+						t.Fatalf("%s/%s: dist[%d][%d] = %d, pipeline %d", name, kern, i, v, res.Dist[i][v], ref.Dist[i][v])
+					}
+					if res.Hops[i][v] != ref.Hops[i][v] {
+						t.Fatalf("%s/%s: hops[%d][%d] = %d, pipeline %d", name, kern, i, v, res.Hops[i][v], ref.Hops[i][v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSourceSubset(t *testing.T) {
+	g := graph.Random(30, 90, graph.GenOpts{Seed: 9, MaxW: 6, Directed: true})
+	srcs := []int{7, 0, 29, 7} // unordered, duplicate: rows are independent
+	for _, kern := range []compute.Kernel{compute.Dijkstra, compute.Floyd} {
+		res, err := compute.APSP(g, compute.Opts{Sources: srcs, Kernel: kern})
+		if err != nil {
+			t.Fatalf("%s: %v", kern, err)
+		}
+		if len(res.Dist) != len(srcs) {
+			t.Fatalf("%s: %d rows, want %d", kern, len(res.Dist), len(srcs))
+		}
+		checkAgainstSequential(t, g, res)
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[0][v] != res.Dist[3][v] {
+				t.Fatalf("%s: duplicate source rows differ at %d", kern, v)
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := graph.Random(8, 16, graph.GenOpts{Seed: 1, MaxW: 4})
+	if _, err := compute.APSP(g, compute.Opts{Sources: []int{8}}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := compute.APSP(g, compute.Opts{Sources: []int{-1}}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := compute.APSP(nil, compute.Opts{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := compute.APSP(g, compute.Opts{Kernel: "quantum"}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+// TestAutoKernelPick pins the density heuristic: near-complete all-pairs
+// graphs take the blocked Floyd kernel, sparse or few-source runs take
+// Dijkstra.
+func TestAutoKernelPick(t *testing.T) {
+	dense := graph.Random(32, 32*28, graph.GenOpts{Seed: 2, MaxW: 5, Directed: true})
+	sparse := graph.Random(64, 128, graph.GenOpts{Seed: 2, MaxW: 5, Directed: true})
+
+	res, err := compute.APSP(dense, compute.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != compute.Floyd {
+		t.Fatalf("dense all-pairs picked %s, want floyd", res.Kernel)
+	}
+	res, err = compute.APSP(sparse, compute.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != compute.Dijkstra {
+		t.Fatalf("sparse all-pairs picked %s, want dijkstra", res.Kernel)
+	}
+	res, err = compute.APSP(dense, compute.Opts{Sources: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != compute.Dijkstra {
+		t.Fatalf("two-source dense picked %s, want dijkstra", res.Kernel)
+	}
+}
+
+// TestDeterministicAcrossWorkers pins the determinism contract: the same
+// matrices regardless of worker count, for both kernels.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.Random(48, 48*10, graph.GenOpts{Seed: 11, MaxW: 9, ZeroFrac: 0.2, Directed: true})
+	for _, kern := range []compute.Kernel{compute.Dijkstra, compute.Floyd} {
+		base, err := compute.APSP(g, compute.Opts{Kernel: kern, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8, 64} {
+			got, err := compute.APSP(g, compute.Opts{Kernel: kern, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range base.Dist {
+				for v := range base.Dist[i] {
+					if base.Dist[i][v] != got.Dist[i][v] || base.Hops[i][v] != got.Hops[i][v] || base.Parent[i][v] != got.Parent[i][v] {
+						t.Fatalf("%s: workers=%d diverges at (%d,%d)", kern, w, i, v)
+					}
+				}
+			}
+		}
+	}
+}

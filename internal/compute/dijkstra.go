@@ -1,0 +1,68 @@
+package compute
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// parallelDijkstra fans the sources out over an atomic counter: each
+// worker claims the next unclaimed source (work stealing — a worker that
+// draws cheap rows simply claims more of them), runs a lexicographic
+// (dist, hops) Dijkstra, and writes straight into its disjoint result
+// rows. The only shared mutable state is the counter, so the matrices are
+// deterministic for any worker count.
+func parallelDijkstra(g *graph.Graph, res *Result, workers int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var h heap4
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(res.Sources) {
+					return
+				}
+				oneSourceDijkstra(g, res.Sources[i], res.Dist[i], res.Hops[i], res.Parent[i], &h)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// oneSourceDijkstra fills one row. Keys are compared lexicographically by
+// (dist, hops), which stays monotone under relaxation because weights are
+// non-negative: (d+w, l+1) ≥ (d, l). That makes the computed hops exactly
+// the minimal hop count among minimum-distance paths — the quantity the
+// pipelined CONGEST family records — and makes every recorded parent
+// tight in both dist and hops (see the package comment). Entries are
+// pushed on strict improvement only, so each reachable node is expanded
+// exactly once (stale heap entries compare unequal and are skipped).
+func oneSourceDijkstra(g *graph.Graph, src int, dist, hops []int64, parent []int, h *heap4) {
+	for v := range dist {
+		dist[v] = graph.Inf
+		hops[v] = -1
+		parent[v] = -1
+	}
+	dist[src], hops[src], parent[src] = 0, 0, src
+	h.reset()
+	h.push(0, 0, int32(src))
+	for h.len() > 0 {
+		d, l, v32 := h.pop()
+		v := int(v32)
+		if d != dist[v] || l != hops[v] {
+			continue // stale entry, already improved
+		}
+		for _, e := range g.Out(v) {
+			nd, nl := d+e.W, l+1
+			u := e.To
+			if nd < dist[u] || (nd == dist[u] && nl < hops[u]) {
+				dist[u], hops[u], parent[u] = nd, nl, v
+				h.push(nd, nl, int32(u))
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package compute
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// blockTile is the Floyd–Warshall tile edge. 64×64 int64 tiles are 32 KiB
+// — three of them (the (i,k), (k,j) and (i,j) panels the inner loop
+// touches) fit in a typical L2 slice, which is the whole point of the
+// blocked formulation.
+const blockTile = 64
+
+// blockedFloyd runs cache-blocked Floyd–Warshall over the lexicographic
+// (dist, hops) semiring: path concatenation adds both components, and
+// comparison is lexicographic. Componentwise addition is monotone with
+// respect to that order, so the classic FW induction carries over and the
+// final matrices are the same (dist, hops) minima Dijkstra computes.
+//
+// The tiling is the standard three-phase scheme: for each pivot block kb,
+// (1) the diagonal tile (kb,kb) is closed in place, (2) the pivot row and
+// pivot column panels update against it, (3) every remaining tile updates
+// against its pivot-row and pivot-column panels. Phases 2 and 3 are
+// embarrassingly parallel across tiles and are spread over the workers.
+func blockedFloyd(g *graph.Graph, res *Result, workers int) {
+	n := g.N()
+	dist := make([]int64, n*n)
+	hops := make([]int64, n*n)
+	parent := make([]int32, n*n)
+	for i := range dist {
+		dist[i] = graph.Inf
+		hops[i] = -1
+		parent[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		row := v * n
+		dist[row+v], hops[row+v], parent[row+v] = 0, 0, int32(v)
+		for _, e := range g.Out(v) {
+			// The candidate is (e.W, 1); an existing entry with equal
+			// dist is necessarily another 1-hop arc, so < suffices.
+			at := row + e.To
+			if e.W < dist[at] {
+				dist[at], hops[at], parent[at] = e.W, 1, int32(v)
+			}
+		}
+	}
+
+	b := blockTile
+	if b > n {
+		b = n
+	}
+	nb := (n + b - 1) / b
+	clamp := func(x int) int {
+		if x > n {
+			return n
+		}
+		return x
+	}
+	tile := func(ib, jb, kb int) {
+		floydTile(dist, hops, parent, n,
+			ib*b, clamp((ib+1)*b),
+			jb*b, clamp((jb+1)*b),
+			kb*b, clamp((kb+1)*b))
+	}
+	for kb := 0; kb < nb; kb++ {
+		tile(kb, kb, kb)
+		runTasks(workers, 2*(nb-1), func(t int) {
+			ob := t / 2
+			if ob >= kb {
+				ob++
+			}
+			if t%2 == 0 {
+				tile(kb, ob, kb) // pivot-row panel
+			} else {
+				tile(ob, kb, kb) // pivot-column panel
+			}
+		})
+		runTasks(workers, (nb-1)*(nb-1), func(t int) {
+			ib, jb := t/(nb-1), t%(nb-1)
+			if ib >= kb {
+				ib++
+			}
+			if jb >= kb {
+				jb++
+			}
+			tile(ib, jb, kb)
+		})
+	}
+
+	runTasks(workers, len(res.Sources), func(i int) {
+		src := res.Sources[i]
+		row := src * n
+		copy(res.Dist[i], dist[row:row+n])
+		copy(res.Hops[i], hops[row:row+n])
+		for v := 0; v < n; v++ {
+			res.Parent[i][v] = int(parent[row+v])
+		}
+	})
+}
+
+// floydTile relaxes the (i,j) tile through pivots [kLo,kHi). The loop
+// nest is k-outer so the (k,j) pivot row streams sequentially and the
+// (i,j) destination row stays hot across j.
+func floydTile(dist, hops []int64, parent []int32, n, iLo, iHi, jLo, jHi, kLo, kHi int) {
+	for k := kLo; k < kHi; k++ {
+		krow := k * n
+		for i := iLo; i < iHi; i++ {
+			irow := i * n
+			dik := dist[irow+k]
+			if dik >= graph.Inf || i == k {
+				continue
+			}
+			lik := hops[irow+k]
+			for j := jLo; j < jHi; j++ {
+				dkj := dist[krow+j]
+				if dkj >= graph.Inf {
+					continue
+				}
+				nd, nl := dik+dkj, lik+hops[krow+j]
+				at := irow + j
+				if nd < dist[at] || (nd == dist[at] && nl < hops[at]) {
+					dist[at], hops[at], parent[at] = nd, nl, parent[krow+j]
+				}
+			}
+		}
+	}
+}
+
+// runTasks runs fn(0..count-1) across up to workers goroutines via a
+// shared atomic counter. Used for the independent FW tile phases and the
+// row extraction; tasks must be mutually independent.
+func runTasks(workers, count int, fn func(int)) {
+	if count == 0 {
+		return
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for t := 0; t < count; t++ {
+			fn(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= count {
+					return
+				}
+				fn(t)
+			}
+		}()
+	}
+	wg.Wait()
+}

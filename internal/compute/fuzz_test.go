@@ -1,0 +1,69 @@
+package compute_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bellman"
+	"repro/internal/compute"
+	"repro/internal/graph"
+)
+
+// FuzzParallelDijkstra: random graph bytes (the repository text format)
+// are decoded, capped to a tractable size, and both compute kernels are
+// differentially checked against CONGEST Bellman–Ford — the slow-but-safe
+// baseline that is indifferent to zero weights. Any divergence, panic, or
+// parent matrix the walker rejects is a finding.
+func FuzzParallelDijkstra(f *testing.F) {
+	f.Add("n 3 directed\ne 0 1 5\ne 1 2 0\n")
+	f.Add("n 1 undirected\n")
+	f.Add("n 4 directed\ne 0 1 0\ne 1 2 0\ne 2 3 0\ne 0 3 1\n")
+	f.Add("n 5 undirected\ne 0 1 3\ne 1 2 4\ne 3 4 2\n")
+	f.Add("n 2 directed\ne 0 1 9\ne 0 1 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := graph.Decode(strings.NewReader(input))
+		if err != nil {
+			return // not a graph; the decoder fuzzer owns this surface
+		}
+		n := g.N()
+		if n == 0 || n > 64 || g.M() > 512 {
+			return // keep each execution cheap so the fuzzer explores
+		}
+		sources := make([]int, n)
+		for v := range sources {
+			sources[v] = v
+		}
+		dij, err := compute.APSP(g, compute.Opts{Sources: sources, Kernel: compute.Dijkstra})
+		if err != nil {
+			t.Fatalf("dijkstra kernel rejected a decoded graph: %v", err)
+		}
+		fw, err := compute.APSP(g, compute.Opts{Sources: sources, Kernel: compute.Floyd})
+		if err != nil {
+			t.Fatalf("floyd kernel rejected a decoded graph: %v", err)
+		}
+		h := n - 1
+		if h < 1 {
+			h = 1
+		}
+		bf, err := bellman.Run(g, bellman.Opts{Sources: sources, H: h})
+		if err != nil {
+			t.Fatalf("bellman-ford baseline: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			for v := 0; v < n; v++ {
+				if dij.Dist[i][v] != bf.Dist[i][v] {
+					t.Fatalf("dist(%d->%d): dijkstra %d, bellman-ford %d\ngraph:\n%s",
+						i, v, dij.Dist[i][v], bf.Dist[i][v], input)
+				}
+				if fw.Dist[i][v] != bf.Dist[i][v] {
+					t.Fatalf("dist(%d->%d): floyd %d, bellman-ford %d\ngraph:\n%s",
+						i, v, fw.Dist[i][v], bf.Dist[i][v], input)
+				}
+				if dij.Hops[i][v] != fw.Hops[i][v] {
+					t.Fatalf("hops(%d->%d): dijkstra %d, floyd %d\ngraph:\n%s",
+						i, v, dij.Hops[i][v], fw.Hops[i][v], input)
+				}
+			}
+		}
+	})
+}

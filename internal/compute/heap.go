@@ -1,0 +1,84 @@
+package compute
+
+// heap4 is a 4-ary min-heap over (dist, hops, node) entries, ordered
+// lexicographically by (dist, hops). 4-ary beats binary for Dijkstra's
+// decrease-heavy workload: sift-down does one extra compare per level but
+// the tree is half as deep, and the four children share a cache line.
+// Entries are never decreased in place — improvements push a fresh entry
+// and stale ones are skipped on pop (lazy deletion), which keeps the heap
+// a flat append-only slice with no position index.
+type heap4 struct {
+	d []int64
+	l []int64
+	v []int32
+}
+
+func (h *heap4) reset() {
+	h.d = h.d[:0]
+	h.l = h.l[:0]
+	h.v = h.v[:0]
+}
+
+func (h *heap4) len() int { return len(h.d) }
+
+// less orders entries i and j lexicographically by (dist, hops).
+func (h *heap4) less(i, j int) bool {
+	if h.d[i] != h.d[j] {
+		return h.d[i] < h.d[j]
+	}
+	return h.l[i] < h.l[j]
+}
+
+func (h *heap4) swap(i, j int) {
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+	h.l[i], h.l[j] = h.l[j], h.l[i]
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+}
+
+func (h *heap4) push(d, l int64, v int32) {
+	h.d = append(h.d, d)
+	h.l = append(h.l, l)
+	h.v = append(h.v, v)
+	i := len(h.d) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+// pop removes and returns the lexicographically smallest entry.
+func (h *heap4) pop() (d, l int64, v int32) {
+	d, l, v = h.d[0], h.l[0], h.v[0]
+	last := len(h.d) - 1
+	h.swap(0, last)
+	h.d = h.d[:last]
+	h.l = h.l[:last]
+	h.v = h.v[:last]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h.swap(i, min)
+		i = min
+	}
+	return d, l, v
+}

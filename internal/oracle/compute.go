@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bellman"
 	"repro/internal/checkpoint"
+	"repro/internal/compute"
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -25,6 +26,14 @@ type ComputeSpec struct {
 	// shortrange | bellman. (approx is excluded: its result is a stretch
 	// bound, not exact distances, and the oracle contract is exactness.)
 	Alg string
+	// Backend selects the compute substrate. "" and "congest" simulate
+	// the protocol family on the message-passing engine; "parallel" runs
+	// the centralized shared-memory backend (internal/compute), which
+	// produces the same unrestricted exact matrices as the pipeline
+	// family orders of magnitude faster — the production recompute path
+	// at large n. The parallel backend rejects engine-only features:
+	// hop bounds below n-1, fault plans, and checkpoint resume.
+	Backend string
 	// Sources are the query sources (nil = all nodes).
 	Sources []int
 	// H is the raw hop parameter (0 = per-algorithm default, exactly as
@@ -105,6 +114,13 @@ func (sp *ComputeSpec) network() (*faults.Network, string, error) {
 // records (blocker, scaling) yield distance-only inputs: /dist and /batch
 // serve them, /path reports a typed error.
 func Compute(ctx context.Context, g *graph.Graph, sp ComputeSpec) (BuildInput, error) {
+	switch sp.Backend {
+	case "", "congest":
+	case "parallel":
+		return computeParallel(ctx, g, sp)
+	default:
+		return BuildInput{}, fmt.Errorf("oracle: unknown backend %q (want congest | parallel)", sp.Backend)
+	}
 	if err := sp.normalize(g); err != nil {
 		return BuildInput{}, err
 	}
@@ -176,6 +192,38 @@ func Compute(ctx context.Context, g *graph.Graph, sp ComputeSpec) (BuildInput, e
 	return in, nil
 }
 
+// computeParallel is the Backend == "parallel" path: the centralized
+// shared-memory backend of internal/compute. It computes the same
+// lexicographic (dist, hops) matrices as the unrestricted pipeline family
+// — bit-identical dist and hops, a parent tree valid under the same
+// walker — without simulating any rounds, so the resulting snapshot
+// carries zero engine Stats. Engine-only spec features are rejected
+// rather than silently ignored. The run is not cancelable mid-kernel;
+// ctx is checked once on entry.
+func computeParallel(ctx context.Context, g *graph.Graph, sp ComputeSpec) (BuildInput, error) {
+	if sp.Alg != "" && sp.Alg != "pipeline" {
+		return BuildInput{}, fmt.Errorf("oracle: backend parallel computes unrestricted exact APSP; -alg %s needs the congest backend", sp.Alg)
+	}
+	if sp.Resume != nil {
+		return BuildInput{}, fmt.Errorf("oracle: backend parallel cannot resume an engine checkpoint; use the congest backend")
+	}
+	if sp.Plan != "" && sp.Plan != "none" {
+		return BuildInput{}, fmt.Errorf("oracle: backend parallel has no physical network to fault; use the congest backend")
+	}
+	if sp.H != 0 && sp.H < g.N()-1 {
+		return BuildInput{}, fmt.Errorf("oracle: backend parallel is unrestricted (h >= n-1); hop bound %d needs the congest backend", sp.H)
+	}
+	if err := ctx.Err(); err != nil {
+		return BuildInput{}, err
+	}
+	res, err := compute.APSP(g, compute.Opts{Sources: sp.Sources, Workers: sp.Workers})
+	if err != nil {
+		return BuildInput{}, err
+	}
+	return BuildInput{Alg: "parallel/" + string(res.Kernel), Sources: res.Sources,
+		Dist: res.Dist, Hops: res.Hops, Parent: res.Parent}, nil
+}
+
 // LoadCheckpoint reads an apsprun checkpoint file, validates its metadata
 // against the graph and spec (graph fingerprint, sources, hop parameter,
 // fault plan, scheduler — the same gate apsprun -resume applies), and arms
@@ -186,6 +234,9 @@ func Compute(ctx context.Context, g *graph.Graph, sp ComputeSpec) (BuildInput, e
 // Checkpoints taken under scripted crash faults (apsprun -crash) carry
 // disarmed-event state the oracle cannot replay and are rejected.
 func LoadCheckpoint(path string, g *graph.Graph, sp *ComputeSpec) error {
+	if sp.Backend == "parallel" {
+		return fmt.Errorf("oracle: checkpoints are engine snapshots; -load needs the congest backend")
+	}
 	meta, snap, err := checkpoint.Load(path)
 	if err != nil {
 		return err

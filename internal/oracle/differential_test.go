@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/compute"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -101,12 +102,18 @@ func TestDifferentialAllFamilies(t *testing.T) {
 	}
 }
 
-// TestDifferentialExactFamiliesVsDijkstra pins the exact (unrestricted)
-// families to the sequential oracle, so the serving layer's provenance
-// chain reaches all the way to ground truth.
-func TestDifferentialExactFamiliesVsDijkstra(t *testing.T) {
+// TestDifferentialExactFamiliesVsReference pins the exact (unrestricted)
+// families to one parallel-backend reference matrix (itself validated
+// against sequential Dijkstra in internal/compute), so the serving
+// layer's provenance chain reaches ground truth without a per-query
+// Dijkstra per family.
+func TestDifferentialExactFamiliesVsReference(t *testing.T) {
 	g := graph.Random(18, 54, graph.GenOpts{MaxW: 7, ZeroFrac: 0.2, Seed: 4, Directed: true})
 	sources := []int{1, 6, 12}
+	ref, err := compute.APSP(g, compute.Opts{Sources: sources})
+	if err != nil {
+		t.Fatalf("reference backend: %v", err)
+	}
 	for _, alg := range []string{"pipeline", "blocker", "scaling", "bellman"} {
 		in, err := Compute(context.Background(), g, ComputeSpec{Alg: alg, Sources: sources})
 		if err != nil {
@@ -117,10 +124,9 @@ func TestDifferentialExactFamiliesVsDijkstra(t *testing.T) {
 			t.Fatalf("Build(%s): %v", alg, err)
 		}
 		for i, s := range sources {
-			want := graph.Dijkstra(g, s)
 			for v := 0; v < g.N(); v++ {
-				if got := snap.DistAt(i, v); got != want[v] {
-					t.Fatalf("%s dist(%d,%d) = %d, Dijkstra %d", alg, s, v, got, want[v])
+				if got := snap.DistAt(i, v); got != ref.Dist[i][v] {
+					t.Fatalf("%s dist(%d,%d) = %d, reference %d", alg, s, v, got, ref.Dist[i][v])
 				}
 			}
 		}

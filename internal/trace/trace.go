@@ -49,6 +49,10 @@ type Options struct {
 	Seed uint64
 	// Sinks receive every emitted trace, in order.
 	Sinks []Sink
+	// Now overrides the wall clock (nil = time.Now). Tests inject a
+	// deterministic clock here so span timings — and the sampling
+	// decisions derived from them — are exact instead of slack-checked.
+	Now func() time.Time
 }
 
 // SpanRecord is one finished span in export form — what sinks consume and
@@ -84,6 +88,8 @@ type Tracer struct {
 	seed        uint64
 	sinks       []Sink
 
+	now func() time.Time
+
 	seq     atomic.Uint64 // root spans started (head-sampling counter)
 	emitted atomic.Uint64 // traces emitted to sinks
 	sinkErr atomic.Pointer[error]
@@ -102,6 +108,10 @@ func New(opts Options) *Tracer {
 	if maxSpans <= 0 {
 		maxSpans = DefaultMaxSpans
 	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Tracer{
 		sampleEvery: opts.SampleEvery,
 		slow:        opts.SlowThreshold,
@@ -109,6 +119,7 @@ func New(opts Options) *Tracer {
 		maxSpans:    maxSpans,
 		seed:        opts.Seed,
 		sinks:       opts.Sinks,
+		now:         now,
 	}
 }
 
@@ -199,7 +210,7 @@ func (t *Tracer) StartRequest(ctx context.Context, name, traceparent string) (co
 		id = fmt.Sprintf("%016x%016x", splitmix64(t.seed+2*seq), splitmix64(t.seed+2*seq+1))
 		sampled = t.sampleEvery > 0 && (seq-1)%uint64(t.sampleEvery) == 0
 	}
-	now := time.Now()
+	now := t.now()
 	tr := &trace{
 		tracer:      t,
 		id:          id,
@@ -227,7 +238,7 @@ func (tr *trace) newSpan(name, parent string) *Span {
 		id:     fmt.Sprintf("%016x", splitmix64(hash64(tr.id)^tr.nspans)),
 		parent: parent,
 		name:   name,
-		start:  time.Since(tr.start),
+		start:  tr.tracer.now().Sub(tr.start),
 	}
 	tr.spans = append(tr.spans, sp)
 	return sp
@@ -295,7 +306,7 @@ func (sp *Span) End() {
 	tr := sp.tr
 	tr.mu.Lock()
 	if sp.dur == 0 {
-		sp.dur = time.Since(tr.start) - sp.start
+		sp.dur = tr.tracer.now().Sub(tr.start) - sp.start
 		if sp.dur <= 0 {
 			sp.dur = time.Nanosecond
 		}
@@ -342,7 +353,7 @@ func (sp *Span) record() SpanRecord {
 		DurUS:   sp.dur.Microseconds(),
 	}
 	if sp.dur == 0 {
-		r.DurUS = (time.Since(sp.tr.start) - sp.start).Microseconds()
+		r.DurUS = (sp.tr.tracer.now().Sub(sp.tr.start) - sp.start).Microseconds()
 		sp.attrs = append(sp.attrs, attrKV{"unclosed", "true"})
 	}
 	if r.DurUS < 1 {

@@ -156,8 +156,18 @@ func TestTailCaptureSlowAndError(t *testing.T) {
 	}
 }
 
+// TestSpanTreeShape runs on an injected deterministic clock (one
+// millisecond per reading), so every recorded start and duration is an
+// exact expected value — no slack for µs rounding, which made the
+// wall-clock version of this test flaky.
 func TestSpanTreeShape(t *testing.T) {
-	tr, sink := newTestTracer(t, Options{SampleEvery: 1, Seed: 7})
+	base := time.UnixMicro(1_700_000_000_000_000)
+	var readings int
+	clock := func() time.Time {
+		readings++
+		return base.Add(time.Duration(readings-1) * time.Millisecond)
+	}
+	tr, sink := newTestTracer(t, Options{SampleEvery: 1, Seed: 7, Now: clock})
 	ctx, root := tr.StartRequest(context.Background(), "serve.path", "")
 	root.SetInt("gen", 3)
 	cctx, probe := Start(ctx, "cache.probe")
@@ -180,6 +190,25 @@ func TestSpanTreeShape(t *testing.T) {
 	if spans[0].Attrs["gen"] != "3" {
 		t.Fatalf("root attrs: %+v", spans[0].Attrs)
 	}
+	// Clock readings, in order: trace start, root start, probe start,
+	// probe end, walk start, walk end, root end — one millisecond apart.
+	// Under the fake clock the records are exact, nesting included.
+	baseUS := base.UnixMicro()
+	want := []struct {
+		name           string
+		startUS, durUS int64
+	}{
+		{"serve.path", baseUS + 1000, 5000},
+		{"cache.probe", baseUS + 2000, 1000},
+		{"walk", baseUS + 4000, 1000},
+	}
+	for i, w := range want {
+		s := spans[i]
+		if s.Name != w.name || s.StartUS != w.startUS || s.DurUS != w.durUS {
+			t.Fatalf("span %d = %q start %d dur %d, want %q start %d dur %d",
+				i, s.Name, s.StartUS, s.DurUS, w.name, w.startUS, w.durUS)
+		}
+	}
 	for _, s := range spans[1:] {
 		if s.Parent != spans[0].SpanID {
 			t.Fatalf("span %q parent %q, want root %q", s.Name, s.Parent, spans[0].SpanID)
@@ -187,14 +216,7 @@ func TestSpanTreeShape(t *testing.T) {
 		if s.TraceID != spans[0].TraceID {
 			t.Fatalf("span %q trace %q, want %q", s.Name, s.TraceID, spans[0].TraceID)
 		}
-		if s.DurUS <= 0 {
-			t.Fatalf("span %q did not close: %+v", s.Name, s)
-		}
-		// Nesting holds in real time, but the recorded numbers round: the
-		// child's start and the root's duration truncate to the µs, and a
-		// sub-µs child is clamped to DurUS=1. The recorded child end can
-		// therefore exceed the recorded root end by up to 2µs.
-		if s.StartUS < spans[0].StartUS || s.StartUS+s.DurUS > spans[0].StartUS+spans[0].DurUS+2 {
+		if s.StartUS < spans[0].StartUS || s.StartUS+s.DurUS > spans[0].StartUS+spans[0].DurUS {
 			t.Fatalf("span %q does not nest in root: %+v within %+v", s.Name, s, spans[0])
 		}
 	}
