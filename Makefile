@@ -6,7 +6,7 @@ GO ?= go
 # scheduled job).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race cover cover-gate cover-baseline bench bench-engine bench-gate bench-baseline experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke clean
+.PHONY: all build test race cover cover-gate cover-baseline bench bench-engine bench-gate bench-baseline experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke chaos-smoke clean
 
 all: build test
 
@@ -52,9 +52,10 @@ bench:
 
 # Engine micro-benchmarks: intra-round parallel speedup, the dense vs
 # active-set scheduler comparison on both activity extremes, the fault
-# shim's cost, and the checkpoint hook's overhead.
+# shim's cost, the checkpoint hook's overhead, and the serving path's
+# tracing + resilient-client overhead (client off/on, injector disabled).
 bench-engine:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist' -benchtime 1x .
 
 # Engine benchmark regression gate: run the engine benchmark set with
 # -benchmem and compare against the committed BENCH_engine.json baseline
@@ -64,12 +65,12 @@ bench-engine:
 # make recipes have no pipefail — a crashed bench run must not feed an
 # empty stream to the gate.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend' -benchmem -benchtime 10x -count 2 . > bench_engine.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist' -benchmem -benchtime 10x -count 2 . > bench_engine.out
 	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json < bench_engine.out
 
 # Rewrite the baseline from a fresh run (commit the result deliberately).
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend' -benchmem -benchtime 10x -count 2 . > bench_engine.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist' -benchmem -benchtime 10x -count 2 . > bench_engine.out
 	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json -update < bench_engine.out
 
 # The full-size experiment sweep (writes the tables EXPERIMENTS.md records).
@@ -123,14 +124,22 @@ serve-smoke:
 trace-smoke:
 	./scripts/trace_smoke.sh
 
+# Chaos drill: boot apspd with listener-level fault injection and an
+# autosave dir, kill -9 mid-load, restart, and verify the reborn daemon
+# recovered the autosaved snapshot and answers identically. CI runs this.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
 # Short fuzzing bursts for the parser, the exact key arithmetic, the
-# reliability shim, the checkpoint kill/serialize/resume cycle and the
-# parallel compute kernels (differential vs CONGEST Bellman–Ford).
+# reliability shim, the HTTP fault-plan grammar, the checkpoint
+# kill/serialize/resume cycle and the parallel compute kernels
+# (differential vs CONGEST Bellman–Ford).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run xxx -fuzz FuzzCmpCeil -fuzztime $(FUZZTIME) ./internal/key/
 	$(GO) test -run xxx -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -run xxx -fuzz FuzzReliableLink -fuzztime $(FUZZTIME) ./internal/faults/
+	$(GO) test -run xxx -fuzz FuzzHTTPFaultPlan -fuzztime $(FUZZTIME) ./internal/httpfault/
 	$(GO) test -run xxx -fuzz FuzzCheckpointRoundTrip -fuzztime $(FUZZTIME) .
 	$(GO) test -run xxx -fuzz FuzzParallelDijkstra -fuzztime $(FUZZTIME) ./internal/compute/
 

@@ -2,6 +2,7 @@ package apsp
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,12 +10,14 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/client"
 	"repro/internal/compute"
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/graph"
+	"repro/internal/httpfault"
 	"repro/internal/key"
 	"repro/internal/obs"
 	"repro/internal/oracle"
@@ -125,6 +128,11 @@ func BenchmarkCrashRecovery(b *testing.B) { benchExperiment(b, "E-CRASH") }
 // BenchmarkServeLayer drives the apspd serving layer with the closed-loop
 // load generator (experiment E-SERVE).
 func BenchmarkServeLayer(b *testing.B) { benchExperiment(b, "E-SERVE") }
+
+// BenchmarkChaosResilience runs the serving-layer resilience drill:
+// closed-loop load through the fault injector with the retrying client,
+// plus an abrupt kill + autosave recovery (experiment E-CHAOS).
+func BenchmarkChaosResilience(b *testing.B) { benchExperiment(b, "E-CHAOS") }
 
 // BenchmarkTraceAttribution drives the serving layer with every request
 // traced and aggregates per-span latency attribution (experiment E-TRACE).
@@ -576,12 +584,29 @@ func BenchmarkOracleBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "queries/s")
 }
 
+// handlerTransport is an http.RoundTripper that dispatches straight into
+// an http.Handler. It lets the resilient-client benchmarks measure the
+// client machinery and the (disabled) fault injector without socket
+// noise — the per-op allocation counts stay deterministic, which is what
+// lets cmd/benchgate gate them.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
 // BenchmarkOracleServeDist measures a /dist request end to end through the
-// HTTP handler under three tracing configurations. It is the overhead
-// guard for the tracing instrumentation: "off" (no Tracer wired — the
-// production default) must stay within noise of the pre-tracing serving
-// path, because every span site degrades to a nil-receiver no-op; compare
-// it against "unsampled" and "sampled" to price the feature.
+// HTTP handler under three tracing configurations plus the resilience
+// stack. It is the overhead guard for both the tracing instrumentation
+// ("off" — no Tracer wired, the production default — must stay within
+// noise of the pre-tracing serving path; compare "unsampled" and
+// "sampled" to price the feature) and for the resilient-client path:
+// "client-off" is the plain handler loop, "client-on" routes the same
+// queries through internal/client wrapping a disabled httpfault injector,
+// so the delta prices retries/breaker/hedging bookkeeping on the happy
+// path.
 func BenchmarkOracleServeDist(b *testing.B) {
 	snap, _, _ := benchOracle(b)
 	configs := []struct {
@@ -617,4 +642,47 @@ func BenchmarkOracleServeDist(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 		})
 	}
+
+	// Resilience-path overhead: the same query stream through the bare
+	// handler ("client-off") and through internal/client over a disabled
+	// httpfault injector ("client-on"); the in-process transport keeps
+	// both alloc-deterministic for the bench gate.
+	srv := &oracle.Server{Store: &oracle.Store{}, Cache: oracle.NewPathCache(1 << 16), Met: oracle.NewMetrics()}
+	srv.Publish(snap)
+	handler := srv.Handler()
+	k, n := uint64(snap.K()), uint64(snap.N())
+	b.Run("client-off", func(b *testing.B) {
+		x := uint64(777)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			target := fmt.Sprintf("/dist?src=%d&dst=%d", (x>>33)%k, x%n)
+			req := httptest.NewRequest("GET", target, nil)
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("dist status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("client-on", func(b *testing.B) {
+		ft := &httpfault.Transport{Inner: handlerTransport{handler}}
+		c := client.New(client.Options{Transport: ft, BreakerTrip: -1})
+		ctx := context.Background()
+		x := uint64(777)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			target := fmt.Sprintf("http://bench/dist?src=%d&dst=%d", (x>>33)%k, x%n)
+			resp, err := c.Do(ctx, http.MethodGet, target, "", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Status != http.StatusOK {
+				b.Fatalf("dist status %d: %s", resp.Status, resp.Body)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
 }

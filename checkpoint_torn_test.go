@@ -1,0 +1,43 @@
+package apsp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// TestCheckpointTornWriteSweep truncates a known-good checkpoint at every
+// byte boundary and requires Load to fail loudly on each prefix — a torn
+// write must never parse into a shorter-but-plausible snapshot. The
+// committed compat fixture is the source so the sweep also covers the
+// exact on-disk layout the format gate pins.
+func TestCheckpointTornWriteSweep(t *testing.T) {
+	src := filepath.Join("testdata", "compat", "core-dense.ckpt")
+	whole, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatalf("reading fixture (regenerate with -update-compat?): %v", err)
+	}
+	if _, _, err := checkpoint.Load(src); err != nil {
+		t.Fatalf("fixture itself does not load: %v", err)
+	}
+	torn := filepath.Join(t.TempDir(), "torn.ckpt")
+	for cut := 0; cut < len(whole); cut++ {
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		meta, snap, err := checkpoint.Load(torn)
+		if err == nil {
+			t.Fatalf("truncation at byte %d of %d loaded silently (meta=%+v snap=%v)",
+				cut, len(whole), meta, snap != nil)
+		}
+	}
+	// And garbage past the container must be rejected too, not ignored.
+	if err := os.WriteFile(torn, append(append([]byte(nil), whole...), 0xAB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := checkpoint.Load(torn); err == nil {
+		t.Fatal("trailing garbage byte loaded silently")
+	}
+}

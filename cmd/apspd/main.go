@@ -36,6 +36,17 @@
 // and atomically publishes the new snapshot: queries in flight during the
 // swap are answered entirely by the old or entirely by the new generation,
 // never a mix.
+//
+// Self-healing: -autosave-dir persists every published snapshot (atomic
+// write + fsync + pruned history) and boots straight from the newest
+// valid one after a crash — corrupt autosaves are quarantined, never
+// served. -restarts N supervises the HTTP server and re-listens on the
+// same port if it dies. A failed recompute keeps the previous generation
+// serving ("stale" on /healthz). Under load the server degrades in rungs
+// (path-cache inserts off → dist-only → 429 with Retry-After) instead of
+// falling over. -chaos-http injects listener-level faults for chaos
+// drills (scripts/chaos_smoke.sh); -addr-file is written only after
+// /healthz answers through the real listener.
 package main
 
 import (
@@ -58,6 +69,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/httpfault"
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/trace"
@@ -107,6 +119,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		batchBudget = fs.Int("batch-budget", 0, "max queries per /batch request (0 = default)")
 		drainWait   = fs.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 
+		autosaveDir  = fs.String("autosave-dir", "", "persist every published snapshot here and auto-recover the newest valid one at boot (empty = off)")
+		autosaveKeep = fs.Int("autosave-keep", 3, "autosaved generations to keep (older ones are pruned; quarantined files always survive)")
+		restarts     = fs.Int("restarts", 0, "supervised restarts: if the HTTP server dies unexpectedly, re-listen and keep serving up to this many times")
+		chaosHTTP    = fs.String("chaos-http", "", "wrap the listener in httpfault chaos with this plan (httpfault.Parse syntax; for chaos drills, never production)")
+		chaosKill    = fs.Float64("chaos-kill", 0, "probability an accepted connection is killed mid-stream (requires -chaos-http)")
+
 		logFmt      = fs.String("log", "text", "log format: text | json | off")
 		logLevel    = fs.String("log-level", "info", "log level: debug | info | warn | error")
 		logEvery    = fs.Int("log-every", 0, "debug-log one in N completed queries (0 = off)")
@@ -120,6 +138,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	if fs.NArg() > 0 {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	var chaosPlan httpfault.Plan
+	if *chaosHTTP != "" {
+		var err error
+		if chaosPlan, err = httpfault.Parse(*chaosHTTP); err != nil {
+			return err
+		}
+	} else if *chaosKill != 0 {
+		return fmt.Errorf("-chaos-kill requires -chaos-http (a plan supplies the seed)")
+	}
+	if *chaosKill < 0 || *chaosKill > 1 {
+		return fmt.Errorf("-chaos-kill %v outside [0,1]", *chaosKill)
 	}
 	level, err := obs.ParseLogLevel(*logLevel)
 	if err != nil {
@@ -222,17 +252,37 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		return oracle.Build(g, in, oracle.BuildOpts{ShardBits: *shardBits, Fingerprint: fp})
 	}
 
-	logger.Info("computing", "alg", spec.Alg, "n", g.N(), "m", g.M(), "k", len(sources))
-	start := time.Now()
-	snap, err := buildSnapshot(context.Background(), spec)
-	if err != nil {
-		return err
+	// Boot recovery: the newest valid autosaved snapshot (same graph
+	// fingerprint) boots the daemon instantly after a crash — corrupt
+	// files are quarantined by RecoverDir and the next-newest tried. A
+	// recovered boot can still be refreshed via POST /admin/recompute.
+	var snap *oracle.Snapshot
+	if *autosaveDir != "" {
+		if err := os.MkdirAll(*autosaveDir, 0o755); err != nil {
+			return err
+		}
+		rsnap, rpath, err := oracle.RecoverDir(*autosaveDir, g, fp, logger)
+		if err != nil {
+			return err
+		}
+		if rsnap != nil {
+			snap = rsnap
+			logger.Info("recovered snapshot from autosave",
+				"path", rpath, "alg", snap.Alg(), "k", snap.K(), "paths", snap.HasPaths())
+		}
 	}
-	progress.Done()
-	logger.Info("snapshot ready",
-		"dur", time.Since(start).Round(time.Millisecond), "alg", snap.Alg(),
-		"k", snap.K(), "paths", snap.HasPaths(),
-		"rounds", snap.Stats().Rounds, "messages", snap.Stats().Messages)
+	if snap == nil {
+		logger.Info("computing", "alg", spec.Alg, "n", g.N(), "m", g.M(), "k", len(sources))
+		start := time.Now()
+		if snap, err = buildSnapshot(context.Background(), spec); err != nil {
+			return err
+		}
+		progress.Done()
+		logger.Info("snapshot ready",
+			"dur", time.Since(start).Round(time.Millisecond), "alg", snap.Alg(),
+			"k", snap.K(), "paths", snap.HasPaths(),
+			"rounds", snap.Stats().Rounds, "messages", snap.Stats().Messages)
+	}
 
 	srv := &oracle.Server{
 		Store: &oracle.Store{}, Cache: oracle.NewPathCache(*cacheSize), Met: met,
@@ -244,44 +294,93 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	srv.Recompute = func(ctx context.Context) (*oracle.Snapshot, error) {
 		return buildSnapshot(ctx, freshSpec)
 	}
-	srv.Publish(snap)
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	bound := ln.Addr().String()
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
-			ln.Close()
-			return err
+	if *autosaveDir != "" {
+		// Autosave every published generation (boot and recompute alike):
+		// atomic write + fsync, prune old generations. Failures degrade
+		// durability, never serving — they log and move on.
+		srv.AfterPublish = func(sn *oracle.Snapshot) {
+			path, err := oracle.SaveToDir(*autosaveDir, sn)
+			if err != nil {
+				logger.Error("autosave failed", "err", err, "gen", sn.Gen())
+				return
+			}
+			if err := oracle.Prune(*autosaveDir, *autosaveKeep); err != nil {
+				logger.Warn("autosave prune", "err", err)
+			}
+			logger.Info("autosaved snapshot", "path", path, "gen", sn.Gen())
 		}
 	}
-	logger.Info("serving", "addr", bound)
-	if ready != nil {
-		ready <- bound
-	}
-
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
+	srv.Publish(snap)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	select {
-	case err := <-errc:
-		return err // listener died before any signal
-	case <-ctx.Done():
-	}
-	stop()
-	logger.Info("signal received, draining", "max", *drainWait)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
-	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("drain: %w", err)
-	}
-	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
-		return err
+
+	// Supervised serve loop: an unexpected server death (listener error,
+	// chaos kill of the accept loop) re-listens on the same bound address
+	// up to -restarts times. Restarts reuse the port, so a written
+	// -addr-file stays valid across them.
+	listenAddr := *addr
+	for attempt := 0; ; attempt++ {
+		ln, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			return err
+		}
+		bound := ln.Addr().String()
+		listenAddr = bound
+		var lis net.Listener = ln
+		if *chaosHTTP != "" {
+			lis = httpfault.WrapListener(ln, chaosPlan, *chaosKill)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		errc := make(chan error, 1)
+		go func() { errc <- httpSrv.Serve(lis) }()
+
+		if attempt == 0 {
+			// Readiness gate: the -addr-file contract is "the address in
+			// this file answers". Probe /healthz through the real listener
+			// before writing the file or signalling ready — never publish
+			// an address that is not serving yet.
+			if err := waitHealthy(bound, 10*time.Second); err != nil {
+				httpSrv.Close()
+				return err
+			}
+			if *addrFile != "" {
+				if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+					httpSrv.Close()
+					return err
+				}
+			}
+			logger.Info("serving", "addr", bound)
+			if ready != nil {
+				ready <- bound
+			}
+		} else {
+			logger.Warn("server restarted", "addr", bound, "attempt", attempt)
+		}
+
+		select {
+		case err := <-errc:
+			if attempt >= *restarts {
+				if *restarts > 0 {
+					return fmt.Errorf("server died (%d restarts exhausted): %w", *restarts, err)
+				}
+				return err
+			}
+			logger.Error("http server died, restarting", "err", err, "restartsLeft", *restarts-attempt)
+			continue
+		case <-ctx.Done():
+		}
+		stop()
+		logger.Info("signal received, draining", "max", *drainWait)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		break
 	}
 	if tracer != nil {
 		logger.Info("trace written",
@@ -289,6 +388,33 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	}
 	logger.Info("drained, bye")
 	return nil
+}
+
+// waitHealthy polls /healthz through the listener until it answers 200 —
+// the readiness gate behind -addr-file and the test harness's ready
+// channel. Transient connect errors (and chaos-injected kills, when
+// -chaos-http is live) are retried until the deadline.
+func waitHealthy(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	url := "http://" + addr + "/healthz"
+	var lastErr error
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("healthz readiness gate: %w", lastErr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // chromePath derives the Chrome trace filename from the span JSONL path:

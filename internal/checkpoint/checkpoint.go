@@ -159,7 +159,25 @@ func save(path string, meta *Meta, snap *congest.Snapshot) (int64, error) {
 		os.Remove(tmp)
 		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
+	// fsync the parent directory too: the rename above is only durable
+	// once the directory entry is on disk — without this, a power cut can
+	// forget the whole file even though its contents were synced.
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
 	return size, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 // Load reads and validates a checkpoint file.

@@ -1,0 +1,151 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// admit is the breaker's admission verdict.
+type admit int
+
+const (
+	admitClosed admit = iota // circuit closed: proceed normally
+	admitProbe               // half-open: this request is the probe
+	admitOpen                // open: fail fast
+)
+
+// breakerState is one endpoint's circuit.
+type breakerState struct {
+	fails   int       // consecutive failures while closed
+	open    bool      // circuit open (fail fast until `until`)
+	until   time.Time // when the open circuit allows a half-open probe
+	probing bool      // a probe is in flight (half-open)
+}
+
+// breakerSet is the per-endpoint circuit-breaker table. A breaker exists
+// to stop hammering an endpoint that is down — the retry loop would
+// otherwise multiply load exactly when the server can least afford it —
+// while the half-open probe discovers recovery without a thundering herd.
+type breakerSet struct {
+	trip    int // consecutive failures that open the circuit (<0 = disabled)
+	cooloff time.Duration
+
+	mu sync.Mutex
+	m  map[string]*breakerState
+}
+
+func newBreakerSet(trip int, cooloff time.Duration) *breakerSet {
+	return &breakerSet{trip: trip, cooloff: cooloff, m: make(map[string]*breakerState)}
+}
+
+// allow decides admission for one Do against the endpoint's circuit.
+func (b *breakerSet) allow(key string) admit {
+	if b.trip < 0 {
+		return admitClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.m[key]
+	if st == nil {
+		return admitClosed
+	}
+	if !st.open {
+		return admitClosed
+	}
+	if time.Now().Before(st.until) || st.probing {
+		return admitOpen
+	}
+	st.probing = true // half-open: exactly one probe at a time
+	return admitProbe
+}
+
+// report feeds an attempt outcome back into the circuit. opens is
+// incremented (via the stats cell) on each closed→open transition.
+func (b *breakerSet) report(key string, ok bool, cell *statCell) {
+	if b.trip < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.m[key]
+	if st == nil {
+		st = &breakerState{}
+		b.m[key] = st
+	}
+	if ok {
+		st.fails = 0
+		st.open = false
+		st.probing = false
+		return
+	}
+	if st.open {
+		// A failed probe (or a straggler) re-arms the open window.
+		st.probing = false
+		st.until = time.Now().Add(b.cooloff)
+		return
+	}
+	st.fails++
+	if st.fails >= b.trip {
+		st.open = true
+		st.probing = false
+		st.until = time.Now().Add(b.cooloff)
+		if cell != nil {
+			cell.breakerOpens.Add(1)
+		}
+	}
+}
+
+// latWindow is a fixed-size ring of recent attempt latencies; quantile
+// sorts a copy on demand (the ring is small and hedge decisions are not
+// on the per-request fast path once HedgeDelay is explicit).
+type latWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+func newLatWindow(size int) *latWindow {
+	return &latWindow{buf: make([]time.Duration, size)}
+}
+
+func (w *latWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window (0 when empty).
+func (w *latWindow) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	n := w.next
+	if w.full {
+		n = len(w.buf)
+	}
+	if n == 0 {
+		w.mu.Unlock()
+		return 0
+	}
+	cp := make([]time.Duration, n)
+	copy(cp, w.buf[:n])
+	w.mu.Unlock()
+	// Insertion sort: n <= 256 and the call is off the hot path.
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	i := int(q*float64(len(cp))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(cp) {
+		i = len(cp) - 1
+	}
+	return cp[i]
+}

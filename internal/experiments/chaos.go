@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/graph"
+	"repro/internal/httpfault"
+	"repro/internal/oracle"
+)
+
+func init() {
+	register("E-CHAOS", eChaos)
+}
+
+// eChaos is the serving-layer resilience drill: closed-loop load through
+// the httpfault injector against the apspd serving stack, with the
+// resilient client (retries, backoff, breaker, hedging) bridging the
+// faults. Three phases:
+//
+//	clean  — injector disabled; the overhead baseline and a sanity gate
+//	         (every query must succeed).
+//	chaos  — the standard all-faults plan (httpfault.All) on a serial
+//	         closed loop. Serial execution makes the whole trace a pure
+//	         function of the seed: the injected-fault counts, attempt
+//	         counts and retry counts in the table are bit-deterministic.
+//	crash  — concurrent workers against a real listener while the server
+//	         is abruptly killed mid-load and a fresh one is restored from
+//	         the autosave directory (oracle.RecoverDir), the in-process
+//	         twin of scripts/chaos_smoke.sh's kill -9 drill.
+//
+// Every 200 answer in every phase is validated against the reference
+// matrices, so the experiment doubles as a zero-wrong-answers gate; the
+// error-rate bounds are asserted in-line and the run fails loudly when
+// they are exceeded.
+func eChaos(cfg Config) (*Table, error) {
+	n, m, k := 192, 768, 16
+	queries := 1200
+	workers := 8
+	if cfg.Small {
+		n, m, k = 64, 256, 8
+		queries = 240
+		workers = 4
+	}
+
+	g := graph.Random(n, m, graph.GenOpts{Seed: cfg.Seed, MaxW: 8, ZeroFrac: 0.25, Directed: true})
+	sources := make([]int, k)
+	dist := make([][]int64, k)
+	parent := make([][]int, k)
+	for i := range sources {
+		src := i * (n / k)
+		sources[i] = src
+		dist[i], parent[i] = graph.DijkstraTree(g, src)
+	}
+	snap, err := oracle.Build(g, oracle.BuildInput{Alg: "dijkstra", Sources: sources, Dist: dist, Parent: parent}, oracle.BuildOpts{})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "E-CHAOS",
+		Title:   "serving-layer resilience: fault injection, retries and crash recovery (validated answers)",
+		Headers: []string{"phase", "queries", "ok", "errors", "wrong", "attempts", "retries", "injected"},
+	}
+
+	clean, err := chaosSerial(snap, httpfault.Plan{}, queries, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("clean phase: %w", err)
+	}
+	if clean.errors != 0 || clean.wrong != 0 {
+		return nil, fmt.Errorf("clean phase: %d errors, %d wrong answers on a perfect transport", clean.errors, clean.wrong)
+	}
+	t.AddRow("clean", clean.queries, clean.ok, clean.errors, clean.wrong, clean.attempts, clean.retries, clean.injected)
+
+	chaos, err := chaosSerial(snap, httpfault.All(cfg.Seed), queries, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("chaos phase: %w", err)
+	}
+	if chaos.wrong != 0 {
+		return nil, fmt.Errorf("chaos phase: %d wrong answers slipped through the retry layer", chaos.wrong)
+	}
+	// With the All plan (~27% per-attempt fault rate) and 4 attempts the
+	// expected residual error rate is ~0.5%; 5% is a loud-failure bound.
+	if maxErr := queries / 20; chaos.errors > maxErr {
+		return nil, fmt.Errorf("chaos phase: %d/%d errors exceeds the 5%% bound", chaos.errors, queries)
+	}
+	t.AddRow("chaos", chaos.queries, chaos.ok, chaos.errors, chaos.wrong, chaos.attempts, chaos.retries, chaos.injected)
+
+	crash, err := chaosCrash(g, snap, queries, workers, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("crash phase: %w", err)
+	}
+	if crash.wrong != 0 {
+		return nil, fmt.Errorf("crash phase: %d wrong answers across the restart", crash.wrong)
+	}
+	if crash.ok < crash.queries/2 {
+		return nil, fmt.Errorf("crash phase: only %d/%d queries survived the restart", crash.ok, crash.queries)
+	}
+	t.AddRow("crash", crash.queries, crash.ok, crash.errors, crash.wrong, crash.attempts, crash.retries, crash.injected)
+
+	t.Note("n=%d k=%d snapshot; every 200 answer checked against the reference matrices (zero-wrong-answers gate)", n, k)
+	t.Note("clean and chaos run a serial closed loop: their rows are bit-deterministic from the seed (faults are a keyed PRF over the attempt index)")
+	t.Note("crash kills the server abruptly mid-load and restores it from the autosave dir via oracle.RecoverDir (%d workers); its ok/error split is timing-dependent, the zero-wrong and >=50%% survival bounds are the asserted part", workers)
+	return t, nil
+}
+
+// chaosResult aggregates one load phase.
+type chaosResult struct {
+	queries, ok, errors, wrong int
+	attempts, retries          uint64
+	injected                   uint64
+}
+
+// injectedTotal sums the fault events out of an injector snapshot
+// (Requests counts admissions, not faults, so it is excluded).
+func injectedTotal(s httpfault.Stats) uint64 {
+	return s.Delays + s.ResetsPre + s.ResetsPost + s.Err500s + s.Err503s + s.Truncations + s.Blackholes + s.ConnsKilled
+}
+
+// chaosClientOpts are the shared resilient-client knobs for the load
+// phases: short attempt timeouts so blackholes are cheap, small capped
+// backoff so a run stays fast, seeded jitter for reproducible schedules.
+func chaosClientOpts(rt http.RoundTripper, seed int64) client.Options {
+	return client.Options{
+		Transport:      rt,
+		AttemptTimeout: 25 * time.Millisecond,
+		MaxAttempts:    4,
+		BaseBackoff:    500 * time.Microsecond,
+		MaxBackoff:     4 * time.Millisecond,
+		CapRetryAfter:  2 * time.Millisecond,
+		Seed:           seed,
+	}
+}
+
+// chaosQuery issues one validated /dist query through the resilient
+// client. Returns (ok, wrong): transport-level failure is (false, false),
+// a 200 disagreeing with the matrices is (true, true).
+func chaosQuery(c *client.Client, base string, snap *oracle.Snapshot, src, row, dst int) (bool, bool) {
+	var resp struct {
+		Reachable bool   `json:"reachable"`
+		Dist      *int64 `json:"dist"`
+	}
+	r, err := c.GetJSON(context.Background(), fmt.Sprintf("%s/dist?src=%d&dst=%d", base, src, dst), &resp)
+	if err != nil {
+		return false, false
+	}
+	if r.Status != http.StatusOK {
+		return false, false
+	}
+	want := snap.DistAt(row, dst)
+	if want >= graph.Inf {
+		return true, resp.Reachable || resp.Dist != nil
+	}
+	return true, resp.Dist == nil || *resp.Dist != want
+}
+
+// chaosStream is the deterministic query stream shared by the phases.
+func chaosStream(snap *oracle.Snapshot, seed int64, worker int) func() (src, row, dst int) {
+	sources := snap.Sources()
+	n := snap.N()
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(worker+1)*0xbf58476d1ce4e5b9
+	return func() (src, row, dst int) {
+		x = x*6364136223846793005 + 1442695040888963407
+		i := int((x >> 33) % uint64(len(sources)))
+		r, _ := snap.Row(sources[i])
+		return sources[i], r, int(x % uint64(n))
+	}
+}
+
+// chaosSerial runs a single-worker closed loop through the injector. The
+// serial schedule makes every column deterministic: fault fates are a
+// keyed PRF over the injector's admission index, and with one worker that
+// index order is the retry-expanded query order.
+func chaosSerial(snap *oracle.Snapshot, plan httpfault.Plan, queries int, seed int64) (*chaosResult, error) {
+	srv := &oracle.Server{Store: &oracle.Store{}, Cache: oracle.NewPathCache(4096), Met: oracle.NewMetrics(), MaxInflight: 64}
+	srv.Publish(snap)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ft := &httpfault.Transport{Plan: plan, Inner: ts.Client().Transport}
+	opts := chaosClientOpts(ft, seed)
+	opts.BreakerTrip = -1 // wall-clock cooloffs would break determinism
+	c := client.New(opts)
+
+	next := chaosStream(snap, seed, 0)
+	res := &chaosResult{queries: queries}
+	for q := 0; q < queries; q++ {
+		src, row, dst := next()
+		ok, wrong := chaosQuery(c, ts.URL, snap, src, row, dst)
+		if ok {
+			res.ok++
+		} else {
+			res.errors++
+		}
+		if wrong {
+			res.wrong++
+		}
+	}
+	cs := c.Snapshot()
+	res.attempts, res.retries = cs.Attempts, cs.Retries
+	res.injected = injectedTotal(ft.Snapshot())
+	return res, nil
+}
+
+// chaosCrash drives concurrent load against a real listener, abruptly
+// kills the server once half the queries have resolved, restores a fresh
+// server from the autosave directory on the same address, and lets the
+// client's retries bridge the outage.
+func chaosCrash(g *graph.Graph, snap *oracle.Snapshot, queries, workers int, seed int64) (*chaosResult, error) {
+	dir, err := os.MkdirTemp("", "echaos-autosave-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	newServer := func() *oracle.Server {
+		return &oracle.Server{
+			Store: &oracle.Store{}, Cache: oracle.NewPathCache(4096),
+			Met: oracle.NewMetrics(), MaxInflight: 256,
+			AfterPublish: func(s *oracle.Snapshot) { oracle.SaveToDir(dir, s) },
+		}
+	}
+	srv1 := newServer()
+	srv1.Publish(snap) // autosaves via AfterPublish
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	base := "http://" + addr
+	hs := &http.Server{Handler: srv1.Handler()}
+	go hs.Serve(ln)
+
+	inner := &http.Transport{}
+	defer inner.CloseIdleConnections()
+	ft := &httpfault.Transport{Plan: httpfault.All(seed + 1), Inner: inner}
+	opts := chaosClientOpts(ft, seed)
+	opts.MaxAttempts = 6 // extra headroom to ride out the restart window
+	opts.MaxHedges = 1   // the tail-latency hedge, exercised under real concurrency
+	c := client.New(opts)
+
+	perWorker := queries / workers
+	total := perWorker * workers
+	var (
+		resolved  atomic.Int64
+		ok, wrong atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			next := chaosStream(snap, seed, w)
+			for q := 0; q < perWorker; q++ {
+				src, row, dst := next()
+				o, wr := chaosQuery(c, base, snap, src, row, dst)
+				if o {
+					ok.Add(1)
+				}
+				if wr {
+					wrong.Add(1)
+				}
+				resolved.Add(1)
+			}
+		}(w)
+	}
+
+	// Kill -9, in process: once half the load has resolved, close every
+	// connection without draining and bring up a recovered server on the
+	// same address.
+	for resolved.Load() < int64(total/2) {
+		time.Sleep(time.Millisecond)
+	}
+	hs.Close()
+
+	discard := slog.New(slog.NewTextHandler(io.Discard, nil))
+	rec, path, err := oracle.RecoverDir(dir, g, snap.Fingerprint(), discard)
+	if err != nil {
+		return nil, fmt.Errorf("recovering autosave: %w", err)
+	}
+	if rec == nil || path == "" {
+		return nil, fmt.Errorf("no autosave to recover from (dir %s)", dir)
+	}
+	srv2 := newServer()
+	srv2.Publish(rec)
+	var ln2 net.Listener
+	for {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hs2 := &http.Server{Handler: srv2.Handler()}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+
+	wg.Wait()
+	cs := c.Snapshot()
+	return &chaosResult{
+		queries:  total,
+		ok:       int(ok.Load()),
+		errors:   total - int(ok.Load()),
+		wrong:    int(wrong.Load()),
+		attempts: cs.Attempts,
+		retries:  cs.Retries,
+		injected: injectedTotal(ft.Snapshot()),
+	}, nil
+}

@@ -1,0 +1,302 @@
+package httpfault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/difftest"
+)
+
+// newBackend returns a test server answering every request with a fixed
+// JSON body, plus a client whose transport runs through the injector.
+func newBackend(t *testing.T, tr *Transport) (*httptest.Server, *http.Client) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"answer":42,"pad":"0123456789abcdef0123456789abcdef"}`))
+	}))
+	t.Cleanup(ts.Close)
+	if tr.Inner == nil {
+		tr.Inner = ts.Client().Transport
+	}
+	return ts, &http.Client{Transport: tr}
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	return resp, body, rerr
+}
+
+func TestPassThrough(t *testing.T) {
+	tr := &Transport{} // zero plan: perfect transport
+	ts, c := newBackend(t, tr)
+	resp, body, err := get(t, c, ts.URL)
+	if err != nil || resp.StatusCode != 200 || !strings.Contains(string(body), "42") {
+		t.Fatalf("pass-through: status=%v body=%q err=%v", resp, body, err)
+	}
+	if s := tr.Snapshot(); s.Requests != 1 || s.Delays+s.ResetsPre+s.ResetsPost+s.Err500s+s.Err503s+s.Truncations+s.Blackholes != 0 {
+		t.Fatalf("pass-through injected faults: %+v", s)
+	}
+}
+
+func TestScriptedFaults(t *testing.T) {
+	script := []Event{
+		{Req: 0, Kind: ResetEvent},                                                            // before the server
+		{Req: 1, Kind: ResetEvent, Arg: 1},                                                    // after the server
+		{Req: 2, Kind: Err500Event},                                                           //
+		{Req: 3, Kind: Err503Event},                                                           //
+		{Req: 4, Kind: TruncateEvent},                                                         //
+		{Req: 5, Kind: DelayEvent, Arg: int64(2 * time.Millisecond)},                          // delay only
+		{Req: 6, Kind: BlackholeEvent},                                                        //
+		{Req: 7, Kind: DelayEvent, Arg: int64(time.Millisecond)}, {Req: 7, Kind: Err500Event}, // composition
+	}
+	tr := &Transport{Script: script}
+	ts, c := newBackend(t, tr)
+
+	// req 0: reset before — transport error unwrapping to ErrReset.
+	if _, _, err := get(t, c, ts.URL); !errors.Is(err, ErrReset) {
+		t.Fatalf("req 0: err = %v, want ErrReset", err)
+	}
+	// req 1: reset after — also an error, but the server saw the request.
+	if _, _, err := get(t, c, ts.URL); !errors.Is(err, ErrReset) {
+		t.Fatalf("req 1: err = %v, want ErrReset", err)
+	}
+	// req 2: synthesized 500.
+	if resp, _, err := get(t, c, ts.URL); err != nil || resp.StatusCode != 500 {
+		t.Fatalf("req 2: resp=%v err=%v, want 500", resp, err)
+	}
+	// req 3: synthesized 503 with Retry-After.
+	if resp, _, err := get(t, c, ts.URL); err != nil || resp.StatusCode != 503 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("req 3: resp=%v err=%v, want 503 + Retry-After", resp, err)
+	}
+	// req 4: truncated body — the read must fail, never a clean short read.
+	if _, _, err := get(t, c, ts.URL); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("req 4: err = %v, want ErrTruncated", err)
+	}
+	// req 5: delay only — the answer still arrives intact.
+	start := time.Now()
+	if resp, body, err := get(t, c, ts.URL); err != nil || resp.StatusCode != 200 || !strings.Contains(string(body), "42") {
+		t.Fatalf("req 5: resp=%v err=%v", resp, err)
+	} else if time.Since(start) < 2*time.Millisecond {
+		t.Fatalf("req 5: no delay observed")
+	}
+	// req 6: blackhole — only the context deadline gets the client out.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL, nil)
+	if _, err := c.Do(req); err == nil {
+		t.Fatalf("req 6: blackhole answered")
+	}
+	// req 7: delay + 500 compose.
+	if resp, _, err := get(t, c, ts.URL); err != nil || resp.StatusCode != 500 {
+		t.Fatalf("req 7: resp=%v err=%v, want 500", resp, err)
+	}
+
+	s := tr.Snapshot()
+	want := Stats{Requests: 8, Delays: 2, ResetsPre: 1, ResetsPost: 1, Err500s: 2, Err503s: 1, Truncations: 1, Blackholes: 1}
+	if s != want {
+		t.Fatalf("stats = %+v, want %+v", s, want)
+	}
+}
+
+// TestPlanDeterminism: the same plan over the same request order injects
+// the same faults, and recording freezes a replayable script.
+func TestPlanDeterminism(t *testing.T) {
+	run := func() (Stats, []Event) {
+		tr := &Transport{Plan: All(7), Record: true}
+		ts, c := newBackend(t, tr)
+		for i := 0; i < 200; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL, nil)
+			if resp, err := c.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			cancel()
+		}
+		return tr.Snapshot(), tr.Recorded()
+	}
+	s1, ev1 := run()
+	s2, ev2 := run()
+	if s1 != s2 {
+		t.Fatalf("two identical runs differ: %+v vs %+v", s1, s2)
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("recorded scripts differ in length: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("recorded scripts differ at %d: %v vs %v", i, ev1[i], ev2[i])
+		}
+	}
+	if s1.Requests != 200 {
+		t.Fatalf("requests = %d, want 200", s1.Requests)
+	}
+	// All(7) at 200 requests must actually exercise the fault space.
+	if s1.Delays == 0 || s1.ResetsPre+s1.ResetsPost == 0 || s1.Err500s == 0 || s1.Err503s == 0 {
+		t.Fatalf("chaos plan injected too little: %+v", s1)
+	}
+
+	// Replaying the frozen script reproduces the same fault assignment.
+	tr := &Transport{Script: ev1}
+	ts, c := newBackend(t, tr)
+	for i := 0; i < 200; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL, nil)
+		if resp, err := c.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+	}
+	sr := tr.Snapshot()
+	if sr.ResetsPre != s1.ResetsPre || sr.Err500s != s1.Err500s || sr.Truncations != s1.Truncations || sr.Blackholes != s1.Blackholes {
+		t.Fatalf("script replay diverged: %+v vs %+v", sr, s1)
+	}
+}
+
+// TestScriptShrink: a failure triggered by one event in a large recorded
+// script ddmins down to that single event via difftest.DDMin.
+func TestScriptShrink(t *testing.T) {
+	script := make([]Event, 0, 41)
+	for i := 0; i < 40; i++ {
+		script = append(script, Event{Req: uint64(i), Kind: DelayEvent, Arg: int64(time.Microsecond)})
+	}
+	script = append(script, Event{Req: 17, Kind: Err500Event})
+
+	// The "failure": request 17 answers non-200 under the script.
+	fails := func(evs []Event) bool {
+		tr := &Transport{Script: evs}
+		ts, c := newBackend(t, tr)
+		var bad bool
+		for i := 0; i < 40; i++ {
+			resp, _, err := get(t, c, ts.URL)
+			if err == nil && resp.StatusCode != 200 && i == 17 {
+				bad = true
+			}
+		}
+		return bad
+	}
+	min := difftest.DDMin(script, fails)
+	if len(min) != 1 || min[0].Kind != Err500Event || min[0].Req != 17 {
+		t.Fatalf("shrink did not isolate the 500 event: %v", min)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"none",
+		"all",
+		"delay=2ms,delayp=0.2,reset=0.1,err500=0.05,err503=0.05,truncate=0.05,blackhole=0.02,seed=7",
+		"reset=0.5",
+		"delay=1ms,delayp=1,seed=-3",
+	}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)): %v", s, err)
+		}
+		if p != p2 {
+			t.Fatalf("round trip %q: %+v != %+v", s, p, p2)
+		}
+	}
+	for _, bad := range []string{"delay=abc", "reset=2", "blackhole=-1", "wat=1", "delay=5s", "reorder"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Req: 0, Kind: ResetEvent},
+		{Req: 3, Kind: ResetEvent, Arg: 1},
+		{Req: 9, Kind: DelayEvent, Arg: 1500},
+		{Req: 12, Kind: BlackholeEvent},
+	}
+	for _, e := range evs {
+		got, err := ParseEvent(e.String())
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", e, err)
+		}
+		if got != e {
+			t.Fatalf("round trip %v -> %v", e, got)
+		}
+	}
+	for _, bad := range []string{"", "req=1", "kind=reset", "req=1 kind=nope", "req=1 req=2 kind=reset"} {
+		if _, err := ParseEvent(bad); err == nil {
+			t.Fatalf("ParseEvent(%q) accepted", bad)
+		}
+	}
+}
+
+// TestListenerKills: a wrapped listener with KillP=1 kills every
+// connection; the client observes transport errors, and the kill counter
+// accounts them.
+func TestListenerKills(t *testing.T) {
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 64<<10)) // large enough to span several writes
+	}))
+	ln := WrapListener(ts.Listener, Plan{Seed: 3}, 1.0)
+	ts.Listener = ln
+	ts.Start()
+	defer ts.Close()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	errs := 0
+	for i := 0; i < 8; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			errs++
+			continue
+		}
+		if _, rerr := io.ReadAll(resp.Body); rerr != nil {
+			errs++
+		}
+		resp.Body.Close()
+	}
+	if errs == 0 {
+		t.Fatalf("KillP=1 listener produced no client-visible failures")
+	}
+	if got := ln.Snapshot().ConnsKilled; got == 0 {
+		t.Fatalf("no connections recorded as killed")
+	}
+}
+
+// TestListenerPassThrough: KillP=0 never kills.
+func TestListenerPassThrough(t *testing.T) {
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	ln := WrapListener(ts.Listener, Plan{Seed: 3}, 0)
+	ts.Listener = ln
+	ts.Start()
+	defer ts.Close()
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("clean listener failed: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := ln.Snapshot().ConnsKilled; got != 0 {
+		t.Fatalf("KillP=0 killed %d connections", got)
+	}
+}

@@ -38,6 +38,16 @@ type Metrics struct {
 	// CheckpointLoad is the startup checkpoint's load wall time in seconds
 	// (0 = the daemon did not load one).
 	CheckpointLoad obs.Gauge
+	// RecomputeFails counts recompute runs that errored (the server keeps
+	// serving the previous generation — see healthz "stale").
+	RecomputeFails obs.Counter
+	// DeadlineExceeded counts queries cut off by the per-request deadline.
+	DeadlineExceeded obs.Counter
+	// DegradeLevel is the current load-shedding ladder rung (0 = full
+	// service, 1 = path-cache inserts off, 2 = dist-only).
+	DegradeLevel obs.Gauge
+	// DegradedPaths counts path queries refused while dist-only degraded.
+	DegradedPaths obs.Counter
 	// physRetransmits / physDupDeliveries / physDataSends describe the
 	// delivery shim's physical cost for the serving snapshot's computation
 	// (all 0 when it ran over perfect delivery). Gauges, not counters: each
@@ -65,6 +75,10 @@ func NewMetrics() *Metrics {
 	m.Swaps = reg.Counter("apspd_snapshot_swaps_total", "snapshot publishes")
 	m.Inflight = reg.Gauge("apspd_inflight_requests", "requests currently admitted")
 	m.CheckpointLoad = reg.Gauge("apspd_checkpoint_load_seconds", "startup checkpoint load wall time (0 = none loaded)")
+	m.RecomputeFails = reg.Counter("apspd_recompute_failures_total", "recompute runs that errored (previous generation kept serving)")
+	m.DeadlineExceeded = reg.Counter("apspd_deadline_exceeded_total", "queries cut off by the per-request deadline")
+	m.DegradeLevel = reg.Gauge("apspd_degrade_level", "load-shedding ladder rung (0 full, 1 no cache inserts, 2 dist-only)")
+	m.DegradedPaths = reg.Counter("apspd_degraded_paths_total", "path queries refused while dist-only degraded")
 	m.physRetransmits = reg.Gauge("apspd_compute_phys_retransmits", "delivery-shim retransmissions during the serving snapshot's computation")
 	m.physDupDeliveries = reg.Gauge("apspd_compute_phys_dup_deliveries", "duplicate deliveries discarded during the serving snapshot's computation")
 	m.physDataSends = reg.Gauge("apspd_compute_phys_data_sends", "first data transmissions during the serving snapshot's computation")

@@ -1,0 +1,381 @@
+package oracle
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+// Snapshot container format (little-endian):
+//
+//	magic    [8]byte  "APSPSNAP"
+//	version  u32      1
+//	metaLen  u32
+//	meta     JSON     snapMeta (alg, n, k, sources, fingerprint, columns)
+//	dist     k·n i64
+//	hops     k·n i32  (present iff meta.HasHops)
+//	parent   k·n i32  (present iff meta.HasPaths)
+//	checksum u64      FNV-64a over every preceding byte
+//
+// This is the oracle's own autosave format — deliberately separate from
+// the engine checkpoint container (internal/checkpoint), which snapshots
+// an in-flight computation; this snapshots a finished, serving answer
+// set. The trailing checksum makes every torn or bit-flipped file a loud
+// ErrCorruptSnapshot instead of silently wrong distances.
+const (
+	snapMagic   = "APSPSNAP"
+	snapVersion = 1
+	snapSuffix  = ".snap"
+	// QuarantineSuffix is appended to unreadable snapshot files by
+	// RecoverDir so they never shadow an older valid generation again.
+	QuarantineSuffix = ".corrupt"
+)
+
+// ErrCorruptSnapshot is wrapped by every load failure caused by the file
+// contents (bad magic, truncation, checksum mismatch, malformed meta) —
+// as opposed to I/O errors or graph mismatches.
+var ErrCorruptSnapshot = errors.New("oracle: corrupt snapshot")
+
+// ErrSnapshotMismatch is wrapped when a structurally valid snapshot was
+// built against a different graph than the one it is being loaded for.
+var ErrSnapshotMismatch = errors.New("oracle: snapshot/graph mismatch")
+
+// snapMeta is the JSON header of a persisted snapshot.
+type snapMeta struct {
+	Alg         string            `json:"alg"`
+	N           int               `json:"n"`
+	K           int               `json:"k"`
+	Sources     []int             `json:"sources"`
+	Fingerprint uint64            `json:"fingerprint"`
+	HasHops     bool              `json:"has_hops"`
+	HasPaths    bool              `json:"has_paths"`
+	Stats       congest.Stats     `json:"stats"`
+	Phys        *faults.PhysStats `json:"phys,omitempty"`
+}
+
+// SaveSnapshot writes snap to path atomically: a temp file in the same
+// directory is written, fsynced, renamed into place, and the parent
+// directory is fsynced — after a crash at any instant, path either holds
+// the complete new snapshot or whatever was there before, never a tear.
+func SaveSnapshot(path string, snap *Snapshot) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("oracle: creating snapshot temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = writeSnapshot(tmp, snap); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("oracle: syncing snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("oracle: closing snapshot temp file: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("oracle: installing snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("oracle: opening snapshot dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("oracle: syncing snapshot dir: %w", err)
+	}
+	return nil
+}
+
+func writeSnapshot(f *os.File, snap *Snapshot) error {
+	meta := snapMeta{
+		Alg: snap.alg, N: snap.n, K: snap.K(), Sources: snap.sources,
+		Fingerprint: snap.fp, HasHops: snap.HasHops(), HasPaths: snap.HasPaths(),
+		Stats: snap.stats, Phys: snap.phys,
+	}
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("oracle: encoding snapshot meta: %w", err)
+	}
+	sum := fnv.New64a()
+	w := io.MultiWriter(f, sum)
+
+	hdr := make([]byte, 0, 16+len(mj))
+	hdr = append(hdr, snapMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, snapVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(mj)))
+	hdr = append(hdr, mj...)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("oracle: writing snapshot header: %w", err)
+	}
+
+	// Column blocks, one buffered row at a time.
+	buf := make([]byte, 0, snap.n*8)
+	for row := 0; row < meta.K; row++ {
+		buf = buf[:0]
+		for v := 0; v < snap.n; v++ {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(snap.DistAt(row, v)))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("oracle: writing distance row %d: %w", row, err)
+		}
+	}
+	if meta.HasHops {
+		for row := 0; row < meta.K; row++ {
+			buf = buf[:0]
+			for v := 0; v < snap.n; v++ {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(snap.hopAt(row, v))))
+			}
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("oracle: writing hop row %d: %w", row, err)
+			}
+		}
+	}
+	if meta.HasPaths {
+		for row := 0; row < meta.K; row++ {
+			buf = buf[:0]
+			for v := 0; v < snap.n; v++ {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(snap.parentAt(row, v))))
+			}
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("oracle: writing parent row %d: %w", row, err)
+			}
+		}
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], sum.Sum64())
+	if _, err := f.Write(tail[:]); err != nil {
+		return fmt.Errorf("oracle: writing snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads, checksums, and revalidates a persisted snapshot
+// against g. expectFP, when non-zero, must match the stored graph
+// fingerprint (ErrSnapshotMismatch otherwise). Every structural defect —
+// truncation at any byte, flipped bits, malformed meta — returns an error
+// wrapping ErrCorruptSnapshot; a load never yields a partially-filled or
+// silently wrong snapshot.
+func LoadSnapshot(path string, g *graph.Graph, expectFP uint64) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: reading snapshot: %w", err)
+	}
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s: %s", ErrCorruptSnapshot, path, fmt.Sprintf(format, args...))
+	}
+	if len(data) < len(snapMagic)+8+8 {
+		return nil, corrupt("file is %d bytes, too short for the container", len(data))
+	}
+	body, tail := data[:len(data)-8], data[len(data)-8:]
+	sum := fnv.New64a()
+	sum.Write(body)
+	if got, want := sum.Sum64(), binary.LittleEndian.Uint64(tail); got != want {
+		return nil, corrupt("checksum %016x, file says %016x", got, want)
+	}
+	if string(body[:8]) != snapMagic {
+		return nil, corrupt("bad magic %q", body[:8])
+	}
+	if v := binary.LittleEndian.Uint32(body[8:12]); v != snapVersion {
+		return nil, corrupt("unsupported version %d", v)
+	}
+	metaLen := int(binary.LittleEndian.Uint32(body[12:16]))
+	if metaLen < 0 || 16+metaLen > len(body) {
+		return nil, corrupt("meta length %d exceeds file", metaLen)
+	}
+	var meta snapMeta
+	if err := json.Unmarshal(body[16:16+metaLen], &meta); err != nil {
+		return nil, corrupt("bad meta JSON: %v", err)
+	}
+	if meta.N <= 0 || meta.K <= 0 || len(meta.Sources) != meta.K {
+		return nil, corrupt("meta n=%d k=%d sources=%d inconsistent", meta.N, meta.K, len(meta.Sources))
+	}
+	if meta.N != g.N() {
+		return nil, fmt.Errorf("%w: snapshot has n=%d, graph has n=%d", ErrSnapshotMismatch, meta.N, g.N())
+	}
+	if expectFP != 0 && meta.Fingerprint != expectFP {
+		return nil, fmt.Errorf("%w: snapshot fingerprint %016x, graph %016x", ErrSnapshotMismatch, meta.Fingerprint, expectFP)
+	}
+
+	cells := meta.K * meta.N
+	want := cells * 8
+	if meta.HasHops {
+		want += cells * 4
+	}
+	if meta.HasPaths {
+		want += cells * 4
+	}
+	cols := body[16+metaLen:]
+	if len(cols) != want {
+		return nil, corrupt("column bytes %d, want %d", len(cols), want)
+	}
+
+	in := BuildInput{
+		Alg: meta.Alg, Sources: meta.Sources, Stats: meta.Stats, Phys: meta.Phys,
+		Dist: make([][]int64, meta.K),
+	}
+	flatDist := make([]int64, cells)
+	for i := range flatDist {
+		flatDist[i] = int64(binary.LittleEndian.Uint64(cols[i*8:]))
+	}
+	for r := 0; r < meta.K; r++ {
+		in.Dist[r] = flatDist[r*meta.N : (r+1)*meta.N]
+	}
+	off := cells * 8
+	if meta.HasHops {
+		flat := make([]int64, cells)
+		for i := range flat {
+			flat[i] = int64(int32(binary.LittleEndian.Uint32(cols[off+i*4:])))
+		}
+		in.Hops = make([][]int64, meta.K)
+		for r := 0; r < meta.K; r++ {
+			in.Hops[r] = flat[r*meta.N : (r+1)*meta.N]
+		}
+		off += cells * 4
+	}
+	if meta.HasPaths {
+		flat := make([]int, cells)
+		for i := range flat {
+			flat[i] = int(int32(binary.LittleEndian.Uint32(cols[off+i*4:])))
+		}
+		in.Parent = make([][]int, meta.K)
+		for r := 0; r < meta.K; r++ {
+			in.Parent[r] = flat[r*meta.N : (r+1)*meta.N]
+		}
+	}
+	snap, err := Build(g, in, BuildOpts{Fingerprint: meta.Fingerprint})
+	if err != nil {
+		// Build's range checks catching anything here means the checksum
+		// passed but the content is impossible — still a corrupt file.
+		return nil, corrupt("revalidation failed: %v", err)
+	}
+	return snap, nil
+}
+
+// SaveToDir saves snap under dir with a name that sorts newest-first by
+// creation order, and returns the path.
+func SaveToDir(dir string, snap *Snapshot) (string, error) {
+	name := fmt.Sprintf("snap-%020d-g%d%s", time.Now().UnixNano(), snap.Gen(), snapSuffix)
+	path := filepath.Join(dir, name)
+	if err := SaveSnapshot(path, snap); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// listSnapshots returns dir's snapshot files, newest first (by modtime,
+// then name).
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		path string
+		mod  time.Time
+	}
+	var cands []cand
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapSuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{filepath.Join(dir, e.Name()), info.ModTime()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].mod.Equal(cands[j].mod) {
+			return cands[i].mod.After(cands[j].mod)
+		}
+		return cands[i].path > cands[j].path
+	})
+	paths := make([]string, len(cands))
+	for i, c := range cands {
+		paths[i] = c.path
+	}
+	return paths, nil
+}
+
+// RecoverDir finds the newest loadable snapshot in dir. Corrupt files are
+// quarantined (renamed with QuarantineSuffix) and skipped — a torn
+// autosave from a crash mid-write must never shadow the older valid
+// generation behind it. Graph-mismatched files are skipped but left in
+// place (they are valid, just for a different input). Returns (nil, "",
+// nil) when dir holds no usable snapshot — a cold boot, not an error.
+func RecoverDir(dir string, g *graph.Graph, expectFP uint64, log *slog.Logger) (*Snapshot, string, error) {
+	paths, err := listSnapshots(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", nil
+		}
+		return nil, "", fmt.Errorf("oracle: scanning snapshot dir: %w", err)
+	}
+	for _, path := range paths {
+		snap, err := LoadSnapshot(path, g, expectFP)
+		if err == nil {
+			return snap, path, nil
+		}
+		if errors.Is(err, ErrSnapshotMismatch) {
+			if log != nil {
+				log.Warn("skipping snapshot for different graph", slog.String("path", path), slog.Any("err", err))
+			}
+			continue
+		}
+		// Corrupt or unreadable: quarantine so the next boot does not
+		// retry it, and fall through to the next-newest candidate.
+		qpath := path + QuarantineSuffix
+		if rerr := os.Rename(path, qpath); rerr != nil {
+			qpath = path + " (quarantine failed)"
+		}
+		if log != nil {
+			log.Warn("quarantined corrupt snapshot",
+				slog.String("path", path), slog.String("quarantine", qpath), slog.Any("err", err))
+		}
+	}
+	return nil, "", nil
+}
+
+// Prune deletes all but the keep newest snapshot files in dir (keep <= 0
+// keeps everything). Quarantined files are never pruned — they are
+// evidence.
+func Prune(dir string, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	paths, err := listSnapshots(dir)
+	if err != nil {
+		return fmt.Errorf("oracle: scanning snapshot dir: %w", err)
+	}
+	var firstErr error
+	for _, path := range paths[min(keep, len(paths)):] {
+		if err := os.Remove(path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

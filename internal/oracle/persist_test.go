@@ -1,0 +1,256 @@
+package oracle
+
+import (
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// saveLoadPair builds a snapshot, saves it, and loads it back.
+func saveLoadPair(t *testing.T, in BuildInput, g *graph.Graph, fp uint64) (*Snapshot, *Snapshot, string) {
+	t.Helper()
+	snap, err := Build(g, in, BuildOpts{Fingerprint: fp})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	(&Store{}).Publish(snap)
+	path := filepath.Join(t.TempDir(), "a.snap")
+	if err := SaveSnapshot(path, snap); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	got, err := LoadSnapshot(path, g, fp)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	return snap, got, path
+}
+
+func assertSameAnswers(t *testing.T, want, got *Snapshot) {
+	t.Helper()
+	if got.Alg() != want.Alg() || got.N() != want.N() || got.K() != want.K() ||
+		got.Fingerprint() != want.Fingerprint() ||
+		got.HasPaths() != want.HasPaths() || got.HasHops() != want.HasHops() {
+		t.Fatalf("identity mismatch: got %s n=%d k=%d fp=%x paths=%v hops=%v",
+			got.Alg(), got.N(), got.K(), got.Fingerprint(), got.HasPaths(), got.HasHops())
+	}
+	for row := 0; row < want.K(); row++ {
+		for v := 0; v < want.N(); v++ {
+			if got.DistAt(row, v) != want.DistAt(row, v) {
+				t.Fatalf("dist(%d,%d) = %d, want %d", row, v, got.DistAt(row, v), want.DistAt(row, v))
+			}
+			if !want.HasPaths() {
+				continue
+			}
+			wp, werr := want.Path(row, v)
+			gp, gerr := got.Path(row, v)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("path(%d,%d) errors diverge: %v vs %v", row, v, werr, gerr)
+			}
+			if len(wp) != len(gp) {
+				t.Fatalf("path(%d,%d) lengths diverge: %d vs %d", row, v, len(wp), len(gp))
+			}
+			for i := range wp {
+				if wp[i] != gp[i] {
+					t.Fatalf("path(%d,%d)[%d] = %d, want %d", row, v, i, gp[i], wp[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
+	g, _, in := testInput(t, 24, 72, 11, []int{0, 3, 7, 11, 23})
+	want, got, _ := saveLoadPair(t, in, g, 0xfeedbeef)
+	assertSameAnswers(t, want, got)
+	if got.Stats().Rounds != want.Stats().Rounds {
+		t.Fatalf("stats dropped: rounds %d vs %d", got.Stats().Rounds, want.Stats().Rounds)
+	}
+}
+
+func TestSnapshotSaveLoadDistOnly(t *testing.T) {
+	g, _, in := testInput(t, 16, 48, 5, []int{0, 5, 9})
+	in.Hops, in.Parent = nil, nil
+	want, got, _ := saveLoadPair(t, in, g, 0)
+	if got.HasPaths() || got.HasHops() {
+		t.Fatal("dist-only snapshot grew columns in transit")
+	}
+	assertSameAnswers(t, want, got)
+}
+
+// TestSnapshotTornWriteSweep truncates the file at EVERY byte boundary
+// and requires each load to fail loudly with ErrCorruptSnapshot — a torn
+// write (crash mid-save without the rename discipline) must never parse
+// as a shorter-but-plausible snapshot.
+func TestSnapshotTornWriteSweep(t *testing.T) {
+	g, _, in := testInput(t, 8, 24, 3, []int{0, 5})
+	_, _, path := saveLoadPair(t, in, g, 7)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(t.TempDir(), "torn.snap")
+	for cut := 0; cut < len(whole); cut++ {
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, lerr := LoadSnapshot(torn, g, 0); !errors.Is(lerr, ErrCorruptSnapshot) {
+			t.Fatalf("truncation at byte %d of %d: err = %v, want ErrCorruptSnapshot", cut, len(whole), lerr)
+		}
+	}
+}
+
+func TestSnapshotBitFlipSweep(t *testing.T) {
+	g, _, in := testInput(t, 8, 24, 3, []int{0, 5})
+	_, _, path := saveLoadPair(t, in, g, 7)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := filepath.Join(t.TempDir(), "flip.snap")
+	// Flip one bit in every 7th byte (a full per-bit sweep is slow and
+	// adds nothing: the checksum catches any single flip the same way).
+	for off := 0; off < len(whole); off += 7 {
+		mut := append([]byte(nil), whole...)
+		mut[off] ^= 1 << (off % 8)
+		if err := os.WriteFile(flipped, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, lerr := LoadSnapshot(flipped, g, 0); !errors.Is(lerr, ErrCorruptSnapshot) {
+			t.Fatalf("bit flip at byte %d: err = %v, want ErrCorruptSnapshot", off, lerr)
+		}
+	}
+}
+
+func TestSnapshotFingerprintMismatch(t *testing.T) {
+	g, _, in := testInput(t, 16, 48, 5, []int{0, 5})
+	_, _, path := saveLoadPair(t, in, g, 42)
+	if _, err := LoadSnapshot(path, g, 43); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("fingerprint mismatch err = %v, want ErrSnapshotMismatch", err)
+	}
+	// Wrong graph size is a mismatch too, not corruption.
+	g2 := graph.Random(10, 20, graph.GenOpts{MaxW: 8, Seed: 9, Directed: true})
+	if _, err := LoadSnapshot(path, g2, 0); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("graph-size mismatch err = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestRecoverDirQuarantinesCorrupt(t *testing.T) {
+	g, _, in := testInput(t, 16, 48, 5, []int{0, 5, 9})
+	snap, err := Build(g, in, BuildOpts{Fingerprint: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	(&Store{}).Publish(snap)
+	dir := t.TempDir()
+	older, err := SaveToDir(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer, err := SaveToDir(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest file: recovery must quarantine it and fall back to
+	// the older valid generation.
+	whole, _ := os.ReadFile(newer)
+	if err := os.WriteFile(newer, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+	got, path, err := RecoverDir(dir, g, 1, log)
+	if err != nil {
+		t.Fatalf("RecoverDir: %v", err)
+	}
+	if got == nil || path != older {
+		t.Fatalf("recovered %q, want fallback to %q", path, older)
+	}
+	assertSameAnswers(t, snap, got)
+	if _, err := os.Stat(newer + QuarantineSuffix); err != nil {
+		t.Fatalf("torn file not quarantined: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() == filepath.Base(newer) {
+			t.Fatal("torn file still present under its snapshot name")
+		}
+	}
+}
+
+func TestRecoverDirColdBoot(t *testing.T) {
+	g, _, _ := testInput(t, 8, 24, 3, []int{0})
+	if snap, path, err := RecoverDir(t.TempDir(), g, 0, nil); snap != nil || path != "" || err != nil {
+		t.Fatalf("empty dir: got (%v, %q, %v), want cold boot", snap, path, err)
+	}
+	if snap, path, err := RecoverDir(filepath.Join(t.TempDir(), "missing"), g, 0, nil); snap != nil || path != "" || err != nil {
+		t.Fatalf("missing dir: got (%v, %q, %v), want cold boot", snap, path, err)
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	g, _, in := testInput(t, 8, 24, 3, []int{0, 5})
+	snap, err := Build(g, in, BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 5; i++ {
+		p, err := SaveToDir(dir, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	// A quarantined file must survive pruning.
+	evidence := filepath.Join(dir, "old.snap"+QuarantineSuffix)
+	if err := os.WriteFile(evidence, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	left, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Fatalf("%d snapshots left, want 2: %v", len(left), left)
+	}
+	for _, p := range left {
+		if p != paths[3] && p != paths[4] {
+			t.Fatalf("pruning kept %q, want the two newest of %v", p, paths)
+		}
+	}
+	if _, err := os.Stat(evidence); err != nil {
+		t.Fatalf("quarantined file pruned: %v", err)
+	}
+	if err := Prune(dir, 0); err != nil {
+		t.Fatalf("Prune(keep=0): %v", err)
+	}
+	if left, _ = listSnapshots(dir); len(left) != 2 {
+		t.Fatal("Prune(keep<=0) must be a no-op")
+	}
+}
+
+func TestSaveSnapshotLeavesNoTempDebris(t *testing.T) {
+	g, _, in := testInput(t, 8, 24, 3, []int{0})
+	snap, err := Build(g, in, BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveSnapshot(filepath.Join(dir, "a.snap"), snap); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp debris left behind: %s", e.Name())
+		}
+	}
+}

@@ -28,7 +28,38 @@ const (
 	DefaultDeadline    = 2 * time.Second
 	DefaultBatchBudget = 4096
 	maxBatchBytes      = 4 << 20
+
+	// Degradation ladder defaults (fractions of MaxInflight occupancy).
+	DefaultDegradeCacheAt    = 0.75
+	DefaultDegradeDistOnlyAt = 0.9
+	// shedRetryAfter is the Retry-After (seconds) stamped on every shed or
+	// degraded refusal, sized to the admission queue's drain time.
+	shedRetryAfter = "1"
+	// statusClientClosed mirrors nginx's 499: the client vanished before
+	// the answer existed, so no bytes reach the wire — the status only
+	// feeds metrics and logs.
+	statusClientClosed = 499
 )
+
+// Degradation ladder rungs, in increasing order of shed aggression.
+const (
+	degradeNone          = 0 // full service
+	degradeNoCacheInsert = 1 // path-cache stops admitting entries
+	degradeDistOnly      = 2 // path queries refused with 503
+)
+
+// degradeLevel reads the ladder rung from the current admission-slot
+// occupancy. One channel-length read: cheap enough for every query.
+func (s *Server) degradeLevel() int {
+	occ := float64(len(s.sem)) / float64(s.MaxInflight)
+	switch {
+	case s.DegradeDistOnlyAt > 0 && occ >= s.DegradeDistOnlyAt:
+		return degradeDistOnly
+	case s.DegradeCacheAt > 0 && occ >= s.DegradeCacheAt:
+		return degradeNoCacheInsert
+	}
+	return degradeNone
+}
 
 // Server serves distance-oracle queries over HTTP/JSON.
 //
@@ -59,8 +90,22 @@ type Server struct {
 
 	// Recompute, when set, is invoked by POST /admin/recompute (in a
 	// background goroutine, single-flight) to build a replacement
-	// snapshot; the server publishes whatever it returns.
+	// snapshot; the server publishes whatever it returns. A failed
+	// recompute does NOT take the server down: the previous generation
+	// keeps serving ("stale" on /healthz) until a later recompute lands.
 	Recompute func(ctx context.Context) (*Snapshot, error)
+	// AfterPublish, when set, observes every published snapshot (the
+	// daemon's autosave hook). Called synchronously after the swap; a slow
+	// hook delays the Publish caller, never queries.
+	AfterPublish func(*Snapshot)
+	// DegradeCacheAt and DegradeDistOnlyAt are the load-shedding ladder
+	// thresholds, as fractions of MaxInflight occupancy: at DegradeCacheAt
+	// the path cache stops admitting new entries (lookups still hit); at
+	// DegradeDistOnlyAt path queries are refused with 503 + Retry-After so
+	// the cheap dist lookups keep their latency. 0 = defaults (0.75 and
+	// 0.9); negative disables that rung.
+	DegradeCacheAt    float64
+	DegradeDistOnlyAt float64
 	// Log receives operational and per-query records (nil = silent). Wrap
 	// the handler with trace.LogHandler so records carry trace IDs.
 	Log *slog.Logger
@@ -81,6 +126,7 @@ type Server struct {
 	sem         chan struct{}
 	recomputing atomic.Bool
 	logSeq      atomic.Uint64
+	staleErr    atomic.Pointer[string] // last recompute error; nil = fresh
 }
 
 func (s *Server) init() {
@@ -96,6 +142,12 @@ func (s *Server) init() {
 		}
 		if s.BatchBudget <= 0 {
 			s.BatchBudget = DefaultBatchBudget
+		}
+		if s.DegradeCacheAt == 0 {
+			s.DegradeCacheAt = DefaultDegradeCacheAt
+		}
+		if s.DegradeDistOnlyAt == 0 {
+			s.DegradeDistOnlyAt = DefaultDegradeDistOnlyAt
 		}
 		if s.Met == nil {
 			s.Met = NewMetrics()
@@ -121,9 +173,13 @@ func (s *Server) Publish(snap *Snapshot) uint64 {
 	s.Met.Generation.Set(float64(gen))
 	s.Met.Swaps.Inc()
 	s.Met.SetPhys(snap.Phys())
+	s.staleErr.Store(nil) // a fresh generation clears the stale flag
 	s.logAt(context.Background(), slog.LevelInfo, "published snapshot",
 		slog.Uint64("gen", gen), slog.String("alg", snap.Alg()),
 		slog.Int("n", snap.N()), slog.Int("k", snap.K()))
+	if s.AfterPublish != nil {
+		s.AfterPublish(snap)
+	}
 	return gen
 }
 
@@ -179,7 +235,7 @@ func (s *Server) query(kind string, h func(http.ResponseWriter, *http.Request, *
 				admit.End()
 				root.Error(errors.New("shed: admission queue full"))
 				root.End()
-				writeErr(w, http.StatusTooManyRequests, "overloaded, retry later")
+				writeErrRetry(w, http.StatusTooManyRequests, "overloaded, retry later")
 				return
 			case <-r.Context().Done():
 				t.Stop()
@@ -187,11 +243,12 @@ func (s *Server) query(kind string, h func(http.ResponseWriter, *http.Request, *
 				admit.End()
 				root.Error(errors.New("shed: client gave up in admission queue"))
 				root.End()
-				writeErr(w, http.StatusTooManyRequests, "client gave up in admission queue")
+				writeErrRetry(w, http.StatusTooManyRequests, "client gave up in admission queue")
 				return
 			}
 		}
 		s.Met.Inflight.Add(1)
+		s.Met.DegradeLevel.Set(float64(s.degradeLevel()))
 		start := time.Now()
 		status := http.StatusOK
 		defer func() {
@@ -312,6 +369,10 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request, snap *Snapsh
 	if !snap.HasPaths() {
 		return writeErr(w, http.StatusNotImplemented, "%s snapshots record no parent pointers; only /dist is served", snap.Alg())
 	}
+	if s.degradeLevel() >= degradeDistOnly {
+		s.Met.DegradedPaths.Inc()
+		return writeErrRetry(w, http.StatusServiceUnavailable, "degraded to dist-only under load, retry later")
+	}
 	path, err := s.lookupPath(r.Context(), snap, row, dst)
 	if err != nil {
 		return writeErr(w, pathStatus(err), "%v", err)
@@ -347,7 +408,10 @@ func (s *Server) lookupPath(ctx context.Context, snap *Snapshot, row, dst int) (
 		walk.SetInt("hops", int64(len(path)-1))
 	}
 	walk.End()
-	if s.Cache != nil {
+	// Under load (ladder rung 1+) the cache stops admitting entries:
+	// inserts churn the LRU lock and evict the hot set exactly when the
+	// server can least afford it. Hits above still serve.
+	if s.Cache != nil && s.degradeLevel() < degradeNoCacheInsert {
 		s.Cache.Put(snap.Gen(), row, dst, path, err)
 	}
 	return path, err
@@ -396,6 +460,23 @@ type batchResp struct {
 	Results []batchResult `json:"results"`
 }
 
+// BatchPartialError reports a /batch cut off after Done of Total queries.
+// Cause distinguishes the per-request deadline (context.DeadlineExceeded,
+// answered 504) from the client hanging up (context.Canceled, nothing to
+// answer — the 499 status only feeds metrics). The type is exported so
+// in-process callers (experiments, tests) can assert on partial progress
+// instead of string-matching.
+type BatchPartialError struct {
+	Done, Total int
+	Cause       error
+}
+
+func (e *BatchPartialError) Error() string {
+	return fmt.Sprintf("batch aborted after %d of %d queries: %v", e.Done, e.Total, e.Cause)
+}
+
+func (e *BatchPartialError) Unwrap() error { return e.Cause }
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, snap *Snapshot) int {
 	var req batchReq
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
@@ -418,12 +499,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, snap *Snaps
 	resp := batchResp{Gen: snap.Gen(), Results: make([]batchResult, len(req.Queries))}
 	var seg *trace.Span
 	for qi, q := range req.Queries {
-		// The deadline is checked between queries so a huge path batch
-		// cannot hold its admission slot past the request budget.
+		// The deadline AND the client's own context are checked between
+		// queries, so a huge path batch neither holds its admission slot
+		// past the request budget nor keeps burning CPU for a client that
+		// already hung up.
 		if qi&255 == 0 {
 			seg.End()
-			if ctx.Err() != nil {
-				return writeErr(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d queries", qi, len(req.Queries))
+			if err := ctx.Err(); err != nil {
+				seg = nil
+				perr := &BatchPartialError{Done: qi, Total: len(req.Queries), Cause: err}
+				if errors.Is(err, context.DeadlineExceeded) {
+					s.Met.DeadlineExceeded.Inc()
+					return writeErr(w, http.StatusGatewayTimeout, "%v", perr)
+				}
+				// Client disconnect: the write below is a no-op on a dead
+				// connection; the status records the abandonment.
+				return writeErr(w, statusClientClosed, "%v", perr)
 			}
 			seg = sp.Child("batch.segment")
 			seg.SetInt("offset", int64(qi))
@@ -458,6 +549,10 @@ func (s *Server) batchOne(ctx context.Context, snap *Snapshot, q batchItem) batc
 		if !snap.HasPaths() {
 			return fail(http.StatusNotImplemented, "%s snapshots record no parent pointers", snap.Alg())
 		}
+		if s.degradeLevel() >= degradeDistOnly {
+			s.Met.DegradedPaths.Inc()
+			return fail(http.StatusServiceUnavailable, "degraded to dist-only under load, retry later")
+		}
 		path, err := s.lookupPath(ctx, snap, row, q.Dst)
 		if err != nil {
 			return fail(pathStatus(err), "%v", err)
@@ -470,16 +565,20 @@ func (s *Server) batchOne(ctx context.Context, snap *Snapshot, q batchItem) batc
 	return res
 }
 
-// healthResp is the /healthz body.
+// healthResp is the /healthz body. Status "stale" means the snapshot is
+// valid and serving but the most recent recompute failed — degraded, not
+// down; orchestrators should alert, not restart.
 type healthResp struct {
-	Status      string `json:"status"` // "ok" | "loading"
-	Gen         uint64 `json:"gen"`
-	Alg         string `json:"alg,omitempty"`
-	N           int    `json:"n,omitempty"`
-	K           int    `json:"k,omitempty"`
-	Fingerprint string `json:"fingerprint,omitempty"`
-	HasPaths    bool   `json:"has_paths"`
-	Recomputing bool   `json:"recomputing"`
+	Status       string `json:"status"` // "ok" | "loading" | "stale"
+	Gen          uint64 `json:"gen"`
+	Alg          string `json:"alg,omitempty"`
+	N            int    `json:"n,omitempty"`
+	K            int    `json:"k,omitempty"`
+	Fingerprint  string `json:"fingerprint,omitempty"`
+	HasPaths     bool   `json:"has_paths"`
+	Recomputing  bool   `json:"recomputing"`
+	DegradeLevel int    `json:"degrade_level,omitempty"`
+	LastError    string `json:"last_recompute_error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -489,11 +588,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, healthResp{Status: "loading", Recomputing: s.recomputing.Load()})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResp{
+	resp := healthResp{
 		Status: "ok", Gen: snap.Gen(), Alg: snap.Alg(), N: snap.N(), K: snap.K(),
 		Fingerprint: fmt.Sprintf("%016x", snap.Fingerprint()),
 		HasPaths:    snap.HasPaths(), Recomputing: s.recomputing.Load(),
-	})
+		DegradeLevel: s.degradeLevel(),
+	}
+	if msg := s.staleErr.Load(); msg != nil {
+		resp.Status = "stale"
+		resp.LastError = *msg
+	}
+	// Stale is still 200: the answers served are correct, just older than
+	// requested. Only a missing snapshot is unready.
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -545,9 +652,17 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 			s.Progress.Done()
 		}
 		if err != nil {
+			msg := err.Error()
+			s.staleErr.Store(&msg)
+			s.Met.RecomputeFails.Inc()
 			sp.Error(err)
 			sp.End()
-			s.logAt(rctx, slog.LevelError, "recompute failed", slog.Any("err", err))
+			var gen uint64
+			if cur := s.Store.Current(); cur != nil {
+				gen = cur.Gen()
+			}
+			s.logAt(rctx, slog.LevelError, "recompute failed, serving stale generation",
+				slog.Any("err", err), slog.Uint64("gen", gen))
 			return
 		}
 		gen := s.Publish(snap)
@@ -565,6 +680,15 @@ type errResp struct {
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) int {
 	return writeJSON(w, status, errResp{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErrRetry is writeErr plus a Retry-After header — every shed and
+// degraded refusal tells the client when to come back, so a well-behaved
+// retry loop (internal/client honors the header) backs off in step with
+// the server's load instead of hammering it.
+func writeErrRetry(w http.ResponseWriter, status int, format string, args ...any) int {
+	w.Header().Set("Retry-After", shedRetryAfter)
+	return writeErr(w, status, format, args...)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) int {

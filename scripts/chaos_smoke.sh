@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Chaos drill for the apspd daemon: boot with listener-level fault
+# injection and an autosave directory, drive load, kill -9 mid-load, then
+# restart (the shell loop below is the supervisor a kill -9 leaves
+# standing) and verify the reborn daemon recovered the autosaved snapshot
+# and still answers correctly. The restart passes a deliberately bogus
+# -alg so the only way it can serve is crash recovery — a recompute would
+# refuse the algorithm.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/apspd" ./cmd/apspd
+
+GARGS=(-n 48 -m 160 -seed 7 -sources 0,5,11)
+CHAOS=(-chaos-http seed=7,delay=2ms,delayp=0.3 -chaos-kill 0.2)
+pid=
+
+boot() {
+    rm -f "$tmp/addr"
+    "$tmp/apspd" "${GARGS[@]}" "${CHAOS[@]}" "$@" \
+        -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+        -autosave-dir "$tmp/snaps" &
+    pid=$!
+    for _ in $(seq 1 200); do
+        [ -s "$tmp/addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "chaos-smoke: apspd exited before binding" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if ! [ -s "$tmp/addr" ]; then
+        echo "chaos-smoke: apspd never wrote its address" >&2
+        exit 1
+    fi
+    addr=$(cat "$tmp/addr")
+}
+
+# fetch URL-PATH: curl with retries — the chaos listener kills ~20% of
+# connections by design, so any single attempt may die mid-read.
+fetch() {
+    local path=$1 out="" i
+    for i in $(seq 1 20); do
+        if out=$(curl -fsS --max-time 5 "http://$addr$path" 2>/dev/null); then
+            echo "$out"
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "chaos-smoke: $path failed 20 attempts" >&2
+    return 1
+}
+
+boot
+echo "chaos-smoke: apspd listening on $addr (chaos: ${CHAOS[*]})"
+
+baseline=$(fetch "/dist?src=0&dst=17")
+echo "chaos-smoke: baseline $baseline"
+
+# Load in the background (single-attempt curls: failures are expected,
+# both from the chaos listener and from the kill below), then kill -9
+# mid-load: no drain, no autosave flush, exactly the crash the
+# autosave-on-publish contract must survive.
+(for _ in $(seq 1 200); do
+    curl -fsS --max-time 2 "http://$addr/dist?src=5&dst=3" >/dev/null 2>&1 || true
+done) &
+load=$!
+sleep 0.3
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+kill "$load" 2>/dev/null || true
+wait "$load" 2>/dev/null || true
+echo "chaos-smoke: killed -9 mid-load"
+
+if ! ls "$tmp/snaps"/*.snap >/dev/null 2>&1; then
+    echo "chaos-smoke: no autosave survived the kill" >&2
+    exit 1
+fi
+
+# Supervisor restart: the bogus -alg proves the daemon serves from the
+# recovered autosave, not a recompute.
+boot -alg no-such-alg
+echo "chaos-smoke: restarted on $addr"
+
+health=$(fetch "/healthz")
+echo "chaos-smoke: healthz $health"
+case "$health" in
+*'"status":"ok"'*'"alg":"pipeline"'*) ;;
+*)
+    echo "chaos-smoke: restarted daemon did not recover the autosave" >&2
+    exit 1
+    ;;
+esac
+
+recovered=$(fetch "/dist?src=0&dst=17")
+echo "chaos-smoke: recovered $recovered"
+if [ "$recovered" != "$baseline" ]; then
+    echo "chaos-smoke: recovered answer differs from baseline" >&2
+    exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid" # propagates the daemon's exit status: non-zero fails the drill
+echo "chaos-smoke: clean drain after recovery"
