@@ -6,7 +6,7 @@ GO ?= go
 # scheduled job).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race cover cover-gate cover-baseline bench bench-engine bench-gate bench-baseline experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke chaos-smoke clean
+.PHONY: all build test race cover cover-gate cover-baseline bench bench-engine cluster-smoke bench-gate bench-baseline experiments examples fuzz trace-demo crash-demo race-crash serve-demo serve-smoke trace-smoke chaos-smoke clean
 
 all: build test
 
@@ -55,7 +55,7 @@ bench:
 # shim's cost, the checkpoint hook's overhead, and the serving path's
 # tracing + resilient-client overhead (client off/on, injector disabled).
 bench-engine:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist|BenchmarkRouter' -benchtime 1x .
 
 # Engine benchmark regression gate: run the engine benchmark set with
 # -benchmem and compare against the committed BENCH_engine.json baseline
@@ -65,12 +65,12 @@ bench-engine:
 # make recipes have no pipefail — a crashed bench run must not feed an
 # empty stream to the gate.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist' -benchmem -benchtime 10x -count 2 . > bench_engine.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist|BenchmarkRouter' -benchmem -benchtime 10x -count 2 . > bench_engine.out
 	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json < bench_engine.out
 
 # Rewrite the baseline from a fresh run (commit the result deliberately).
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist' -benchmem -benchtime 10x -count 2 . > bench_engine.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWorkers|BenchmarkEngineScheduler|BenchmarkEngineFaults|BenchmarkEngineCheckpoint|BenchmarkComputeBackend|BenchmarkOracleServeDist|BenchmarkRouter' -benchmem -benchtime 10x -count 2 . > bench_engine.out
 	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json -update < bench_engine.out
 
 # The full-size experiment sweep (writes the tables EXPERIMENTS.md records).
@@ -129,6 +129,13 @@ trace-smoke:
 # recovered the autosaved snapshot and answers identically. CI runs this.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Cluster drill: two apspd shard backends behind apsprouter, routed
+# answers byte-compared against a single whole-graph daemon, a real
+# kill -9 of one backend (degraded-but-correct serving), supervisor
+# restart on the same port, and a clean drain. CI runs this.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Short fuzzing bursts for the parser, the exact key arithmetic, the
 # reliability shim, the HTTP fault-plan grammar, the checkpoint

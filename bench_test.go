@@ -10,7 +10,9 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/checkpoint"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/compute"
 	"repro/internal/congest"
 	"repro/internal/core"
@@ -133,6 +135,12 @@ func BenchmarkServeLayer(b *testing.B) { benchExperiment(b, "E-SERVE") }
 // closed-loop load through the fault injector with the retrying client,
 // plus an abrupt kill + autosave recovery (experiment E-CHAOS).
 func BenchmarkChaosResilience(b *testing.B) { benchExperiment(b, "E-CHAOS") }
+
+// BenchmarkClusterResilience runs the multi-process cluster drill:
+// scatter-gather routing, a backend kill under chaos, and a
+// generation-aware rollout, all differentially validated
+// (experiment E-CLUSTER).
+func BenchmarkClusterResilience(b *testing.B) { benchExperiment(b, "E-CLUSTER") }
 
 // BenchmarkTraceAttribution drives the serving layer with every request
 // traced and aggregates per-span latency attribution (experiment E-TRACE).
@@ -685,4 +693,128 @@ func BenchmarkOracleServeDist(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 	})
+}
+
+// --- Cluster router layer ---------------------------------------------
+
+// hostTransport dispatches each request into the handler registered for
+// its destination host — an in-process three-backend cluster. Like
+// handlerTransport it keeps the router benchmarks socket-free and
+// alloc-deterministic for cmd/benchgate.
+type hostTransport struct{ handlers map[string]http.Handler }
+
+func (t hostTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	h, ok := t.handlers[req.URL.Host]
+	if !ok {
+		return nil, fmt.Errorf("hostTransport: no backend for %q", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// benchRouterState is built once: three shard backends (n=256 split on
+// the source dimension) behind a scatter-gather router, all in-process.
+var benchRouterState struct {
+	once sync.Once
+	h    http.Handler
+	n    int
+}
+
+func benchRouter(b *testing.B) (http.Handler, int) {
+	b.Helper()
+	benchRouterState.once.Do(func() {
+		const n, nShards = 256, 3
+		g := graph.Random(n, 4*n, graph.GenOpts{MaxW: 8, ZeroFrac: 0.25, Seed: 2, Directed: true})
+		fp := checkpoint.Fingerprint(g)
+		handlers := make(map[string]http.Handler, nShards)
+		replicaSets := make([][]string, nShards)
+		for k := 0; k < nShards; k++ {
+			lo, hi := cluster.Range(n, k, nShards)
+			sources := make([]int, 0, hi-lo)
+			dist := make([][]int64, 0, hi-lo)
+			parent := make([][]int, 0, hi-lo)
+			for s := lo; s < hi; s++ {
+				d, p := graph.DijkstraTree(g, s)
+				sources = append(sources, s)
+				dist = append(dist, d)
+				parent = append(parent, p)
+			}
+			snap, err := oracle.Build(g, oracle.BuildInput{Alg: "bench", Sources: sources, Dist: dist, Parent: parent},
+				oracle.BuildOpts{Fingerprint: fp})
+			if err != nil {
+				panic(err)
+			}
+			srv := &oracle.Server{Store: &oracle.Store{}, Cache: oracle.NewPathCache(1 << 12),
+				Met: oracle.NewMetrics(), ShardID: cluster.FormatShardID(k, nShards)}
+			srv.Publish(snap)
+			host := fmt.Sprintf("apsp-bench-%d:80", k)
+			handlers[host] = srv.Handler()
+			replicaSets[k] = []string{"http://" + host}
+		}
+		m, err := cluster.NewContiguous(n, fmt.Sprintf("%016x", fp), replicaSets)
+		if err != nil {
+			panic(err)
+		}
+		router, err := cluster.NewRouter(cluster.Options{Map: m, Inner: hostTransport{handlers}, Seed: 9})
+		if err != nil {
+			panic(err)
+		}
+		benchRouterState.h, benchRouterState.n = router.Handler(), n
+	})
+	return benchRouterState.h, benchRouterState.n
+}
+
+// BenchmarkRouterDist prices one routed point query: shard lookup +
+// resilient-client forward (retry/breaker/hedge bookkeeping on the happy
+// path) + header relay, over an in-process backend. The delta against
+// BenchmarkOracleServeDist/client-on is the router's own overhead.
+func BenchmarkRouterDist(b *testing.B) {
+	handler, n := benchRouter(b)
+	un := uint64(n)
+	x := uint64(31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		target := fmt.Sprintf("/dist?src=%d&dst=%d", (x>>33)%un, x%un)
+		req := httptest.NewRequest("GET", target, nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("dist status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkRouterBatchScatter prices the scatter-gather path: a 256-query
+// batch spanning all three shards is split by shard, fanned out
+// concurrently, generation-checked, and reassembled in order.
+func BenchmarkRouterBatchScatter(b *testing.B) {
+	handler, n := benchRouter(b)
+	const batch = 256
+	type item struct {
+		Src int `json:"src"`
+		Dst int `json:"dst"`
+	}
+	queries := make([]item, batch)
+	x := uint64(17)
+	for i := range queries {
+		x = x*6364136223846793005 + 1442695040888963407
+		queries[i] = item{Src: int((x >> 33) % uint64(n)), Dst: int(x % uint64(n))}
+	}
+	body, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "queries/s")
 }

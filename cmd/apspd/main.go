@@ -11,6 +11,13 @@
 //	apspd -addr :8080 -graph g.txt -load run.ckpt          # resume apsprun checkpoint
 //	apspd -addr :8080 -backend parallel -n 2048 -m 16384   # shared-memory bootstrap
 //	apspd -addr 127.0.0.1:0 -addr-file port.txt -n 64 -m 256
+//	apspd -addr :8081 -graph g.txt -shard 0/3              # cluster backend: shard 0 of 3
+//
+// Cluster mode: -shard k/N computes and serves only the contiguous source
+// range internal/cluster.Range assigns to shard k of N, and stamps the
+// shard identity plus the serving generation on every response
+// (X-Apsp-Shard / X-Apsp-Generation) — the contract cmd/apsprouter
+// scatter-gathers over.
 //
 // Endpoints: /dist, /path, /batch, /healthz, /metrics (Prometheus text, or
 // OpenMetrics with trace exemplars via Accept negotiation), /debug/live
@@ -67,6 +74,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cluster"
 	"repro/internal/congest"
 	"repro/internal/graph"
 	"repro/internal/httpfault"
@@ -104,6 +112,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		alg       = fs.String("alg", "pipeline", "pipeline | blocker | scaling | shortrange | bellman")
 		backend   = fs.String("backend", "congest", "compute substrate: congest (simulated engine) | parallel (shared-memory internal/compute; production sizes)")
 		srcsArg   = fs.String("sources", "", "comma-separated sources (empty = all)")
+		shardArg  = fs.String("shard", "", "serve shard k/N of the source dimension (cluster mode; excludes -sources)")
 		h         = fs.Int("h", 0, "hop parameter (0 = per-algorithm default)")
 		workers   = fs.Int("workers", 0, "engine worker goroutines per round (0 = automatic)")
 		schedArg  = fs.String("sched", "active", "engine scheduler: active | dense")
@@ -172,6 +181,29 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	sources, err := parseSources(*srcsArg, g.N())
 	if err != nil {
 		return err
+	}
+	// Cluster mode: -shard k/N replaces the explicit source list with the
+	// balanced contiguous range cluster.Range assigns shard k — the same
+	// arithmetic the router's shard map uses, so ownership agrees by
+	// construction. The shard identity is stamped on every response.
+	var shardID string
+	if *shardArg != "" {
+		if *srcsArg != "" {
+			return fmt.Errorf("-shard and -sources are mutually exclusive (the shard defines the sources)")
+		}
+		k, nShards, err := cluster.ParseShardID(*shardArg)
+		if err != nil {
+			return err
+		}
+		lo, hi := cluster.Range(g.N(), k, nShards)
+		if lo >= hi {
+			return fmt.Errorf("-shard %s owns no sources of an n=%d graph", *shardArg, g.N())
+		}
+		sources = sources[:0]
+		for s := lo; s < hi; s++ {
+			sources = append(sources, s)
+		}
+		shardID = cluster.FormatShardID(k, nShards)
 	}
 
 	// Tracing: the span JSONL and the Chrome file are both optional and
@@ -288,6 +320,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		Store: &oracle.Store{}, Cache: oracle.NewPathCache(*cacheSize), Met: met,
 		MaxInflight: *maxInflight, AdmitWait: *admitWait, Deadline: *deadline, BatchBudget: *batchBudget,
 		Log: logger, Tracer: tracer, SlowQuery: *slow, LogEvery: *logEvery, Progress: progress,
+		ShardID: shardID,
 	}
 	freshSpec := spec
 	freshSpec.Resume = nil // recomputes never replay the startup checkpoint

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cluster"
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -302,5 +303,74 @@ func TestRunFlagErrors(t *testing.T) {
 	_ = run([]string{"-bogus"}, io.Discard, &errOut, nil)
 	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "-addr") {
 		t.Errorf("usage not printed for bad flag:\n%s", errOut.String())
+	}
+}
+
+// TestDaemonShardMode: -shard k/N serves exactly its contiguous source
+// range (stamped with the shard ID header), 404s sources it does not own,
+// and refuses to combine with -sources.
+func TestDaemonShardMode(t *testing.T) {
+	url, errc := startDaemon(t, "-n", "24", "-m", "80", "-seed", "5", "-shard", "1/3")
+
+	var h struct {
+		Status string `json:"status"`
+		K      int    `json:"k"`
+		Shard  string `json:"shard"`
+	}
+	if status := getJSON(t, url+"/healthz", &h); status != http.StatusOK || h.Status != "ok" || h.Shard != "1/3" {
+		t.Fatalf("healthz: status %d body %+v", status, h)
+	}
+	lo, hi := cluster.Range(24, 1, 3)
+	if h.K != hi-lo {
+		t.Fatalf("shard 1/3 serves k=%d sources, want %d", h.K, hi-lo)
+	}
+
+	g := graph.Random(24, 80, graph.GenOpts{MaxW: 8, ZeroFrac: 0.25, Seed: 5, Directed: true})
+	for src := lo; src < hi; src++ {
+		want := graph.Dijkstra(g, src)
+		for _, dst := range []int{0, 7, 23} {
+			resp, err := http.Get(fmt.Sprintf("%s/dist?src=%d&dst=%d", url, src, dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("dist(%d,%d) status %d", src, dst, resp.StatusCode)
+			}
+			if got := resp.Header.Get("X-Apsp-Shard"); got != "1/3" {
+				t.Fatalf("dist(%d,%d) shard header %q, want 1/3", src, dst, got)
+			}
+			var d struct {
+				Dist *int64 `json:"dist"`
+			}
+			if err := json.Unmarshal(body, &d); err != nil {
+				t.Fatal(err)
+			}
+			if want[dst] < graph.Inf && (d.Dist == nil || *d.Dist != want[dst]) {
+				t.Fatalf("shard dist(%d,%d) = %+v, Dijkstra %d", src, dst, d, want[dst])
+			}
+		}
+	}
+	// A source outside the owned range is unknown to this backend.
+	if status := getJSON(t, fmt.Sprintf("%s/dist?src=%d&dst=0", url, hi), nil); status != http.StatusNotFound {
+		t.Fatalf("out-of-shard source answered %d, want 404", status)
+	}
+	stopDaemon(t, errc)
+}
+
+// TestDaemonShardFlagErrors: malformed -shard values and the
+// -shard/-sources combination die at startup.
+func TestDaemonShardFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "24", "-m", "80", "-shard", "3"},
+		{"-n", "24", "-m", "80", "-shard", "3/3"},
+		{"-n", "24", "-m", "80", "-shard", "x/2"},
+		{"-n", "4", "-m", "6", "-shard", "2/8"}, // empty range: Range(4,2,8) = [1,1)
+		{"-n", "24", "-m", "80", "-shard", "0/2", "-sources", "1,2"},
+	} {
+		if err := run(append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, io.Discard, nil); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

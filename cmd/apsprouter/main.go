@@ -1,0 +1,307 @@
+// Command apsprouter is the cluster front-end for apspd: a stateless
+// scatter-gather router that serves the full apspd query surface (/dist,
+// /path, /batch, /healthz, /metrics, /admin/recompute) against N backends
+// that each own a shard of the source dimension (apspd -shard k/N).
+//
+// Usage:
+//
+//	apsprouter -addr :9090 -map cluster.json
+//	apsprouter -addr :9090 -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//	apsprouter -addr 127.0.0.1:0 -addr-file port.txt -backends ...
+//
+// The shard map comes from -map (a JSON file written by internal/cluster,
+// fingerprint-pinned) or is derived from -backends: a comma-separated list
+// of shards, each shard a |-separated replica list, assigned contiguous
+// balanced source ranges in order. Derivation probes the backends'
+// /healthz for the node count and graph fingerprint, so a router pointed
+// at mismatched backends refuses to start.
+//
+// Single-source queries are forwarded to the owning backend through
+// internal/client — per-attempt deadlines, retries with jittered backoff,
+// a per-shard circuit breaker, and hedging across the shard's replicas.
+// /batch bodies are split by shard and scattered concurrently; a failed
+// shard degrades into per-query error entries (status 502) rather than
+// failing the batch. The router tracks each backend's generation from the
+// X-Apsp-Generation response header and never assembles a /batch answer
+// from mixed generations: lagging shards are retried once, then the
+// request is refused with 503 + Retry-After. POST /admin/recompute rolls
+// the cluster shard-by-shard — one backend rebuilds at a time while the
+// rest keep serving.
+//
+// Operational parity with apspd: drains gracefully on SIGINT/SIGTERM,
+// writes -addr-file only after /healthz answers through the real listener,
+// and -restarts N supervises the HTTP server, re-listening on the same
+// port if it dies.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "apsprouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the router body, factored for tests exactly like apspd's: ready
+// (when non-nil) receives the bound address once the listener answers, and
+// the function returns after a signal-triggered drain (or a startup
+// failure).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("apsprouter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":9090", "listen address (host:port; port 0 picks a free one)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once serving (for scripts)")
+
+		mapPath  = fs.String("map", "", "shard map JSON file (internal/cluster format)")
+		backends = fs.String("backends", "", "derive the map from backends: comma-separated shards, each a |-separated replica list")
+
+		attemptTimeout = fs.Duration("attempt-timeout", 0, "per-attempt timeout against a backend (0 = client default)")
+		maxAttempts    = fs.Int("max-attempts", 0, "attempts per backend exchange, first + retries (0 = client default)")
+		hedge          = fs.Duration("hedge", 0, "hedge delay before a second attempt on another replica (0 = p99-derived)")
+		deadline       = fs.Duration("deadline", 0, "end-to-end deadline per routed request (0 = default)")
+		batchBudget    = fs.Int("batch-budget", 0, "max queries per /batch request, pre-split (0 = default)")
+		seed           = fs.Int64("seed", 1, "jitter PRF seed for the per-shard clients")
+		rolloutPoll    = fs.Duration("rollout-poll", 0, "health poll interval while a shard recomputes (0 = default)")
+		rolloutTimeout = fs.Duration("rollout-timeout", 0, "per-shard republish deadline during a rollout (0 = default)")
+		probeWait      = fs.Duration("probe-wait", 10*time.Second, "how long to wait for backends when deriving the map from -backends")
+
+		drainWait = fs.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+		restarts  = fs.Int("restarts", 0, "supervised restarts: if the HTTP server dies unexpectedly, re-listen and keep serving up to this many times")
+
+		logFmt   = fs.String("log", "text", "log format: text | json | off")
+		logLevel = fs.String("log-level", "info", "log level: debug | info | warn | error")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	handler, err := obs.NewLogHandler(stderr, *logFmt, level)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(handler)
+
+	var m *cluster.Map
+	switch {
+	case *mapPath != "" && *backends != "":
+		return fmt.Errorf("-map and -backends are mutually exclusive")
+	case *mapPath != "":
+		if m, err = cluster.Load(*mapPath); err != nil {
+			return err
+		}
+		logger.Info("shard map loaded", "path", *mapPath, "n", m.N, "shards", len(m.Shards))
+	case *backends != "":
+		if m, err = deriveMap(*backends, *seed, *probeWait); err != nil {
+			return err
+		}
+		logger.Info("shard map derived from backends", "n", m.N, "shards", len(m.Shards), "fingerprint", m.Fingerprint)
+	default:
+		return fmt.Errorf("need -map or -backends")
+	}
+
+	router, err := cluster.NewRouter(cluster.Options{
+		Map:            m,
+		AttemptTimeout: *attemptTimeout,
+		MaxAttempts:    *maxAttempts,
+		HedgeDelay:     *hedge,
+		Seed:           *seed,
+		Deadline:       *deadline,
+		BatchBudget:    *batchBudget,
+		RolloutPoll:    *rolloutPoll,
+		RolloutTimeout: *rolloutTimeout,
+		Log:            logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Supervised serve loop, same shape as apspd's: re-listen on the bound
+	// port after an unexpected server death, so a written -addr-file stays
+	// valid across restarts.
+	listenAddr := *addr
+	for attempt := 0; ; attempt++ {
+		ln, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			return err
+		}
+		bound := ln.Addr().String()
+		listenAddr = bound
+		httpSrv := &http.Server{Handler: router.Handler()}
+		errc := make(chan error, 1)
+		go func() { errc <- httpSrv.Serve(ln) }()
+
+		if attempt == 0 {
+			// Readiness gate: the -addr-file contract is "the address in this
+			// file answers". The router itself is ready as soon as /healthz
+			// responds — 200 or 503: a degraded cluster verdict still proves
+			// the router is serving, and backends may come up after it.
+			if err := waitServing(bound, 10*time.Second); err != nil {
+				httpSrv.Close()
+				return err
+			}
+			if *addrFile != "" {
+				if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+					httpSrv.Close()
+					return err
+				}
+			}
+			logger.Info("routing", "addr", bound, "shards", len(m.Shards))
+			if ready != nil {
+				ready <- bound
+			}
+		} else {
+			logger.Warn("server restarted", "addr", bound, "attempt", attempt)
+		}
+
+		select {
+		case err := <-errc:
+			if attempt >= *restarts {
+				if *restarts > 0 {
+					return fmt.Errorf("server died (%d restarts exhausted): %w", *restarts, err)
+				}
+				return err
+			}
+			logger.Error("http server died, restarting", "err", err, "restartsLeft", *restarts-attempt)
+			continue
+		case <-ctx.Done():
+		}
+		stop()
+		logger.Info("signal received, draining", "max", *drainWait)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		break
+	}
+	logger.Info("drained, bye")
+	return nil
+}
+
+// deriveMap builds a contiguous shard map from a -backends spec by probing
+// the backends for the graph's node count and fingerprint: every reachable
+// backend must agree, and the first answer fixes the map.
+func deriveMap(spec string, seed int64, wait time.Duration) (*cluster.Map, error) {
+	var replicaSets [][]string
+	for _, shard := range strings.Split(spec, ",") {
+		var reps []string
+		for _, r := range strings.Split(shard, "|") {
+			if r = strings.TrimSpace(r); r != "" {
+				reps = append(reps, r)
+			}
+		}
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("empty shard in -backends %q", spec)
+		}
+		replicaSets = append(replicaSets, reps)
+	}
+	n, fp, err := probeBackends(replicaSets, seed, wait)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewContiguous(n, fp, replicaSets)
+}
+
+// probeBackends polls each shard's replicas until one answers /healthz,
+// then cross-checks that every shard reports the same graph.
+func probeBackends(replicaSets [][]string, seed int64, wait time.Duration) (n int, fp string, err error) {
+	cl := client.New(client.Options{AttemptTimeout: 2 * time.Second, MaxAttempts: 1, BreakerTrip: -1, Seed: seed})
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	type health struct {
+		N           int    `json:"n"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	for k, reps := range replicaSets {
+		var h health
+		var lastErr error
+		for {
+			for _, base := range reps {
+				var probe health
+				resp, err := cl.GetJSON(ctx, base+"/healthz", &probe)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				if resp.Status != http.StatusOK {
+					lastErr = fmt.Errorf("%s/healthz answered HTTP %d", base, resp.Status)
+					continue
+				}
+				h = probe
+				lastErr = nil
+				break
+			}
+			if lastErr == nil || ctx.Err() != nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if lastErr != nil {
+			return 0, "", fmt.Errorf("shard %d: no replica answered: %w", k, lastErr)
+		}
+		if h.N <= 0 {
+			return 0, "", fmt.Errorf("shard %d reports n=%d", k, h.N)
+		}
+		if n == 0 {
+			n, fp = h.N, h.Fingerprint
+		} else if h.N != n || h.Fingerprint != fp {
+			return 0, "", fmt.Errorf("shard %d serves n=%d fp=%s, shard 0 serves n=%d fp=%s (mixed graphs)",
+				k, h.N, h.Fingerprint, n, fp)
+		}
+	}
+	return n, fp, nil
+}
+
+// waitServing polls /healthz until the router answers at all (any HTTP
+// status): readiness of the router, not of the cluster behind it.
+func waitServing(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	url := "http://" + addr + "/healthz"
+	var lastErr error
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("healthz readiness gate: %w", lastErr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

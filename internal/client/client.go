@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/key"
 )
 
 // Defaults (applied by New when the Options field is zero).
@@ -280,16 +282,11 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return time.Duration(1 + c.rand()%uint64(ceil))
 }
 
-// rand is the seeded splitmix64 jitter stream.
+// rand is the seeded splitmix64 jitter stream (the shared internal/key
+// counter-mode discipline; draw n is bit-identical to the pre-dedup
+// inline mixer, so fixed-seed backoff schedules replay unchanged).
 func (c *Client) rand() uint64 {
-	n := c.jitterN.Add(1)
-	x := uint64(c.opts.Seed)*0x9e3779b97f4a7c15 + n*0xbf58476d1ce4e5b9
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	return key.Stream(c.opts.Seed, c.jitterN.Add(1))
 }
 
 // retryAfterOf parses a delta-seconds Retry-After from the previous

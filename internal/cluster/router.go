@@ -1,0 +1,725 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/oracle"
+)
+
+// Defaults for the Router knobs (applied when the field is zero).
+const (
+	DefaultDeadline       = 5 * time.Second
+	DefaultBatchBudget    = 4096
+	DefaultRolloutPoll    = 50 * time.Millisecond
+	DefaultRolloutTimeout = 5 * time.Minute
+	maxBatchBytes         = 4 << 20
+	// retryAfterSecs is stamped on every refusal the router synthesizes
+	// (mixed generations, rollout conflict) — same drain-time contract as
+	// the backend's shed responses.
+	retryAfterSecs = "1"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Map is the validated cluster layout. Required.
+	Map *Map
+	// Inner is the physical transport replicas are reached through (nil =
+	// http.DefaultTransport). Tests inject in-process or fault-wrapped
+	// transports here.
+	Inner http.RoundTripper
+	// AttemptTimeout, MaxAttempts, HedgeDelay, and Seed tune the per-shard
+	// internal/client instances (zero = that package's defaults; hedging
+	// is always on for queries with MaxHedges=1 and always off for admin
+	// calls — the router never hedges a mutation).
+	AttemptTimeout time.Duration
+	MaxAttempts    int
+	HedgeDelay     time.Duration
+	Seed           int64
+	// Deadline bounds one routed request end to end, scatter included.
+	Deadline time.Duration
+	// BatchBudget caps the queries in one /batch, pre-split.
+	BatchBudget int
+	// RolloutPoll and RolloutTimeout pace the shard-by-shard recompute
+	// drain: after triggering a shard the router polls its /healthz every
+	// RolloutPoll until the generation advances, giving up (and aborting
+	// the rollout) after RolloutTimeout per shard.
+	RolloutPoll    time.Duration
+	RolloutTimeout time.Duration
+	// Log receives operational records (nil = silent).
+	Log *slog.Logger
+}
+
+// shardClient is one shard's view from the router: the logical endpoint
+// its clients hedge under, and the last generation any of its replicas
+// reported. Two clients per shard because query traffic hedges and
+// retries freely (idempotent reads) while admin traffic must do neither —
+// a hedged /admin/recompute could double-trigger a rebuild. The admin
+// client also skips the replica rotation: mutations address each replica
+// by its physical base URL, exactly once.
+type shardClient struct {
+	shard *Shard
+	base  string // logical base URL, e.g. "http://apsp-shard-0"
+	query *client.Client
+	admin *client.Client
+	// lastGen is the highest generation seen in any response header from
+	// this shard; 0 until the first contact.
+	lastGen atomic.Uint64
+}
+
+func (sc *shardClient) noteGen(h http.Header) uint64 {
+	v := h.Get(oracle.GenHeader)
+	if v == "" {
+		return 0
+	}
+	gen, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	for {
+		old := sc.lastGen.Load()
+		if gen <= old || sc.lastGen.CompareAndSwap(old, gen) {
+			return gen
+		}
+	}
+}
+
+// Router is the scatter-gather front-end over a shard map: it serves the
+// apspd query surface by forwarding each query to the backend owning its
+// source, splitting /batch bodies by shard, and refusing to assemble an
+// answer from mixed generations. The router holds no graph state — only
+// the map and per-shard reliability machinery — so any number of routers
+// can front the same backends.
+type Router struct {
+	opts   Options
+	met    *Metrics
+	shards []*shardClient
+	log    *slog.Logger
+
+	rolling atomic.Bool
+	// synced remembers the client-stat totals already pushed into the
+	// monotone counters (set-via-add on scrape).
+	syncMu sync.Mutex
+	synced client.Stats
+}
+
+// NewRouter validates the map and builds the per-shard clients.
+func NewRouter(opts Options) (*Router, error) {
+	if opts.Map == nil {
+		return nil, fmt.Errorf("cluster: router needs a shard map")
+	}
+	if err := opts.Map.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = DefaultDeadline
+	}
+	if opts.BatchBudget <= 0 {
+		opts.BatchBudget = DefaultBatchBudget
+	}
+	if opts.RolloutPoll <= 0 {
+		opts.RolloutPoll = DefaultRolloutPoll
+	}
+	if opts.RolloutTimeout <= 0 {
+		opts.RolloutTimeout = DefaultRolloutTimeout
+	}
+	r := &Router{opts: opts, met: newMetrics(len(opts.Map.Shards)), log: opts.Log}
+	for i := range opts.Map.Shards {
+		s := &opts.Map.Shards[i]
+		rt, err := newReplicaTransport(s.Replicas, opts.Inner)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", s.ID, err)
+		}
+		r.shards = append(r.shards, &shardClient{
+			shard: s,
+			base:  fmt.Sprintf("http://apsp-shard-%d", s.ID),
+			query: client.New(client.Options{
+				Transport:      rt,
+				AttemptTimeout: opts.AttemptTimeout,
+				MaxAttempts:    opts.MaxAttempts,
+				HedgeDelay:     opts.HedgeDelay,
+				Seed:           opts.Seed + int64(s.ID),
+				MaxHedges:      1,
+			}),
+			// Admin calls: one attempt, no hedge, no breaker, physical
+			// addressing — a mutation must reach each backend exactly as
+			// many times as the operator asked for it, and a refused one
+			// must surface, not trip reads.
+			admin: client.New(client.Options{
+				Transport:      opts.Inner,
+				AttemptTimeout: opts.AttemptTimeout,
+				MaxAttempts:    1,
+				Seed:           opts.Seed + int64(s.ID),
+				BreakerTrip:    -1,
+			}),
+		})
+	}
+	return r, nil
+}
+
+// Metrics exposes the router instrument set (for tests and embedding).
+func (r *Router) Metrics() *Metrics { return r.met }
+
+// Handler builds the route table — the same surface apspd serves, so a
+// client needs no code change to move from one backend to the cluster.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /dist", r.forward("dist"))
+	mux.HandleFunc("GET /path", r.forward("path"))
+	mux.HandleFunc("POST /batch", r.handleBatch)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("POST /admin/recompute", r.handleRecompute)
+	return mux
+}
+
+func (r *Router) logAt(level slog.Level, msg string, attrs ...slog.Attr) {
+	if r.log != nil {
+		r.log.LogAttrs(context.Background(), level, msg, attrs...)
+	}
+}
+
+// forward routes a single-source query (/dist or /path) to the shard
+// owning src, verbatim query string and all, and relays the backend's
+// answer — status, body, and the generation/shard headers the cluster
+// contract rides on.
+func (r *Router) forward(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		qc, lat := r.met.Query(kind)
+		qc.Inc()
+		start := time.Now()
+		defer func() { lat.Observe(time.Since(start).Seconds()) }()
+
+		src, err := strconv.Atoi(req.URL.Query().Get("src"))
+		if err != nil {
+			r.met.Errors.Inc()
+			writeErr(w, http.StatusBadRequest, "bad or missing src: %v", err)
+			return
+		}
+		sc := r.shardClientFor(src)
+		if sc == nil {
+			r.met.Unrouted.Inc()
+			r.met.Errors.Inc()
+			writeErr(w, http.StatusNotFound, "source %d outside cluster map (n=%d)", src, r.opts.Map.N)
+			return
+		}
+		ctx, cancel := context.WithTimeout(req.Context(), r.opts.Deadline)
+		defer cancel()
+		resp, err := sc.query.GetJSON(ctx, sc.base+"/"+kind+"?"+req.URL.RawQuery, nil)
+		if err != nil {
+			r.met.ShardFailures.Inc()
+			r.met.Errors.Inc()
+			writeErrRetry(w, http.StatusBadGateway, "shard %d unavailable: %v", sc.shard.ID, err)
+			return
+		}
+		gen := sc.noteGen(resp.Header)
+		r.met.shardGen[sc.shard.ID].Set(float64(sc.lastGen.Load()))
+		if resp.Status >= 400 {
+			r.met.Errors.Inc()
+		}
+		relayHeaders(w, resp.Header)
+		w.Header().Set(oracle.GenHeader, strconv.FormatUint(gen, 10))
+		w.WriteHeader(resp.Status)
+		_, _ = w.Write(resp.Body)
+	}
+}
+
+// relayHeaders copies the answer headers a cluster client relies on.
+func relayHeaders(w http.ResponseWriter, h http.Header) {
+	for _, k := range []string{"Content-Type", oracle.ShardHeader, "Retry-After"} {
+		if v := h.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+}
+
+func (r *Router) shardClientFor(src int) *shardClient {
+	s := r.opts.Map.ShardFor(src)
+	if s == nil {
+		return nil
+	}
+	for _, sc := range r.shards {
+		if sc.shard.ID == s.ID {
+			return sc
+		}
+	}
+	return nil
+}
+
+// batchEnvelope is the /batch request with each query kept as raw JSON:
+// the router needs only src (to route) and dst (to label error entries);
+// everything else passes through to the owning backend untouched, so the
+// router never lags the backend's query schema.
+type batchEnvelope struct {
+	Queries []json.RawMessage `json:"queries"`
+}
+
+type batchRoute struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// shardBatchResp is the slice of a backend /batch answer the router needs:
+// the generation and the per-query results, kept raw for reassembly.
+type shardBatchResp struct {
+	Gen     uint64            `json:"gen"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// batchErrEntry mirrors the backend's per-query error result shape, so a
+// shard-level failure degrades into the same per-query errors a client
+// already handles (the BatchPartialError contract, lifted to shards).
+type batchErrEntry struct {
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// subBatch is the per-shard slice of one /batch: which original indexes
+// went to the shard, and the raw queries to send. lastGen records the
+// generation of its most recent successful answer (0 = failed).
+type subBatch struct {
+	sc      *shardClient
+	indexes []int
+	queries []json.RawMessage
+	lastGen uint64
+}
+
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	qc, lat := r.met.Query("batch")
+	qc.Inc()
+	start := time.Now()
+	defer func() { lat.Observe(time.Since(start).Seconds()) }()
+
+	var env batchEnvelope
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBatchBytes))
+	if err := dec.Decode(&env); err != nil {
+		r.met.Errors.Inc()
+		writeErr(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(env.Queries) == 0 {
+		r.met.Errors.Inc()
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(env.Queries) > r.opts.BatchBudget {
+		r.met.Errors.Inc()
+		writeErr(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds budget %d", len(env.Queries), r.opts.BatchBudget)
+		return
+	}
+
+	// Split by owning shard; queries no shard owns get their 404 entry
+	// directly (the backend would answer the same for an unknown source).
+	results := make([]json.RawMessage, len(env.Queries))
+	subs := map[int]*subBatch{}
+	for i, raw := range env.Queries {
+		var q batchRoute
+		if err := json.Unmarshal(raw, &q); err != nil {
+			results[i] = errEntry(0, 0, http.StatusBadRequest, "unparseable query: %v", err)
+			continue
+		}
+		sc := r.shardClientFor(q.Src)
+		if sc == nil {
+			r.met.Unrouted.Inc()
+			results[i] = errEntry(q.Src, q.Dst, http.StatusNotFound, "source %d outside cluster map (n=%d)", q.Src, r.opts.Map.N)
+			continue
+		}
+		sb := subs[sc.shard.ID]
+		if sb == nil {
+			sb = &subBatch{sc: sc}
+			subs[sc.shard.ID] = sb
+		}
+		sb.indexes = append(sb.indexes, i)
+		sb.queries = append(sb.queries, raw)
+	}
+
+	ctx, cancel := context.WithTimeout(req.Context(), r.opts.Deadline)
+	defer cancel()
+
+	// Scatter, gather, and chase generation agreement: if the gathered
+	// shards disagree (a rollout is mid-flight), the lagging sub-batches
+	// are re-issued once — their backends have usually republished by the
+	// time the fastest shard answered from the new generation. Still mixed
+	// after that: refuse with 503 rather than hand out a frankenanswer.
+	gens, failed := r.scatter(ctx, subs, results)
+	if len(gens) > 1 {
+		var maxGen uint64
+		for g := range gens {
+			if g > maxGen {
+				maxGen = g
+			}
+		}
+		retry := map[int]*subBatch{}
+		for id, sb := range subs {
+			if sb.gen() != 0 && sb.gen() < maxGen {
+				r.met.GenRetries.Inc()
+				retry[id] = sb
+			}
+		}
+		_, rfailed := r.scatter(ctx, retry, results)
+		failed += rfailed
+		// Re-derive the gathered generations from every sub-batch's final
+		// answer (a failed retry drops its shard — its slots already carry
+		// 502 entries, which don't claim a generation).
+		gens = map[uint64]bool{}
+		for _, sb := range subs {
+			if g := sb.gen(); g != 0 {
+				gens[g] = true
+			}
+		}
+		if len(gens) > 1 {
+			r.met.MixedGenRefusals.Inc()
+			r.met.Errors.Inc()
+			r.logAt(slog.LevelWarn, "refusing mixed-generation batch", slog.Uint64("max_gen", maxGen))
+			writeErrRetry(w, http.StatusServiceUnavailable,
+				"cluster generations disagree even after retry (rollout in progress), retry later")
+			return
+		}
+	}
+	var gen uint64
+	for g := range gens {
+		gen = g
+	}
+	if failed > 0 {
+		r.met.Errors.Inc()
+	}
+	w.Header().Set(oracle.GenHeader, strconv.FormatUint(gen, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	// Reassembled by hand: results are raw backend JSON, in request order.
+	var buf bytes.Buffer
+	buf.WriteString(`{"gen":`)
+	buf.WriteString(strconv.FormatUint(gen, 10))
+	buf.WriteString(`,"results":[`)
+	for i, res := range results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(res)
+	}
+	buf.WriteString("]}\n")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// gen reads the generation of the sub-batch's last answer (0 = failed).
+func (sb *subBatch) gen() uint64 { return sb.lastGen }
+
+// scatter posts every sub-batch concurrently, writes each answer's raw
+// results (or synthesized error entries) into the request-order slots, and
+// returns the set of generations gathered plus the failed-shard count.
+func (r *Router) scatter(ctx context.Context, subs map[int]*subBatch, results []json.RawMessage) (map[uint64]bool, int) {
+	var mu sync.Mutex
+	gens := map[uint64]bool{}
+	failed := 0
+	var wg sync.WaitGroup
+	for _, sb := range subs {
+		wg.Add(1)
+		go func(sb *subBatch) {
+			defer wg.Done()
+			gen, ok := r.scatterOne(ctx, sb, results)
+			mu.Lock()
+			defer mu.Unlock()
+			if !ok {
+				failed++
+				return
+			}
+			gens[gen] = true
+		}(sb)
+	}
+	wg.Wait()
+	return gens, failed
+}
+
+// scatterOne sends one shard's sub-batch and places its results. On shard
+// failure every slot gets a 502 error entry — the batch still answers.
+func (r *Router) scatterOne(ctx context.Context, sb *subBatch, results []json.RawMessage) (uint64, bool) {
+	sb.lastGen = 0
+	body, _ := json.Marshal(batchEnvelope{Queries: sb.queries})
+	var sr shardBatchResp
+	resp, err := sb.sc.query.PostJSON(ctx, sb.sc.base+"/batch", body, nil)
+	if err == nil && resp.Status == http.StatusOK {
+		err = json.Unmarshal(resp.Body, &sr)
+	}
+	if err != nil || resp.Status != http.StatusOK || len(sr.Results) != len(sb.indexes) {
+		reason := "shard unavailable"
+		switch {
+		case err != nil:
+			reason = err.Error()
+		case resp.Status != http.StatusOK:
+			reason = fmt.Sprintf("shard answered HTTP %d", resp.Status)
+		default:
+			reason = fmt.Sprintf("shard answered %d results for %d queries", len(sr.Results), len(sb.indexes))
+		}
+		r.met.ShardFailures.Inc()
+		r.logAt(slog.LevelWarn, "batch shard failed",
+			slog.Int("shard", sb.sc.shard.ID), slog.String("err", reason))
+		for j, i := range sb.indexes {
+			var q batchRoute
+			_ = json.Unmarshal(sb.queries[j], &q)
+			results[i] = errEntry(q.Src, q.Dst, http.StatusBadGateway, "shard %d: %s", sb.sc.shard.ID, reason)
+		}
+		return 0, false
+	}
+	sb.sc.noteGen(resp.Header)
+	r.met.shardGen[sb.sc.shard.ID].Set(float64(sb.sc.lastGen.Load()))
+	sb.lastGen = sr.Gen
+	for j, i := range sb.indexes {
+		results[i] = sr.Results[j]
+	}
+	return sr.Gen, true
+}
+
+func errEntry(src, dst, status int, format string, args ...any) json.RawMessage {
+	raw, _ := json.Marshal(batchErrEntry{Src: src, Dst: dst, Status: status, Error: fmt.Sprintf(format, args...)})
+	return raw
+}
+
+// clusterHealth is the router /healthz body: the cluster verdict plus one
+// probe result per shard.
+type clusterHealth struct {
+	Status  string        `json:"status"` // "ok" | "degraded"
+	N       int           `json:"n"`
+	Rollout bool          `json:"rollout,omitempty"`
+	Shards  []shardHealth `json:"shards"`
+}
+
+type shardHealth struct {
+	ID          int    `json:"id"`
+	Lo          int    `json:"lo"`
+	Hi          int    `json:"hi"`
+	Status      string `json:"status"`
+	Gen         uint64 `json:"gen,omitempty"`
+	Shard       string `json:"shard,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// backendHealth is the slice of the apspd /healthz body the router reads.
+type backendHealth struct {
+	Status      string `json:"status"`
+	Gen         uint64 `json:"gen"`
+	N           int    `json:"n"`
+	Shard       string `json:"shard"`
+	Fingerprint string `json:"fingerprint"`
+	Recomputing bool   `json:"recomputing"`
+}
+
+// handleHealthz probes every shard concurrently. The cluster is "ok" (200)
+// only when every shard answers, agrees with the map's node count, and —
+// when the map pins a fingerprint — serves that exact graph; anything less
+// is "degraded" (503). A router in front of the wrong backends must fail
+// its readiness check, not serve wrong answers.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	ctx, cancel := context.WithTimeout(req.Context(), r.opts.Deadline)
+	defer cancel()
+	resp := clusterHealth{Status: "ok", N: r.opts.Map.N, Rollout: r.rolling.Load(), Shards: make([]shardHealth, len(r.shards))}
+	var wg sync.WaitGroup
+	for i, sc := range r.shards {
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			resp.Shards[i] = r.probeShard(ctx, sc)
+		}(i, sc)
+	}
+	wg.Wait()
+	status := http.StatusOK
+	for i := range resp.Shards {
+		up := resp.Shards[i].Status == "ok" || resp.Shards[i].Status == "stale"
+		r.met.shardUp[resp.Shards[i].ID].Set(b2f(up))
+		if !up {
+			resp.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// probeShard checks one shard's health against the map's expectations.
+func (r *Router) probeShard(ctx context.Context, sc *shardClient) shardHealth {
+	sh := shardHealth{ID: sc.shard.ID, Lo: sc.shard.Lo, Hi: sc.shard.Hi}
+	var bh backendHealth
+	resp, err := sc.query.GetJSON(ctx, sc.base+"/healthz", &bh)
+	if err != nil {
+		sh.Status, sh.Error = "down", err.Error()
+		return sh
+	}
+	if resp.Status != http.StatusOK {
+		sh.Status, sh.Error = "down", fmt.Sprintf("healthz answered HTTP %d", resp.Status)
+		return sh
+	}
+	sc.noteGen(resp.Header)
+	r.met.shardGen[sc.shard.ID].Set(float64(sc.lastGen.Load()))
+	sh.Status, sh.Gen, sh.Shard, sh.Fingerprint = bh.Status, bh.Gen, bh.Shard, bh.Fingerprint
+	switch {
+	case bh.N != 0 && bh.N != r.opts.Map.N:
+		sh.Status = "mismatch"
+		sh.Error = fmt.Sprintf("backend serves n=%d, map says n=%d", bh.N, r.opts.Map.N)
+	case r.opts.Map.Fingerprint != "" && bh.Fingerprint != "" && bh.Fingerprint != r.opts.Map.Fingerprint:
+		sh.Status = "mismatch"
+		sh.Error = fmt.Sprintf("backend fingerprint %s, map pins %s", bh.Fingerprint, r.opts.Map.Fingerprint)
+	}
+	return sh
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	r.syncClientStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := r.met.Write(w); err != nil {
+		r.logAt(slog.LevelWarn, "metrics write", slog.Any("err", err))
+	}
+}
+
+// syncClientStats folds the per-shard client counters into the registry
+// (set-via-add: only the delta since the last scrape is added, keeping the
+// exported counters monotone).
+func (r *Router) syncClientStats() {
+	var total client.Stats
+	for _, sc := range r.shards {
+		for _, s := range []client.Stats{sc.query.Snapshot(), sc.admin.Snapshot()} {
+			total.Attempts += s.Attempts
+			total.Retries += s.Retries
+			total.Hedges += s.Hedges
+			total.HedgeWins += s.HedgeWins
+			total.BreakerFast += s.BreakerFast
+			total.BreakerOpens += s.BreakerOpens
+		}
+	}
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	r.met.attempts.Add(float64(total.Attempts - r.synced.Attempts))
+	r.met.retries.Add(float64(total.Retries - r.synced.Retries))
+	r.met.hedges.Add(float64(total.Hedges - r.synced.Hedges))
+	r.met.hedgeWins.Add(float64(total.HedgeWins - r.synced.HedgeWins))
+	r.met.breakerFast.Add(float64(total.BreakerFast - r.synced.BreakerFast))
+	r.met.breakerOpens.Add(float64(total.BreakerOpens - r.synced.BreakerOpens))
+	r.synced = total
+}
+
+// handleRecompute starts a shard-by-shard rollout and answers 202. Single
+// flight: a second trigger while one drains answers 409. The router walks
+// the shards in order, triggering each backend's recompute and waiting for
+// its generation to advance before moving on — at most one shard is
+// rebuilding at any moment, so the cluster keeps (N-1)/N of its capacity
+// and /batch answers stay single-generation except for the brief window a
+// shard republishes in (which the mixed-generation retry absorbs).
+func (r *Router) handleRecompute(w http.ResponseWriter, req *http.Request) {
+	if !r.rolling.CompareAndSwap(false, true) {
+		r.met.Errors.Inc()
+		writeErrRetry(w, http.StatusConflict, "rollout already running")
+		return
+	}
+	r.met.Rollouts.Inc()
+	r.met.RolloutActive.Set(1)
+	go r.rollout()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "rollout started"})
+}
+
+func (r *Router) rollout() {
+	defer func() {
+		r.rolling.Store(false)
+		r.met.RolloutActive.Set(0)
+	}()
+	start := time.Now()
+	for _, sc := range r.shards {
+		if err := r.rolloutShard(sc); err != nil {
+			r.met.RolloutFails.Inc()
+			r.logAt(slog.LevelError, "rollout aborted",
+				slog.Int("shard", sc.shard.ID), slog.Any("err", err))
+			return
+		}
+	}
+	r.logAt(slog.LevelInfo, "rollout finished", slog.Duration("dur", time.Since(start)))
+}
+
+// rolloutShard rolls one shard: each replica in turn is told to
+// recompute (one POST, physically addressed, never hedged or retried)
+// and polled on /healthz until a new generation is published and the
+// rebuild flag clears. Replicas roll sequentially too, so a two-replica
+// shard keeps a serving replica throughout its own rollout.
+func (r *Router) rolloutShard(sc *shardClient) error {
+	for _, base := range sc.shard.Replicas {
+		if err := r.rolloutReplica(sc, base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Router) rolloutReplica(sc *shardClient, base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RolloutTimeout)
+	defer cancel()
+	var pre backendHealth
+	if _, err := sc.admin.GetJSON(ctx, base+"/healthz", &pre); err != nil {
+		return fmt.Errorf("pre-rollout health of %s: %w", base, err)
+	}
+	resp, err := sc.admin.Do(ctx, http.MethodPost, base+"/admin/recompute", "", nil)
+	if err != nil {
+		return fmt.Errorf("trigger %s: %w", base, err)
+	}
+	// 202 = started; 409 = one already running (count it as ours and wait).
+	if resp.Status != http.StatusAccepted && resp.Status != http.StatusConflict {
+		return fmt.Errorf("trigger %s answered HTTP %d", base, resp.Status)
+	}
+	t := time.NewTicker(r.opts.RolloutPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%s (shard %d) did not republish within %v (still gen %d)",
+				base, sc.shard.ID, r.opts.RolloutTimeout, pre.Gen)
+		case <-t.C:
+		}
+		var bh backendHealth
+		resp, err := sc.admin.GetJSON(ctx, base+"/healthz", &bh)
+		if err != nil || resp.Status != http.StatusOK {
+			continue // transient probe failure: keep polling until the deadline
+		}
+		if bh.Status == "stale" {
+			return fmt.Errorf("%s (shard %d) recompute failed (serving stale gen %d)", base, sc.shard.ID, bh.Gen)
+		}
+		if bh.Gen > pre.Gen && !bh.Recomputing {
+			sc.noteGen(resp.Header)
+			r.met.shardGen[sc.shard.ID].Set(float64(sc.lastGen.Load()))
+			r.logAt(slog.LevelInfo, "replica rolled",
+				slog.Int("shard", sc.shard.ID), slog.String("replica", base), slog.Uint64("gen", bh.Gen))
+			return nil
+		}
+	}
+}
+
+type errResp struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errResp{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeErrRetry(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", retryAfterSecs)
+	writeErr(w, status, format, args...)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+)
+
+// replica is one concrete backend a replicaTransport can land an attempt
+// on: a parsed base URL plus the RoundTripper that reaches it. Production
+// replicas share one inner transport; tests give each replica its own
+// (e.g. an httpfault.Transport blackholing exactly one of them).
+type replica struct {
+	scheme, host string
+	rt           http.RoundTripper
+}
+
+// replicaTransport spreads successive attempts of one logical endpoint
+// over a shard's replicas: attempt i lands on replica (i mod R). Combined
+// with internal/client's hedging, this is cross-replica hedging for free —
+// the primary attempt goes to one replica and the hedge, fired after the
+// p99 delay, goes to the next, so a blackholed or slow replica costs one
+// hedge delay instead of a timeout. The same rotation makes retries walk
+// the replica set, so a dead backend is skipped on the next attempt.
+//
+// The request URL the client sees is a logical one ("http://apsp-shard-0/
+// dist?..."): the breaker and hedge-latency state key off it, per shard
+// and endpoint, while this transport substitutes the physical replica.
+type replicaTransport struct {
+	replicas []replica
+	next     atomic.Uint64
+}
+
+// newReplicaTransport parses base URLs ("http://host:port") into a
+// rotation over inner.
+func newReplicaTransport(bases []string, inner http.RoundTripper) (*replicaTransport, error) {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	t := &replicaTransport{}
+	for _, b := range bases {
+		u, err := url.Parse(b)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad replica base URL %q", b)
+		}
+		t.replicas = append(t.replicas, replica{scheme: u.Scheme, host: u.Host, rt: inner})
+	}
+	if len(t.replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas")
+	}
+	return t, nil
+}
+
+// RoundTrip rewrites the logical request onto the next replica. The
+// request is cloned: RoundTrippers must not mutate the caller's request,
+// and hedged attempts run concurrently over this same transport.
+func (t *replicaTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := t.replicas[int(t.next.Add(1)-1)%len(t.replicas)]
+	clone := req.Clone(req.Context())
+	clone.URL.Scheme = r.scheme
+	clone.URL.Host = r.host
+	clone.Host = ""
+	return r.rt.RoundTrip(clone)
+}

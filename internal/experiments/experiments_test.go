@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"A-LIST", "A-LIT", "A-ZERO", "E-APX", "E-BIG", "E-BLK", "E-CHAOS", "E-CONV", "E-CRASH", "E-CSSSP", "E-DELTA", "E-FAULTS", "E-INV", "E-KSSP", "E-SCALE", "E-SCHED", "E-SERVE", "E-SR", "E-STEP1", "E-T11", "E-T1213", "E-TRACE", "E-XOVER", "F1", "SCORECARD", "T1-approx", "T1-exact"}
+	want := []string{"A-LIST", "A-LIT", "A-ZERO", "E-APX", "E-BIG", "E-BLK", "E-CHAOS", "E-CLUSTER", "E-CONV", "E-CRASH", "E-CSSSP", "E-DELTA", "E-FAULTS", "E-INV", "E-KSSP", "E-SCALE", "E-SCHED", "E-SERVE", "E-SR", "E-STEP1", "E-T11", "E-T1213", "E-TRACE", "E-XOVER", "F1", "SCORECARD", "T1-approx", "T1-exact"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

@@ -30,6 +30,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/key"
 )
 
 // Plan is a deterministic fault model for the physical network. The zero
@@ -176,25 +178,17 @@ const (
 	kindShuffle
 )
 
-// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // prf draws the decision word for one (kind, round, link, seq, attempt)
-// key under the plan's seed.
+// key under the plan's seed. The seeding and mixing discipline is the
+// shared one in internal/key; the derived stream is bit-identical to the
+// pre-dedup local copy, so committed fixtures replay unchanged.
 func (p Plan) prf(kind uint64, round, from, to int, seq int64, attempt int) uint64 {
-	h := mix64(uint64(p.Seed)*0x9e3779b97f4a7c15 ^ kind)
-	h = mix64(h ^ uint64(uint32(round)) ^ uint64(uint32(attempt))<<32)
-	h = mix64(h ^ uint64(uint32(from)) ^ uint64(uint32(to))<<32)
-	h = mix64(h ^ uint64(seq))
+	h := key.PRF(p.Seed, kind)
+	h = key.Mix64(h ^ uint64(uint32(round)) ^ uint64(uint32(attempt))<<32)
+	h = key.Mix64(h ^ uint64(uint32(from)) ^ uint64(uint32(to))<<32)
+	h = key.Mix64(h ^ uint64(seq))
 	return h
 }
 
 // u01 maps a PRF word to [0, 1).
-func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+func u01(h uint64) float64 { return key.U01(h) }

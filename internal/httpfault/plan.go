@@ -29,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/key"
 )
 
 // Plan is a deterministic fault model for the HTTP substrate. The zero
@@ -200,23 +202,13 @@ const (
 	kindConnKill
 )
 
-// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer (the
-// same keying discipline as internal/faults).
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // prf draws the decision word for one (kind, request index) key under the
-// plan's seed.
+// plan's seed — the shared internal/key discipline, bit-identical to the
+// pre-dedup local copy so recorded scripts and seeded tests replay
+// unchanged.
 func (p Plan) prf(kind, req uint64) uint64 {
-	h := mix64(uint64(p.Seed)*0x9e3779b97f4a7c15 ^ kind)
-	return mix64(h ^ req)
+	return key.Mix64(key.PRF(p.Seed, kind) ^ req)
 }
 
 // u01 maps a PRF word to [0, 1).
-func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+func u01(h uint64) float64 { return key.U01(h) }

@@ -1,0 +1,47 @@
+package key
+
+// Seeded PRF discipline shared by every fault injector and jitter source
+// in the repository. internal/faults (per-transmission delivery faults),
+// internal/httpfault (per-request HTTP faults) and internal/client
+// (backoff jitter) all key their random decisions the same way: a seed is
+// spread over the word with the golden-ratio constant, the decision
+// domain is folded in, and the SplitMix64 finalizer avalanches the
+// result. Keeping the three in one place pins the derived streams — the
+// committed ddmin fixtures and every fixed-seed experiment table replay
+// byte-for-byte only while these bits never move.
+
+// PRF mixing constants: the golden-ratio increment that spreads seeds
+// across the word, and the two finalizer multipliers.
+const (
+	PhiMix  uint64 = 0x9e3779b97f4a7c15
+	mixMul1 uint64 = 0xbf58476d1ce4e5b9
+	mixMul2 uint64 = 0x94d049bb133111eb
+)
+
+// Mix64 is the SplitMix64 finalizer: a cheap, stateless full-avalanche
+// 64-bit mixer. Every keyed-PRF draw in the repository bottoms out here.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= mixMul1
+	x ^= x >> 27
+	x *= mixMul2
+	x ^= x >> 31
+	return x
+}
+
+// PRF seeds a decision domain: Mix64(seed·φ ^ kind). Chain further
+// decision coordinates with Mix64(h ^ coordinate) — the discipline
+// internal/faults and internal/httpfault derive their fault fates from.
+func PRF(seed int64, kind uint64) uint64 {
+	return Mix64(uint64(seed)*PhiMix ^ kind)
+}
+
+// Stream is the counter-mode draw n of a seeded splitmix sequence:
+// Mix64(seed·φ + n·c1). internal/client's jitter stream.
+func Stream(seed int64, n uint64) uint64 {
+	return Mix64(uint64(seed)*PhiMix + n*mixMul1)
+}
+
+// U01 maps a PRF word to [0, 1) with 53 bits of resolution — the
+// probability-threshold form every fault plan compares against.
+func U01(h uint64) float64 { return float64(h>>11) / (1 << 53) }

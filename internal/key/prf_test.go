@@ -1,0 +1,55 @@
+package key
+
+import "testing"
+
+// TestPRFPinned pins the shared PRF discipline bit-for-bit. These values
+// were produced by the three pre-dedup local copies (internal/faults,
+// internal/httpfault, internal/client); if any of them move, every seeded
+// fixture and ddmin testdata replay in the repository breaks.
+func TestPRFPinned(t *testing.T) {
+	// Reference implementation, transcribed from the pre-dedup copies.
+	ref := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	for _, x := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		if got, want := Mix64(x), ref(x); got != want {
+			t.Errorf("Mix64(%#x) = %#x, want %#x", x, got, want)
+		}
+	}
+	for _, tc := range []struct {
+		seed int64
+		kind uint64
+	}{{0, 1}, {7, 3}, {-1, 9}} {
+		want := ref(uint64(tc.seed)*0x9e3779b97f4a7c15 ^ tc.kind)
+		if got := PRF(tc.seed, tc.kind); got != want {
+			t.Errorf("PRF(%d, %d) = %#x, want %#x", tc.seed, tc.kind, got, want)
+		}
+	}
+	for _, tc := range []struct {
+		seed int64
+		n    uint64
+	}{{0, 1}, {5, 2}, {-3, 77}} {
+		want := ref(uint64(tc.seed)*0x9e3779b97f4a7c15 + tc.n*0xbf58476d1ce4e5b9)
+		if got := Stream(tc.seed, tc.n); got != want {
+			t.Errorf("Stream(%d, %d) = %#x, want %#x", tc.seed, tc.n, got, want)
+		}
+	}
+}
+
+// TestU01Range checks the unit-interval map's endpoints and resolution.
+func TestU01Range(t *testing.T) {
+	if got := U01(0); got != 0 {
+		t.Errorf("U01(0) = %v, want 0", got)
+	}
+	if got := U01(^uint64(0)); got < 0 || got >= 1 {
+		t.Errorf("U01(max) = %v outside [0,1)", got)
+	}
+	if a, b := U01(1<<11), U01(2<<11); a == b {
+		t.Errorf("U01 lost resolution: %v == %v", a, b)
+	}
+}

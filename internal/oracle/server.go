@@ -41,6 +41,15 @@ const (
 	statusClientClosed = 499
 )
 
+// GenHeader and ShardHeader are stamped on every query response (and on
+// /healthz): the generation that answered, and — when the server owns a
+// shard of a larger cluster — its shard ID. The cluster router reads them
+// to track backend generations and refuse mixed-generation batch answers.
+const (
+	GenHeader   = "X-Apsp-Generation"
+	ShardHeader = "X-Apsp-Shard"
+)
+
 // Degradation ladder rungs, in increasing order of shed aggression.
 const (
 	degradeNone          = 0 // full service
@@ -121,6 +130,11 @@ type Server struct {
 	// Progress, when set, observes recompute runs for /debug/live (wire
 	// the same Progress into the recompute spec's engine observer).
 	Progress *congest.Progress
+	// ShardID, when non-empty, names the source shard this server owns
+	// (apspd -shard k/N). It is stamped on every response as ShardHeader
+	// and reported on /healthz, so a cluster router can verify it wired
+	// each backend to the shard the map says it owns.
+	ShardID string
 
 	initOnce    sync.Once
 	sem         chan struct{}
@@ -277,6 +291,14 @@ func (s *Server) query(kind string, h func(http.ResponseWriter, *http.Request, *
 			return
 		}
 		root.SetInt("gen", int64(snap.Gen()))
+		// The generation/shard headers are the cluster contract: a router
+		// learns which generation answered without parsing the body (the
+		// headers are set before the handler writes, so they reach the wire
+		// on every status).
+		w.Header().Set(GenHeader, strconv.FormatUint(snap.Gen(), 10))
+		if s.ShardID != "" {
+			w.Header().Set(ShardHeader, s.ShardID)
+		}
 		status = h(w, r.WithContext(dctx), snap)
 		if status >= 400 {
 			s.Met.Errors.Inc()
@@ -574,6 +596,7 @@ type healthResp struct {
 	Alg          string `json:"alg,omitempty"`
 	N            int    `json:"n,omitempty"`
 	K            int    `json:"k,omitempty"`
+	Shard        string `json:"shard,omitempty"`
 	Fingerprint  string `json:"fingerprint,omitempty"`
 	HasPaths     bool   `json:"has_paths"`
 	Recomputing  bool   `json:"recomputing"`
@@ -588,8 +611,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, healthResp{Status: "loading", Recomputing: s.recomputing.Load()})
 		return
 	}
+	w.Header().Set(GenHeader, strconv.FormatUint(snap.Gen(), 10))
+	if s.ShardID != "" {
+		w.Header().Set(ShardHeader, s.ShardID)
+	}
 	resp := healthResp{
 		Status: "ok", Gen: snap.Gen(), Alg: snap.Alg(), N: snap.N(), K: snap.K(),
+		Shard:       s.ShardID,
 		Fingerprint: fmt.Sprintf("%016x", snap.Fingerprint()),
 		HasPaths:    snap.HasPaths(), Recomputing: s.recomputing.Load(),
 		DegradeLevel: s.degradeLevel(),

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/key"
 )
 
 // DefaultMaxSpans bounds the spans recorded per trace (a runaway batch
@@ -416,12 +418,12 @@ func FromContext(ctx context.Context) *Span {
 
 // splitmix64 is the SplitMix64 mixer — cheap, stateless, and good enough
 // for ID dispersion (not for cryptographic unguessability, which traces
-// do not need).
+// do not need). One increment-then-finalize step of the shared
+// internal/key discipline; the pinned-stream caveat there applies — the
+// deterministic-trace tests replay byte-for-byte only while these bits
+// never move.
 func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return key.Mix64(x + key.PhiMix)
 }
 
 // hash64 is FNV-1a over a string (trace IDs), used to key span IDs.

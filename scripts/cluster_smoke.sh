@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Cluster drill with the real binaries: two apspd shard backends behind an
+# apsprouter, answers checked for byte-equality against a single
+# whole-graph daemon, then a real `kill -9` of one backend — the router
+# must keep the surviving shard's answers flowing (and correct) while
+# reporting the cluster degraded, and heal once a supervisor restarts the
+# dead backend on the same port.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/apspd" ./cmd/apspd
+go build -o "$tmp/apsprouter" ./cmd/apsprouter
+
+GARGS=(-n 48 -m 160 -seed 7)
+
+# boot_apspd NAME [extra flags...]: boot one daemon, wait for its
+# addr-file, and export its address as $addr.
+boot_apspd() {
+    local name=$1
+    shift
+    rm -f "$tmp/$name.addr"
+    "$tmp/apspd" "${GARGS[@]}" "$@" \
+        -addr-file "$tmp/$name.addr" >"$tmp/$name.log" 2>&1 &
+    eval "${name}_pid=$!"
+    local pid
+    eval "pid=\$${name}_pid"
+    for _ in $(seq 1 200); do
+        [ -s "$tmp/$name.addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "cluster-smoke: $name exited before binding:" >&2
+            cat "$tmp/$name.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    [ -s "$tmp/$name.addr" ] || {
+        echo "cluster-smoke: $name never wrote its address" >&2
+        exit 1
+    }
+    addr=$(cat "$tmp/$name.addr")
+}
+
+# The reference: one daemon holding every source.
+boot_apspd ref -addr 127.0.0.1:0
+ref_addr=$addr
+echo "cluster-smoke: reference daemon on $ref_addr"
+
+# The cluster: two shard backends, each owning half the source dimension.
+boot_apspd b0 -addr 127.0.0.1:0 -shard 0/2
+b0_addr=$addr
+boot_apspd b1 -addr 127.0.0.1:0 -shard 1/2
+b1_addr=$addr
+echo "cluster-smoke: backends on $b0_addr (0/2), $b1_addr (1/2)"
+
+rm -f "$tmp/router.addr"
+"$tmp/apsprouter" -addr 127.0.0.1:0 -addr-file "$tmp/router.addr" \
+    -backends "http://$b0_addr,http://$b1_addr" \
+    >"$tmp/router.log" 2>&1 &
+router_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$tmp/router.addr" ] && break
+    if ! kill -0 "$router_pid" 2>/dev/null; then
+        echo "cluster-smoke: router exited before binding:" >&2
+        cat "$tmp/router.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+raddr=$(cat "$tmp/router.addr")
+echo "cluster-smoke: router on $raddr"
+
+# Answer-equality sweep: every routed answer must be byte-identical to the
+# single whole-graph daemon's. Pairs cover both shards and both kinds.
+check_equal() {
+    local path=$1 want got
+    want=$(curl -fsS --max-time 5 "http://$ref_addr$path")
+    got=$(curl -fsS --max-time 5 "http://$raddr$path")
+    if [ "$want" != "$got" ]; then
+        echo "cluster-smoke: $path disagrees: router=$got reference=$want" >&2
+        exit 1
+    fi
+}
+for pair in "0&dst=17" "5&dst=3" "23&dst=40" "24&dst=1" "31&dst=8" "47&dst=0"; do
+    check_equal "/dist?src=$pair"
+    check_equal "/path?src=$pair"
+done
+echo "cluster-smoke: 12 routed answers byte-identical to the reference daemon"
+
+health=$(curl -fsS --max-time 5 "http://$raddr/healthz")
+case "$health" in
+*'"status":"ok"'*) ;;
+*)
+    echo "cluster-smoke: healthy cluster reported: $health" >&2
+    exit 1
+    ;;
+esac
+
+# Real kill -9 of backend 1 (sources 24..47): no drain, no goodbye.
+kill -9 "$b1_pid"
+wait "$b1_pid" 2>/dev/null || true
+echo "cluster-smoke: killed -9 backend 1/2"
+
+# The surviving shard keeps answering — and answering correctly.
+check_equal "/dist?src=5&dst=3"
+# The dead shard's sources fail loudly (5xx), never wrongly. The router's
+# client retries the dead backend, so give this curl its own patience.
+if out=$(curl -fsS --max-time 20 "http://$raddr/dist?src=30&dst=2" 2>&1); then
+    echo "cluster-smoke: dead shard answered: $out" >&2
+    exit 1
+fi
+# And the router says so: degraded cluster, HTTP 503 on /healthz.
+code=$(curl -s --max-time 20 -o "$tmp/health.json" -w '%{http_code}' "http://$raddr/healthz")
+if [ "$code" != "503" ]; then
+    echo "cluster-smoke: /healthz with a dead backend gave $code, want 503: $(cat "$tmp/health.json")" >&2
+    exit 1
+fi
+echo "cluster-smoke: degraded mode correct (live shard serves, dead shard 5xx, healthz 503)"
+
+# Supervisor restart on the same port; the router needs no restart and no
+# reconfiguration — the shard map names the address, not the process.
+boot_apspd b1 -addr "$b1_addr" -shard 1/2
+echo "cluster-smoke: backend 1/2 restarted on $b1_addr"
+
+# Heal: the breaker needs a probe or two; insist on full equality again.
+healed=""
+for _ in $(seq 1 100); do
+    if curl -fsS --max-time 5 "http://$raddr/dist?src=30&dst=2" >/dev/null 2>&1; then
+        healed=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$healed" ] || {
+    echo "cluster-smoke: router never healed after the restart" >&2
+    exit 1
+}
+for pair in "0&dst=17" "30&dst=2" "47&dst=0"; do
+    check_equal "/dist?src=$pair"
+done
+health=$(curl -fsS --max-time 5 "http://$raddr/healthz")
+case "$health" in
+*'"status":"ok"'*) ;;
+*)
+    echo "cluster-smoke: post-restart healthz not ok: $health" >&2
+    exit 1
+    ;;
+esac
+echo "cluster-smoke: healed — answers byte-identical again, healthz ok"
+
+# Clean drain, router first: non-zero exit from any of them fails the drill.
+kill -TERM "$router_pid"
+wait "$router_pid"
+kill -TERM "$b0_pid" "$b1_pid" "$ref_pid"
+wait "$b0_pid" "$b1_pid" "$ref_pid"
+echo "cluster-smoke: clean drain (router and all daemons exited 0)"
